@@ -1,0 +1,93 @@
+"""Experiments F2/F3 — shared-memory transfer estimation (paper Figs. 2-3).
+
+Measures the Fig. 3 estimator and demonstrates the synergy corrections:
+with a hardware-mapped neighbour, a cluster's transfer estimate drops by
+exactly the data the two clusters exchange directly.
+"""
+
+import pytest
+
+from repro.cluster import decompose_into_clusters, estimate_transfers
+from repro.lang import compile_source
+from repro.tech import cmos6_library
+
+
+PIPELINE_SRC = """
+global stage0: int[256];
+global stage1: int[256];
+global stage2: int[256];
+global stage3: int[256];
+
+func main() -> int {
+    for i in 0 .. 256 { stage1[i] = stage0[i] * 3 + 1; }
+    for i in 0 .. 256 { stage2[i] = (stage1[i] >> 1) ^ i; }
+    for i in 0 .. 256 { stage3[i] = stage2[i] + stage1[i]; }
+    var s: int = 0;
+    for i in 0 .. 256 { s = s + stage3[i]; }
+    return s;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    program = compile_source(PIPELINE_SRC)
+    clusters = decompose_into_clusters(program)
+    chain = [c for c in clusters if c.function == "main"]
+    loops = sorted((c for c in chain if c.kind == "loop"),
+                   key=lambda c: c.order_index)
+    return program, chain, loops
+
+
+@pytest.mark.benchmark(group="bus-transfers")
+def bench_transfer_estimation(benchmark, pipeline):
+    program, chain, loops = pipeline
+    library = cmos6_library()
+
+    def estimate_all():
+        return [estimate_transfers(c, chain, program, library)
+                for c in loops]
+
+    estimates = benchmark(estimate_all)
+    for cluster, est in zip(loops, estimates):
+        benchmark.extra_info[cluster.name] = {
+            "words_in": est.words_in, "words_out": est.words_out,
+            "energy_nj": round(est.energy_nj, 1),
+        }
+    # Stages 1 and 2 move one 256-word array in and one out; stage 3 reads
+    # two arrays (stage1 + stage2).  A few loop-control scalars may ride
+    # along (the gen/use sets are the paper's static overapproximation).
+    assert 256 <= estimates[0].words_in <= 264
+    assert 256 <= estimates[1].words_in <= 264
+    assert 512 <= estimates[2].words_in <= 520
+    for est in estimates[:3]:
+        assert 256 <= est.words_out <= 264
+
+
+@pytest.mark.benchmark(group="bus-transfers")
+def bench_synergy_corrections(benchmark, pipeline):
+    """Fig. 3 steps 2 and 4: neighbours in hardware remove transfers."""
+    program, chain, loops = pipeline
+    library = cmos6_library()
+    middle = loops[1]
+
+    def with_synergy():
+        alone = estimate_transfers(middle, chain, program, library)
+        with_prev = estimate_transfers(
+            middle, chain, program, library,
+            hw_clusters=frozenset({loops[0].name}))
+        with_both = estimate_transfers(
+            middle, chain, program, library,
+            hw_clusters=frozenset({loops[0].name, loops[2].name}))
+        return alone, with_prev, with_both
+
+    alone, with_prev, with_both = benchmark(with_synergy)
+    benchmark.extra_info["alone_nj"] = round(alone.energy_nj, 1)
+    benchmark.extra_info["with_prev_nj"] = round(with_prev.energy_nj, 1)
+    benchmark.extra_info["with_both_nj"] = round(with_both.energy_nj, 1)
+
+    # Monotone: each hardware neighbour strictly reduces the estimate.
+    assert with_prev.energy_nj < alone.energy_nj
+    assert with_both.energy_nj < with_prev.energy_nj
+    # The upstream synergy removes (at least) the 256-word stage array.
+    assert alone.words_in_once - with_prev.words_in_once >= 256

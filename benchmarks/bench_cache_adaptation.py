@@ -1,0 +1,69 @@
+"""Extension experiment — cache adaptation per partition (paper footnote 4).
+
+"Those other cores have to be adapted efficiently (e.g. size of memory,
+size of caches, cache policy etc.) according to the particular hw/sw
+partitioning chosen."  This benchmark sweeps cache geometries for the
+initial and the partitioned `digs` design and shows that (a) the optimal
+geometry differs, and (b) adapting the caches after partitioning buys
+additional energy on top of Table 1's fixed-cache numbers.
+"""
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.core import LowPowerFlow
+from repro.mem import (
+    best_point,
+    default_search_space,
+    explore_cache_configs,
+    initial_evaluator,
+)
+from repro.mem.explore import partitioned_evaluator
+from repro.tech import cmos6_library
+
+
+@pytest.mark.benchmark(group="cache-adaptation")
+def bench_cache_adaptation(benchmark):
+    app = app_by_name("digs")
+    library = cmos6_library()
+    flow_result = LowPowerFlow().run(app)
+    assert flow_result.best is not None
+    best = flow_result.best
+
+    evaluate_i = initial_evaluator(flow_result.image, library,
+                                   globals_init=app.globals_init)
+    evaluate_p = partitioned_evaluator(
+        flow_result.image, library,
+        hw_blocks=best.hw_blocks,
+        asic_stats=flow_result.asic_stats,
+        asic_metrics=best.metrics,
+        asic_cells=flow_result.asic_cells,
+        asic_energy_nj=flow_result.gate_energy.total_nj,
+        asic_mem_reads=best.shared_mem_reads,
+        asic_mem_writes=best.shared_mem_writes,
+        globals_init=app.globals_init)
+
+    def sweep_both():
+        points_i = explore_cache_configs(evaluate_i)
+        points_p = explore_cache_configs(evaluate_p)
+        return best_point(points_i), best_point(points_p)
+
+    best_i, best_p = benchmark.pedantic(sweep_both, rounds=1, iterations=1)
+
+    benchmark.extra_info["initial_best"] = best_i.label
+    benchmark.extra_info["partitioned_best"] = best_p.label
+    benchmark.extra_info["initial_total_uj"] = round(
+        best_i.total_energy_nj / 1e3, 1)
+    benchmark.extra_info["partitioned_total_uj"] = round(
+        best_p.total_energy_nj / 1e3, 1)
+    benchmark.extra_info["fixed_cache_partitioned_uj"] = round(
+        flow_result.partitioned.total_energy_nj / 1e3, 1)
+
+    # Adapting the caches never hurts the partitioned design...
+    assert (best_p.total_energy_nj
+            <= flow_result.partitioned.total_energy_nj + 1e-6)
+    # ...and the partitioned design never wants a larger i-cache (its hot
+    # fetch stream moved to the ASIC).
+    assert best_p.icache.size_bytes <= best_i.icache.size_bytes
+    # Per-configuration functional results agree.
+    assert best_p.run.result == best_i.run.result

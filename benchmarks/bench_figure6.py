@@ -1,0 +1,43 @@
+"""Experiment F6 — regenerate the paper's Figure 6.
+
+The bar chart of achieved energy savings and execution-time change per
+application.  The shape to reproduce: savings between ~35% and ~94%,
+execution time improving everywhere except ``trick``, which trades time
+for energy.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_RESULTS
+from repro.power.report import format_savings
+
+
+@pytest.mark.benchmark(group="figure6")
+def bench_figure6_series(benchmark, flow_results):
+    """Measures the report generation; prints the Figure 6 series."""
+    rows = [(name, res.initial, res.partitioned)
+            for name, res in flow_results.items()]
+
+    chart = benchmark(format_savings, rows)
+    print("\n" + chart)
+
+    savings = {name: res.energy_savings_percent
+               for name, res in flow_results.items()}
+    changes = {name: res.time_change_percent
+               for name, res in flow_results.items()}
+    benchmark.extra_info["savings"] = {k: round(v, 2)
+                                       for k, v in savings.items()}
+    benchmark.extra_info["time_changes"] = {k: round(v, 2)
+                                            for k, v in changes.items()}
+
+    # Figure 6 shapes.
+    assert min(savings.values()) > 15.0
+    assert max(savings.values()) > 85.0
+    assert changes["trick"] > 0
+    assert all(chg < 0 for name, chg in changes.items() if name != "trick")
+    # Rough rank agreement with the paper: digs at the top, engine at the
+    # bottom, like Figure 6's bars.
+    paper_rank = sorted(PAPER_RESULTS, key=lambda n: PAPER_RESULTS[n][0])
+    ours_rank = sorted(savings, key=savings.get)
+    assert ours_rank[0] == paper_rank[0] == "engine"
+    assert savings["digs"] == max(savings.values())

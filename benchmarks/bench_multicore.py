@@ -1,0 +1,35 @@
+"""Extension experiment — iterative multi-core partitioning (paper Eq. 3).
+
+The paper's Eq. 3 is formulated over N cores; its experiments stop at one.
+This benchmark runs the greedy multi-core extension on every application
+and reports how much the additional cores buy over the single-core
+partition of Table 1.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, app_by_name
+from repro.core import IterativePartitioner
+
+
+@pytest.mark.benchmark(group="multicore")
+@pytest.mark.parametrize("name", list(ALL_APPS))
+def bench_multicore_partitioning(benchmark, name, flow_results):
+    app = app_by_name(name)
+    partitioner = IterativePartitioner(max_cores=3)
+    result = benchmark.pedantic(partitioner.run, args=(app,),
+                                rounds=1, iterations=1)
+
+    single = flow_results[name]
+    benchmark.extra_info["cores"] = len(result.steps)
+    benchmark.extra_info["multicore_savings_pct"] = round(
+        result.energy_savings_percent, 2)
+    benchmark.extra_info["single_core_savings_pct"] = round(
+        single.energy_savings_percent, 2)
+    benchmark.extra_info["total_cells"] = result.total_asic_cells
+
+    assert result.functional_match
+    # Greedy multi-core never does worse than the single-core partition
+    # (its first committed core is at least as good a choice).
+    assert (result.energy_savings_percent
+            >= single.energy_savings_percent - 1.0)

@@ -1,0 +1,42 @@
+"""Extension experiment — IR optimization vs partitioning outcomes.
+
+The paper's applications were production-compiled; our BDL lowering is
+naive unless the optimizer runs.  This benchmark compares the flow with
+and without the optimizer on every application: results must stay
+bit-exact, the software baseline gets faster, and the partitioning shapes
+(big savings, trick trading time) must be robust to the compiler quality.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, app_by_name
+from repro.core import LowPowerFlow
+
+
+@pytest.mark.benchmark(group="optimizer")
+@pytest.mark.parametrize("name", list(ALL_APPS))
+def bench_flow_with_optimizer(benchmark, name, flow_results):
+    app = app_by_name(name)
+    app.optimize = True
+    flow = LowPowerFlow()
+    optimized = benchmark.pedantic(flow.run, args=(app,),
+                                   rounds=1, iterations=1)
+    plain = flow_results[name]
+
+    benchmark.extra_info["plain_initial_cycles"] = plain.initial.total_cycles
+    benchmark.extra_info["opt_initial_cycles"] = optimized.initial.total_cycles
+    benchmark.extra_info["plain_savings_pct"] = round(
+        plain.energy_savings_percent, 2)
+    benchmark.extra_info["opt_savings_pct"] = round(
+        optimized.energy_savings_percent, 2)
+
+    # Optimization never changes observable results.
+    assert optimized.initial.result == plain.initial.result
+    assert optimized.functional_match
+    # The optimized software baseline is at least as fast.
+    assert optimized.initial.total_cycles <= plain.initial.total_cycles
+    # The headline shape survives compiler quality.
+    assert optimized.accepted
+    if name == "trick":
+        assert optimized.time_change_percent > -5.0  # no big speedup appears
+    assert optimized.energy_savings_percent > 10.0

@@ -1,0 +1,51 @@
+"""Experiment F1 — the partitioning algorithm itself (paper Fig. 1).
+
+Measures the search (decompose -> pre-select -> schedule/bind/score over
+clusters x resource sets) in isolation, and reports how many clusters were
+found, pre-selected (``N_max^c``), evaluated and rejected per application.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, app_by_name
+from repro.core import Partitioner
+from repro.isa.image import link_program
+from repro.lang import Interpreter
+from repro.power.system import evaluate_initial
+from repro.tech import cmos6_library
+
+
+def _prepare(name):
+    app = app_by_name(name)
+    library = cmos6_library()
+    program = app.compile()
+    interp = Interpreter(program)
+    for gname, values in app.globals_init.items():
+        interp.set_global(gname, values)
+    interp.run(*app.args)
+    image = link_program(program)
+    initial = evaluate_initial(image, library, args=app.args,
+                               globals_init=app.globals_init,
+                               model_caches=app.model_caches)
+    config = app.config
+    partitioner = Partitioner(program, library, config)
+    return partitioner, interp.profile, initial
+
+
+@pytest.mark.benchmark(group="partition-algorithm")
+@pytest.mark.parametrize("name", list(ALL_APPS))
+def bench_partition_search(benchmark, name):
+    partitioner, profile, initial = _prepare(name)
+    decision = benchmark(partitioner.run, profile, initial)
+
+    benchmark.extra_info["clusters_total"] = len(decision.all_clusters)
+    benchmark.extra_info["preselected"] = len(decision.preselected)
+    benchmark.extra_info["evaluated"] = len(decision.candidates)
+    benchmark.extra_info["rejected"] = len(decision.rejections)
+    benchmark.extra_info["best"] = (decision.best.cluster.name
+                                    if decision.best else None)
+
+    # The pre-selection must prune (that is its purpose: the later steps
+    # are "performed for all remaining clusters").
+    assert len(decision.preselected) <= partitioner.config.n_max_clusters
+    assert decision.best is not None

@@ -1,0 +1,47 @@
+"""Extension experiment — shape stability across workload scales.
+
+The paper ran production-size workloads; ours are scaled for a pure-Python
+simulator.  This benchmark sweeps the workload scale factor on two
+applications and checks that the Table 1 shapes are properties of the
+*structure*, not of the chosen size: savings stay in a narrow band and the
+selected cluster is the same at every scale.
+"""
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.core import LowPowerFlow
+
+
+@pytest.mark.benchmark(group="scale")
+@pytest.mark.parametrize("name", ["MPG", "engine"])
+def bench_savings_vs_scale(benchmark, name):
+    flow = LowPowerFlow()
+
+    def sweep():
+        return {scale: flow.run(app_by_name(name, scale=scale))
+                for scale in (1, 2, 3)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    savings = {}
+    clusters = set()
+    for scale, res in results.items():
+        assert res.functional_match
+        assert res.accepted
+        savings[scale] = res.energy_savings_percent
+        clusters.add(res.best.cluster.name)
+        benchmark.extra_info[f"scale_{scale}"] = {
+            "savings_pct": round(res.energy_savings_percent, 2),
+            "initial_cycles": res.initial.total_cycles,
+            "best": res.best.cluster.name,
+        }
+
+    # The same kernel wins at every scale...
+    assert len(clusters) == 1
+    # ...and savings vary by only a few points across a 3x size change.
+    spread = max(savings.values()) - min(savings.values())
+    assert spread < 10.0, f"{name}: savings spread {spread:.1f} points"
+    # Workload actually grew.
+    assert (results[3].initial.total_cycles
+            > 2 * results[1].initial.total_cycles)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Running the whole design flow on the six applications takes a few seconds
+each; the session-scoped ``flow_results`` fixture does it once, and the
+individual benchmarks measure the stage they are about while reporting the
+paper-shaped tables from the cached results.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, app_by_name
+from repro.core import LowPowerFlow
+
+
+#: Paper Table 1 reference values: (energy saving %, exec-time change %).
+PAPER_RESULTS = {
+    "3d": (35.21, -17.29),
+    "MPG": (43.20, -52.90),
+    "ckey": (76.81, -74.98),
+    "digs": (94.12, -42.64),
+    "engine": (31.27, -24.26),
+    "trick": (94.79, +69.64),
+}
+
+
+@pytest.fixture(scope="session")
+def flow():
+    return LowPowerFlow()
+
+
+@pytest.fixture(scope="session")
+def flow_results(flow):
+    return {name: flow.run(app_by_name(name)) for name in ALL_APPS}

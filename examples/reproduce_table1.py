@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Table 1 and Figure 6 on the six applications.
+
+Runs the complete low-power partitioning flow on every application of the
+evaluation suite (3d, MPG, ckey, digs, engine, trick) and prints:
+
+* the Table-1-style per-core energy/cycle comparison (I vs P rows);
+* the Figure-6 series (energy savings % and execution-time change %);
+* the side-by-side comparison against the paper's published numbers.
+
+Run:  python examples/reproduce_table1.py
+"""
+
+from repro import LowPowerFlow, format_savings, format_table1
+from repro.apps import ALL_APPS, app_by_name
+from repro.power.report import format_savings_chart
+
+#: The paper's Table 1 (Sav% is negative = saving; Chg% negative = faster).
+PAPER = {
+    "3d": (-35.21, -17.29),
+    "MPG": (-43.20, -52.90),
+    "ckey": (-76.81, -74.98),
+    "digs": (-94.12, -42.64),
+    "engine": (-31.27, -24.26),
+    "trick": (-94.79, +69.64),
+}
+
+
+def main() -> None:
+    flow = LowPowerFlow()
+    results = {}
+    for name in ALL_APPS:
+        app = app_by_name(name)
+        print(f"running flow on {name} ...")
+        results[name] = flow.run(app)
+
+    rows = [(name, res.initial, res.partitioned)
+            for name, res in results.items()]
+
+    print("\n=== Table 1 (reproduced) " + "=" * 60)
+    print(format_table1(rows))
+
+    print("\n=== Figure 6 (reproduced) " + "=" * 40)
+    print(format_savings(rows))
+    print()
+    print(format_savings_chart(rows))
+
+    print("\n=== Paper vs. this reproduction " + "=" * 40)
+    print(f"{'App':8s} {'paper Sav%':>11s} {'ours Sav%':>11s} "
+          f"{'paper Chg%':>11s} {'ours Chg%':>11s} {'cells':>8s}")
+    for name, res in results.items():
+        paper_sav, paper_chg = PAPER[name]
+        print(f"{name:8s} {paper_sav:11.2f} "
+              f"{-res.energy_savings_percent:11.2f} "
+              f"{paper_chg:+11.2f} {res.time_change_percent:+11.2f} "
+              f"{res.asic_cells:8d}")
+
+    print("\nShape checks:")
+    savings = {n: r.energy_savings_percent for n, r in results.items()}
+    print(f"  all apps save energy:          "
+          f"{all(s > 0 for s in savings.values())}")
+    print(f"  digs is the best case:         "
+          f"{savings['digs'] == max(savings.values())}")
+    print(f"  engine is the weakest case:    "
+          f"{savings['engine'] == min(savings.values())}")
+    print(f"  only trick trades time:        "
+          f"{all((r.time_change_percent > 0) == (n == 'trick') for n, r in results.items())}")
+    print(f"  all results bit-exact vs. SW:  "
+          f"{all(r.functional_match for r in results.values())}")
+
+
+if __name__ == "__main__":
+    main()

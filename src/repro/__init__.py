@@ -1,0 +1,62 @@
+"""repro — low-power hardware/software partitioning for core-based
+embedded systems.
+
+A from-scratch reproduction of J. Henkel, "A Low Power Hardware/Software
+Partitioning Approach for Core-based Embedded Systems", DAC 1999.
+
+Quickstart::
+
+    from repro import AppSpec, LowPowerFlow
+
+    app = AppSpec(name="my_app", source=BDL_SOURCE, globals_init={...})
+    result = LowPowerFlow().run(app)
+    print(result.energy_savings_percent, result.time_change_percent)
+
+The package layers, bottom to top:
+
+* :mod:`repro.lang` — the BDL behavioral-description frontend + profiler;
+* :mod:`repro.ir` — the CDFG graph representation (the paper's ``G``);
+* :mod:`repro.tech` — the synthetic CMOS6-class technology library;
+* :mod:`repro.isa` — the SL32 μP core: compiler, ISS, instruction energy;
+* :mod:`repro.mem` — cache / main-memory / bus cores and energy models;
+* :mod:`repro.sched` — list scheduling, Fig. 4 binding, ``U_R`` metrics;
+* :mod:`repro.cluster` — decomposition + Fig. 3 transfer pre-selection;
+* :mod:`repro.synth` — datapath/FSM synthesis and gate-level energy;
+* :mod:`repro.core` — the partitioner (Fig. 1), design flow (Fig. 5) and
+  baseline partitioners;
+* :mod:`repro.power` — whole-system accounting (Table 1 machinery);
+* :mod:`repro.apps` — the six evaluation applications.
+"""
+
+from repro.core import (
+    AppSpec,
+    FlowResult,
+    LowPowerFlow,
+    ObjectiveConfig,
+    PartitionConfig,
+    Partitioner,
+)
+from repro.lang import Interpreter, Program, compile_source
+from repro.power.report import format_savings, format_table1
+from repro.tech import ResourceKind, ResourceSet, cmos6_library, default_resource_sets
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppSpec",
+    "FlowResult",
+    "LowPowerFlow",
+    "ObjectiveConfig",
+    "PartitionConfig",
+    "Partitioner",
+    "Interpreter",
+    "Program",
+    "compile_source",
+    "format_savings",
+    "format_table1",
+    "ResourceKind",
+    "ResourceSet",
+    "cmos6_library",
+    "default_resource_sets",
+    "__version__",
+]

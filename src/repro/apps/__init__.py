@@ -1,0 +1,24 @@
+"""The six DSP-oriented applications of the paper's evaluation (section 4).
+
+The originals are proprietary NEC C codes ("about 5kB to 230kB of C code");
+these BDL re-implementations exercise the same computational character:
+
+========  =================================================  ==============
+name      paper description                                  our kernel
+========  =================================================  ==============
+3d        "computing 3D vectors of a motion picture"         matrix transform of a vertex set per frame + perspective projection
+MPG       "an MPEGII encoder"                                 block motion search (SAD) + 8-point DCT + quantization
+ckey      "a complex chroma-key algorithm"                    per-pixel chroma distance, threshold and blend
+digs      "a smoothing algorithm for digital images"          multi-pass 5-point weighted smoothing
+engine    "an engine control algorithm"                       map-table interpolation + correction branches per sample
+trick     "a trick animation algorithm"                       permutation-mapped frame warp over large tables
+========  =================================================  ==============
+
+Every module exposes ``make_app(scale=1)`` returning a ready
+:class:`~repro.core.flow.AppSpec`; :data:`repro.apps.registry.ALL_APPS`
+collects the factories.
+"""
+
+from repro.apps.registry import ALL_APPS, make_all_apps, app_by_name
+
+__all__ = ["ALL_APPS", "make_all_apps", "app_by_name"]

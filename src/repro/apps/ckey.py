@@ -1,0 +1,100 @@
+"""``ckey`` — a complex chroma-key compositor.
+
+Per pixel: the squared chroma distance between the foreground pixel and the
+key color decides between passing the background, passing the foreground,
+or alpha-blending the two (the "complex" part: a soft edge zone with a
+computed alpha ramp).  The whole per-pixel loop is the hardware candidate.
+
+The paper calls ckey "the less memory-intensive one" and reports zero
+cache/memory energy for it, so the app is configured with
+``model_caches=False``.  Expected Table 1 shape: very large energy savings
+*and* a large speedup (-77% energy, -75% time in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.core.flow import AppSpec
+from repro.core.objective import ObjectiveConfig
+from repro.core.partitioner import PartitionConfig
+from repro.apps.inputs import noise, smooth_image
+
+
+def _source(pixels: int) -> str:
+    return f"""
+# Chroma-key compositing with a soft blend zone.
+const P = {pixels};
+const KEY_U = 100;
+const KEY_V = 160;
+const T_CORE = 900;     # inside: pure background
+const T_EDGE = 3600;    # between core and edge: blend zone
+
+global fg_y: int[P];
+global fg_u: int[P];
+global fg_v: int[P];
+global bg_y: int[P];
+global out_y: int[P];
+
+func main() -> int {{
+    var acc: int = 0;
+    for i in 0 .. P {{
+        var du: int = fg_u[i] - KEY_U;
+        var dv: int = fg_v[i] - KEY_V;
+        var dist: int = du * du + dv * dv;
+        var y: int = 0;
+        if dist < T_CORE {{
+            # Solid key: background shows through.
+            y = bg_y[i];
+        }} else {{
+            if dist < T_EDGE {{
+                # Soft edge: alpha ramp between key and foreground.
+                # 256/(T_EDGE - T_CORE) ~= 97/1024 (reciprocal multiply,
+                # as the production code would do instead of dividing).
+                var alpha: int = ((dist - T_CORE) * 97) >> 10;
+                var inv: int = 256 - alpha;
+                y = (alpha * fg_y[i] + inv * bg_y[i]) >> 8;
+                # Spill suppression: damp the foreground luma near the key.
+                y = y - ((inv * 16) >> 8);
+                if y < 0 {{
+                    y = 0;
+                }}
+            }} else {{
+                y = fg_y[i];
+            }}
+        }}
+        out_y[i] = y;
+        acc = acc + (y & 255);
+    }}
+    return acc;
+}}
+"""
+
+
+def make_app(scale: int = 1) -> AppSpec:
+    """Build the ``ckey`` application; ``scale`` multiplies the pixel count.
+
+    Pixel counts above 1024 (scale > 1) exceed the default ASIC local
+    buffer and change the hardware mapping's character; the default scale
+    keeps the frame scratchpad-resident, matching the paper's "less
+    memory-intensive" description.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    pixels = 1024 * scale
+    side = 32
+    return AppSpec(
+        name="ckey",
+        source=_source(pixels),
+        description="chroma-key compositor with soft blend zone",
+        model_caches=False,
+        # The ckey designer accepts a larger core (the kernel needs a
+        # multiplier plus frame scratchpads); per-app constraints are part
+        # of the paper's methodology ("F is heavily dependent on the design
+        # constraints as well as on the application itself").
+        config=PartitionConfig(objective=ObjectiveConfig(geq_cap=26_000)),
+        globals_init={
+            "fg_y": smooth_image(side, pixels // side, seed=61),
+            "fg_u": [(90 + n) % 256 for n in noise(pixels, 40, seed=62)],
+            "fg_v": [(150 + n) % 256 for n in noise(pixels, 40, seed=63)],
+            "bg_y": smooth_image(side, pixels // side, seed=64),
+        },
+    )

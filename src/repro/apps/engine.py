@@ -1,0 +1,153 @@
+"""``engine`` — an engine-control algorithm.
+
+Per sample of the (RPM, load) trace: locate the operating point in the
+calibration map's breakpoint grid, bilinearly interpolate spark advance and
+fuel quantity, then apply a chain of correction branches (knock retard,
+warm-up enrichment, over-rev cut).  Only the interpolation inner kernel is
+data-parallel; the correction logic is control-dominated and stays in
+software — which is why the paper reports its *smallest* saving here
+(-31% energy, -24% time) and why "further work will concentrate on
+control-dominated systems".
+"""
+
+from __future__ import annotations
+
+from repro.core.flow import AppSpec
+from repro.apps.inputs import noise, sensor_trace
+
+
+def _source(samples: int) -> str:
+    return f"""
+# Engine control: map interpolation + correction branches per sample.
+const S = {samples};
+const GRID = 8;                 # 8x8 calibration map
+
+global rpm: int[S];             # sensor traces
+global load: int[S];
+global temp: int[S];
+global knock: int[S];
+global rpm_bp: int[GRID];       # breakpoints (monotonic)
+global load_bp: int[GRID];
+global spark_map: int[64];      # calibration tables, row-major GRID x GRID
+global fuel_map: int[64];
+global lambda_map: int[64];
+global spark_out: int[S];
+global fuel_out: int[S];
+
+# Bilinear interpolation of all three calibration tables at one operating
+# point; the three interpolations are independent, which is exactly what a
+# small ASIC datapath exploits.  Returns (spark << 20) | (fuel << 8) | lam.
+func interp3(ri: int, ci: int, rf: int, cf: int) -> int {{
+    var base: int = (ri << 3) + ci;
+
+    var s00: int = spark_map[base];
+    var s01: int = spark_map[base + 1];
+    var s10: int = spark_map[base + 8];
+    var s11: int = spark_map[base + 9];
+    var stop: int = (s00 << 8) + (s01 - s00) * cf;
+    var sbot: int = (s10 << 8) + (s11 - s10) * cf;
+    var spark: int = ((stop << 8) + (sbot - stop) * rf) >> 16;
+
+    var f00: int = fuel_map[base];
+    var f01: int = fuel_map[base + 1];
+    var f10: int = fuel_map[base + 8];
+    var f11: int = fuel_map[base + 9];
+    var ftop: int = (f00 << 8) + (f01 - f00) * cf;
+    var fbot: int = (f10 << 8) + (f11 - f10) * cf;
+    var fuel: int = ((ftop << 8) + (fbot - ftop) * rf) >> 16;
+
+    var l00: int = lambda_map[base];
+    var l01: int = lambda_map[base + 1];
+    var l10: int = lambda_map[base + 8];
+    var l11: int = lambda_map[base + 9];
+    var ltop: int = (l00 << 8) + (l01 - l00) * cf;
+    var lbot: int = (l10 << 8) + (l11 - l10) * cf;
+    var lam: int = ((ltop << 8) + (lbot - ltop) * rf) >> 16;
+
+    return (spark << 20) | ((fuel & 4095) << 8) | (lam & 255);
+}}
+
+func main() -> int {{
+    var acc: int = 0;
+    for i in 0 .. S {{
+        var r: int = rpm[i];
+        var l: int = load[i];
+
+        # Breakpoint search (control-flow heavy, stays cheap in SW).
+        var ri: int = 0;
+        for k in 0 .. GRID - 2 {{
+            if rpm_bp[k + 1] <= r {{
+                ri = k + 1;
+            }}
+        }}
+        var ci: int = 0;
+        for k in 0 .. GRID - 2 {{
+            if load_bp[k + 1] <= l {{
+                ci = k + 1;
+            }}
+        }}
+        if ri > GRID - 2 {{ ri = GRID - 2; }}
+        if ci > GRID - 2 {{ ci = GRID - 2; }}
+
+        # Interpolation fractions in 0..256 (breakpoints are 512 apart for
+        # rpm and 32 apart for load, so the division is a shift).
+        var rf: int = ((r - rpm_bp[ri]) >> 1) & 255;
+        var cf: int = ((l - load_bp[ci]) << 3) & 255;
+
+        var packed: int = interp3(ri, ci, rf, cf);
+        var spark: int = packed >> 20;
+        var fuel: int = (packed >> 8) & 4095;
+        var lam: int = packed & 255;
+
+        # Correction chain (control-dominated; stays on the uP core).
+        if lam > 128 {{
+            fuel = fuel + ((lam - 128) << 1);   # lean: enrich
+        }}
+        if knock[i] > 40 {{
+            spark = spark - ((knock[i] - 40) >> 2);
+            if spark < 5 {{ spark = 5; }}
+        }}
+        if temp[i] < 70 {{
+            fuel = fuel + ((70 - temp[i]) << 2);
+        }}
+        if r > 6000 {{
+            fuel = 0;          # over-rev fuel cut
+            spark = 0;
+        }}
+        if fuel > 4095 {{ fuel = 4095; }}
+
+        spark_out[i] = spark;
+        fuel_out[i] = fuel;
+        acc = acc + ((spark ^ fuel) & 255);
+    }}
+    return acc;
+}}
+"""
+
+
+def make_app(scale: int = 1) -> AppSpec:
+    """Build the ``engine`` application; ``scale`` multiplies the trace length."""
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    samples = 600 * scale
+    rpm_bp = [512 * k for k in range(8)]
+    load_bp = [32 * k for k in range(8)]
+    spark_map = [10 + ((r * 3 + c * 2) % 30) for r in range(8) for c in range(8)]
+    fuel_map = [800 + r * 120 + c * 40 for r in range(8) for c in range(8)]
+    lambda_map = [110 + ((r * 5 + c * 3) % 40) for r in range(8) for c in range(8)]
+    return AppSpec(
+        name="engine",
+        source=_source(samples),
+        description="engine control: map interpolation + correction branches",
+        globals_init={
+            "rpm": sensor_trace(samples, base=1800, swing=1600, seed=81),
+            "load": sensor_trace(samples, base=80, swing=100, seed=82),
+            "temp": sensor_trace(samples, base=60, swing=35, seed=83),
+            "knock": noise(samples, 64, seed=84),
+            "rpm_bp": rpm_bp,
+            "load_bp": load_bp,
+            "spark_map": spark_map,
+            "fuel_map": fuel_map,
+            "lambda_map": lambda_map,
+        },
+    )

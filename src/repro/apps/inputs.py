@@ -1,0 +1,82 @@
+"""Deterministic synthetic input generators for the applications.
+
+The paper's input stimuli (video frames, sensor traces) are proprietary;
+these generators produce data with the relevant statistical character
+(smooth image regions, textured regions, periodic sensor signals) from a
+fixed-seed linear congruential generator so every run is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Lcg:
+    """Deterministic 32-bit linear congruential generator."""
+
+    def __init__(self, seed: int = 0x2F6E2B1) -> None:
+        self._state = seed & 0xFFFFFFFF
+
+    def next(self) -> int:
+        self._state = (self._state * 1103515245 + 12345) & 0xFFFFFFFF
+        return self._state >> 16
+
+    def below(self, bound: int) -> int:
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next() % bound
+
+
+def noise(length: int, amplitude: int, seed: int = 1) -> List[int]:
+    """Uniform noise in [0, amplitude)."""
+    rng = Lcg(seed)
+    return [rng.below(amplitude) for _ in range(length)]
+
+
+def smooth_image(width: int, height: int, seed: int = 2) -> List[int]:
+    """A smooth gradient image with mild texture (8-bit)."""
+    rng = Lcg(seed)
+    return [
+        ((x * 255) // max(1, width - 1) + (y * 128) // max(1, height - 1)
+         + rng.below(17)) % 256
+        for y in range(height) for x in range(width)
+    ]
+
+
+def textured_image(width: int, height: int, seed: int = 3) -> List[int]:
+    """A blocky, textured image (stresses SAD/motion search)."""
+    rng = Lcg(seed)
+    out: List[int] = []
+    for y in range(height):
+        for x in range(width):
+            block = ((x // 4) * 31 + (y // 4) * 17) % 200
+            out.append((block + rng.below(31)) % 256)
+    return out
+
+
+def vertex_cloud(count: int, spread: int = 400, seed: int = 4) -> List[int]:
+    """Signed vertex coordinates in [-spread/2, spread/2)."""
+    rng = Lcg(seed)
+    return [rng.below(spread) - spread // 2 for _ in range(count)]
+
+
+def sensor_trace(length: int, base: int, swing: int, seed: int = 5) -> List[int]:
+    """A periodic sensor signal (e.g. RPM) with noise."""
+    rng = Lcg(seed)
+    out: List[int] = []
+    value = base
+    for i in range(length):
+        phase = (i * 13) % 64
+        wave = swing * (32 - abs(phase - 32)) // 32
+        out.append(base + wave + rng.below(max(1, swing // 4)))
+    return out
+
+
+def permutation(length: int, seed: int = 6) -> List[int]:
+    """A pseudo-random permutation of range(length) (Fisher-Yates)."""
+    rng = Lcg(seed)
+    perm = list(range(length))
+    for i in range(length - 1, 0, -1):
+        j = rng.below(i + 1)
+        perm[i], perm[j] = perm[j], perm[i]
+    return perm

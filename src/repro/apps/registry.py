@@ -1,0 +1,31 @@
+"""Registry of the six evaluation applications."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.flow import AppSpec
+from repro.apps import ckey, digs, engine, mpeg, threed, trick
+
+#: name -> factory, in the paper's Table 1 order.
+ALL_APPS: Dict[str, Callable[..., AppSpec]] = {
+    "3d": threed.make_app,
+    "MPG": mpeg.make_app,
+    "ckey": ckey.make_app,
+    "digs": digs.make_app,
+    "engine": engine.make_app,
+    "trick": trick.make_app,
+}
+
+
+def make_all_apps(scale: int = 1) -> List[AppSpec]:
+    """Instantiate every application at the given workload scale."""
+    return [factory(scale) for factory in ALL_APPS.values()]
+
+
+def app_by_name(name: str, scale: int = 1) -> AppSpec:
+    """Instantiate one application by its Table 1 name."""
+    if name not in ALL_APPS:
+        raise KeyError(f"unknown application {name!r}; "
+                       f"choose from {sorted(ALL_APPS)}")
+    return ALL_APPS[name](scale)

@@ -1,0 +1,109 @@
+"""``3d`` — 3-D vector computation for a motion picture.
+
+Per frame: the software updates a fixed-point rotation matrix, the
+hardware-candidate kernel transforms the vertex set (9 multiply-accumulates
+per vertex), and a software pass performs perspective projection (division,
+which stays on the μP) plus a bounding-box/checksum accumulation.
+
+Expected Table 1 shape: *moderate* energy savings with a small speedup —
+the transform kernel is only part of the work, and its results must be
+written back through the shared memory every frame.
+"""
+
+from __future__ import annotations
+
+from repro.core.flow import AppSpec
+from repro.apps.inputs import vertex_cloud
+
+
+def _source(vertices: int, frames: int) -> str:
+    return f"""
+# 3-D vector motion: rotate a vertex cloud per frame, then project.
+const V = {vertices};
+const F = {frames};
+
+global xs: int[V];
+global ys: int[V];
+global zs: int[V];
+global m: int[9];      # 8.8 fixed-point rotation matrix, updated per frame
+global tx: int[V];
+global ty: int[V];
+global tz: int[V];
+
+func main() -> int {{
+    var acc: int = 0;
+    for f in 0 .. F {{
+        # Software: refresh the rotation matrix (small-angle update).
+        var c: int = 256 - ((f * f) >> 1);   # ~cos in 8.8
+        var s: int = (f << 4) + f;           # ~sin in 8.8
+        m[0] = c;        m[1] = 0 - s;   m[2] = 0;
+        m[3] = s;        m[4] = c;       m[5] = 0;
+        m[6] = 0;        m[7] = 0;       m[8] = 256;
+
+        # Kernel: transform every vertex (hardware candidate).
+        for i in 0 .. V {{
+            var x: int = xs[i];
+            var y: int = ys[i];
+            var z: int = zs[i];
+            tx[i] = (m[0] * x + m[1] * y + m[2] * z) >> 8;
+            ty[i] = (m[3] * x + m[4] * y + m[5] * z) >> 8;
+            tz[i] = (m[6] * x + m[7] * y + m[8] * z) >> 8;
+        }}
+
+        # Software: perspective projection, clipping, flat shading and
+        # bounding accumulation (divisions and branch chains keep this
+        # part on the uP core).
+        for i in 0 .. V {{
+            var d: int = tz[i] + 512;
+            if d < 16 {{
+                d = 16;
+            }}
+            var px: int = (tx[i] << 8) / d;
+            var py: int = (ty[i] << 8) / d;
+            # Viewport clip.
+            if px < 0 - 320 {{ px = 0 - 320; }}
+            if px > 319 {{ px = 319; }}
+            if py < 0 - 240 {{ py = 0 - 240; }}
+            if py > 239 {{ py = 239; }}
+            # Flat shading: distance-attenuated intensity with a fog term
+            # and a specular approximation (divisions keep this software).
+            var inten: int = (255 << 8) / (d + 64);
+            if inten > 255 {{ inten = 255; }}
+            var fog: int = (255 << 8) / (d + 128);
+            if fog > 255 {{ fog = 255; }}
+            var spec: int = (inten * inten) >> 8;
+            inten = (inten * 3 + fog + spec) / 5;
+            # Depth-sorted bucket accumulation (branchy software work).
+            if d < 256 {{
+                acc = acc + ((px ^ py) + (inten << 1));
+            }} else {{
+                if d < 768 {{
+                    acc = acc + ((px + py) ^ inten);
+                }} else {{
+                    acc = acc + (inten >> 1);
+                }}
+            }}
+            acc = acc & 0xFFFFF;
+        }}
+    }}
+    return acc;
+}}
+"""
+
+
+def make_app(scale: int = 1) -> AppSpec:
+    """Build the ``3d`` application; ``scale`` multiplies the vertex count."""
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    vertices = 96 * scale
+    frames = 6
+    return AppSpec(
+        name="3d",
+        source=_source(vertices, frames),
+        description="3-D vector motion: per-frame vertex transform + projection",
+        globals_init={
+            "xs": vertex_cloud(vertices, seed=41),
+            "ys": vertex_cloud(vertices, seed=42),
+            "zs": vertex_cloud(vertices, seed=43),
+        },
+    )

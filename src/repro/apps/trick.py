@@ -1,0 +1,74 @@
+"""``trick`` — a trick-animation (frame warp) algorithm.
+
+Each output pixel is fetched through a pseudo-random permutation map,
+effect-transformed, and composited onto the destination frame with a
+read-modify-write.  All three frame-sized tables (map, source, destination)
+exceed the ASIC's local buffer capacity, so a hardware mapping must access
+them *in place* in the shared memory — slow, serialized accesses that make
+the ASIC take more cycles than the μP core did, even though its tiny
+datapath burns a fraction of the energy.
+
+This reproduces the paper's ``trick`` result: the only application whose
+partition saves a great deal of energy while *increasing* execution time
+("our algorithm rejects clusters that would result in an unacceptable high
+hardware effort"; what remains is energy-efficient but slower).
+"""
+
+from __future__ import annotations
+
+from repro.core.flow import AppSpec
+from repro.apps.inputs import permutation, textured_image
+
+_SIDE = 64
+_PIXELS = _SIDE * _SIDE
+
+
+def _source(frames: int) -> str:
+    return f"""
+# Trick animation: permutation-mapped warp with destination compositing.
+const NPIX = {_PIXELS};
+const F = {frames};
+
+global warp_map: int[NPIX];   # pseudo-random permutation (too big to buffer)
+global src: int[NPIX];        # source frame
+global dst: int[NPIX];        # destination frame (read-modify-write)
+
+func main() -> int {{
+    for f in 0 .. F {{
+        for i in 0 .. NPIX {{
+            var idx: int = warp_map[i];
+            var p: int = src[idx];
+            # Effect transform: serial dependency chain on p.
+            p = p + ((p * 3) >> 2);
+            p = p ^ ((i + f) & 255);
+            p = (p * 5 + 128) >> 3;
+            # Composite with the destination and its trail neighbour
+            # (motion-blur-style smear needs two more frame accesses).
+            var old: int = dst[i];
+            var trail: int = dst[(i + 1) & (NPIX - 1)];
+            dst[i] = (old + trail + ((p * 3) >> 1) + 2) >> 2;
+        }}
+    }}
+    # Sparse checksum.
+    var acc: int = 0;
+    for k in 0 .. 64 {{
+        acc = acc + dst[(k * 61) & (NPIX - 1)];
+    }}
+    return acc;
+}}
+"""
+
+
+def make_app(scale: int = 1) -> AppSpec:
+    """Build the ``trick`` application; ``scale`` multiplies the frame count."""
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    return AppSpec(
+        name="trick",
+        source=_source(frames=3 * scale),
+        description="trick animation: permutation warp over large tables",
+        globals_init={
+            "warp_map": permutation(_PIXELS, seed=91),
+            "src": textured_image(_SIDE, _SIDE, seed=92),
+        },
+    )

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``apps``
+    List the bundled evaluation applications.
+``run APP``
+    Run the complete low-power partitioning flow on one application and
+    print the Table-1-style comparison.
+``table1``
+    Run all six applications and print Table 1 + the Figure 6 series.
+``clusters APP``
+    Show the cluster decomposition, pre-selection and per-cluster
+    bus-transfer estimates (paper Figs. 2/3).
+``disasm APP``
+    Disassemble the application's SL32 image (optionally one function).
+``multicore APP``
+    Run the iterative multi-core extension.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps import ALL_APPS, app_by_name
+from repro.cluster import decompose_into_clusters, estimate_transfers, preselect_clusters
+from repro.core import IterativePartitioner, LowPowerFlow
+from repro.isa.image import link_program
+from repro.lang import Interpreter
+from repro.power.report import format_savings, format_table1
+from repro.tech import cmos6_library
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Low-power hardware/software partitioning "
+                    "(reproduction of Henkel, DAC 1999)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the bundled applications")
+
+    run = sub.add_parser("run", help="run the flow on one application")
+    run.add_argument("app", choices=list(ALL_APPS))
+    run.add_argument("--scale", type=int, default=1,
+                     help="workload scale factor (default 1)")
+    run.add_argument("--optimize", action="store_true",
+                     help="run the IR optimizer first")
+
+    table1 = sub.add_parser("table1",
+                            help="reproduce Table 1 over all applications")
+    table1.add_argument("--scale", type=int, default=1)
+
+    clusters = sub.add_parser("clusters",
+                              help="show decomposition + transfer estimates")
+    clusters.add_argument("app", choices=list(ALL_APPS))
+    clusters.add_argument("--scale", type=int, default=1)
+
+    disasm = sub.add_parser("disasm", help="disassemble the SL32 image")
+    disasm.add_argument("app", choices=list(ALL_APPS))
+    disasm.add_argument("--function", default=None,
+                        help="restrict to one function")
+
+    ir = sub.add_parser("ir", help="dump the CDFG IR (optionally profiled)")
+    ir.add_argument("app", choices=list(ALL_APPS))
+    ir.add_argument("--function", default=None)
+    ir.add_argument("--profile", action="store_true",
+                    help="annotate blocks with execution counts")
+    ir.add_argument("--optimize", action="store_true")
+
+    multicore = sub.add_parser("multicore",
+                               help="iterative multi-core partitioning")
+    multicore.add_argument("app", choices=list(ALL_APPS))
+    multicore.add_argument("--max-cores", type=int, default=3)
+    multicore.add_argument("--scale", type=int, default=1)
+
+    return parser
+
+
+def _cmd_apps(args) -> int:
+    for name, factory in ALL_APPS.items():
+        app = factory()
+        print(f"{name:8s} {app.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    app = app_by_name(args.app, scale=args.scale)
+    if args.optimize:
+        app.optimize = True
+    result = LowPowerFlow().run(app)
+    print(result.summary())
+    return 0 if result.best is not None else 1
+
+
+def _cmd_table1(args) -> int:
+    flow = LowPowerFlow()
+    rows = []
+    for name in ALL_APPS:
+        app = app_by_name(name, scale=args.scale)
+        print(f"running {name} ...", file=sys.stderr)
+        res = flow.run(app)
+        rows.append((name, res.initial,
+                     res.partitioned if res.partitioned else res.initial))
+    print(format_table1(rows))
+    print()
+    print(format_savings(rows))
+    return 0
+
+
+def _cmd_clusters(args) -> int:
+    app = app_by_name(args.app, scale=args.scale)
+    library = cmos6_library()
+    program = app.compile()
+    interp = Interpreter(program)
+    for name, values in app.globals_init.items():
+        interp.set_global(name, values)
+    interp.run(*app.args)
+
+    clusters = decompose_into_clusters(program)
+    chains = {}
+    for cluster in clusters:
+        chains.setdefault(cluster.function, []).append(cluster)
+    kept = {c.name for c in preselect_clusters(
+        clusters, program, interp.profile, library)}
+
+    print(f"{len(clusters)} clusters ({len(kept)} pre-selected):")
+    for cluster in clusters:
+        cdfg = program.cdfgs[cluster.function]
+        counts = {b: interp.profile.block_count(cluster.function, b)
+                  for b in cdfg.blocks}
+        invocations = (interp.profile.call_counts.get(cluster.function, 0)
+                       if cluster.kind == "function"
+                       else cluster.invocations(counts, cdfg))
+        marker = "*" if cluster.name in kept else " "
+        est = estimate_transfers(cluster, chains[cluster.function], program,
+                                 library, invocations=max(1, invocations))
+        print(f" {marker} {cluster.name:32s} {cluster.kind:8s} "
+              f"blocks={len(cluster.blocks):2d} inv={invocations:6d} "
+              f"call={'y' if cluster.contains_call else 'n'} "
+              f"in={est.total_words_in:6d}w out={est.total_words_out:6d}w "
+              f"E_trans={est.energy_nj / 1000:8.2f}uJ")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    app = app_by_name(args.app)
+    image = link_program(app.compile())
+    print(image.disassemble(args.function))
+    return 0
+
+
+def _cmd_ir(args) -> int:
+    from repro.ir.printer import format_cdfg, format_program
+
+    app = app_by_name(args.app)
+    if args.optimize:
+        app.optimize = True
+    program = app.compile()
+    ex_by_function = None
+    if args.profile:
+        interp = Interpreter(program)
+        for name, values in app.globals_init.items():
+            interp.set_global(name, values)
+        interp.run(*app.args)
+        ex_by_function = {
+            fname: {b: interp.profile.block_count(fname, b)
+                    for b in cdfg.blocks}
+            for fname, cdfg in program.cdfgs.items()
+        }
+    if args.function is not None:
+        if args.function not in program.cdfgs:
+            print(f"unknown function {args.function!r}; "
+                  f"choose from {sorted(program.cdfgs)}", file=sys.stderr)
+            return 1
+        ex = (ex_by_function or {}).get(args.function)
+        print(format_cdfg(program.cdfgs[args.function], ex))
+    else:
+        print(format_program(program, ex_by_function))
+    return 0
+
+
+def _cmd_multicore(args) -> int:
+    app = app_by_name(args.app, scale=args.scale)
+    partitioner = IterativePartitioner(max_cores=args.max_cores)
+    result = partitioner.run(app)
+    print(f"{app.name}: committed {len(result.steps)} ASIC core(s), "
+          f"{result.total_asic_cells} cells total")
+    for index, step in enumerate(result.steps):
+        print(f"  core {index}: {step.candidate.cluster.name} on "
+              f"'{step.candidate.resource_set.name}' "
+              f"({step.candidate.asic_cells} cells) — system energy "
+              f"{step.energy_before_nj / 1e6:.3f} -> "
+              f"{step.system.total_energy_nj / 1e6:.3f} mJ")
+    print(f"total savings: {result.energy_savings_percent:.2f}% "
+          f"(functional match: {result.functional_match})")
+    return 0
+
+
+_COMMANDS = {
+    "apps": _cmd_apps,
+    "run": _cmd_run,
+    "table1": _cmd_table1,
+    "clusters": _cmd_clusters,
+    "disasm": _cmd_disasm,
+    "ir": _cmd_ir,
+    "multicore": _cmd_multicore,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

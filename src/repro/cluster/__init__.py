@@ -1,0 +1,25 @@
+"""Cluster decomposition and pre-selection.
+
+Step 2 of the paper's Fig. 1 decomposes the application graph into
+*clusters* — "code segments like nested loops, if-then-else constructs,
+functions" — by structural information alone.  Steps 3-5 estimate each
+cluster's additional bus-transfer energy (Fig. 3) and pre-select the
+``N_max^c`` most promising candidates.
+"""
+
+from repro.cluster.cluster import Cluster, decompose_into_clusters
+from repro.cluster.preselect import (
+    TransferEstimate,
+    estimate_transfers,
+    transfer_energy_nj,
+    preselect_clusters,
+)
+
+__all__ = [
+    "Cluster",
+    "decompose_into_clusters",
+    "TransferEstimate",
+    "estimate_transfers",
+    "transfer_energy_nj",
+    "preselect_clusters",
+]

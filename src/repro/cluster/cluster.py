@@ -1,0 +1,275 @@
+"""Structural cluster decomposition (paper Fig. 1, step 2).
+
+Per function we produce, in control-flow order:
+
+* one cluster per *outermost* loop nest (all blocks of the nest);
+* one cluster per inner loop as well (a smaller, cheaper candidate the
+  pre-selection may prefer);
+* maximal straight-line/conditional regions between loops;
+* plus one whole-function cluster for every call-free non-entry function
+  (the paper lists "functions" among cluster shapes).
+
+Each cluster records its ``gen``/``use`` sets (for Fig. 3), whether it
+contains calls (not HW-mappable then), and its *FSM ops*: for counted
+loops, the induction increment and the bound compare synthesize into the
+controller's loop counter rather than datapath resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.ir.cdfg import CDFG
+from repro.ir.dataflow import gen_set, use_set
+from repro.ir.ops import Operation, OpKind
+from repro.lang.program import Program
+
+
+@dataclass
+class Cluster:
+    """One candidate for hardware mapping.
+
+    Attributes:
+        name: unique id, e.g. ``main/loop@for1``.
+        function: owning function.
+        kind: 'loop', 'region' or 'function'.
+        header: entry block of the cluster.
+        blocks: block names included.
+        order_index: position in the function's top-level cluster chain
+            (Fig. 2b); inner-loop clusters share their outer cluster's slot.
+        depth: loop nesting depth (0 = top level).
+        gen / use: dataflow sets over scalars and array symbols (Fig. 3).
+        fsm_ops: op_ids realized by the controller (loop counters).
+        contains_call: True when the cluster calls functions.
+    """
+
+    name: str
+    function: str
+    kind: str
+    header: str
+    blocks: FrozenSet[str]
+    order_index: int
+    depth: int
+    gen: FrozenSet[str]
+    use: FrozenSet[str]
+    fsm_ops: FrozenSet[int] = frozenset()
+    contains_call: bool = False
+
+    def ops(self, cdfg: CDFG) -> List[Operation]:
+        result: List[Operation] = []
+        for block_name in sorted(self.blocks):
+            result.extend(cdfg.blocks[block_name].ops)
+        return result
+
+    def schedulable_ops(self, cdfg: CDFG) -> Dict[str, List[Operation]]:
+        """Per-block op lists with FSM-realized ops removed."""
+        out: Dict[str, List[Operation]] = {}
+        for block_name in sorted(self.blocks):
+            out[block_name] = [op for op in cdfg.blocks[block_name].ops
+                               if op.op_id not in self.fsm_ops]
+        return out
+
+    def invocations(self, block_counts: Mapping[str, int],
+                    cdfg: CDFG) -> int:
+        """How many times control enters this cluster (for transfer costs).
+
+        For loops: header entries minus back-edge traversals.  Back-edge
+        predecessors inside the loop always flow to the header when
+        executed, so their block counts equal edge counts.
+        """
+        header_count = block_counts.get(self.header, 0)
+        if self.kind == "function":
+            return header_count
+        back = sum(block_counts.get(pred, 0)
+                   for pred in cdfg.predecessors(self.header)
+                   if pred in self.blocks)
+        return max(0, header_count - back)
+
+
+def _loop_fsm_ops(cdfg: CDFG, header: str, body: FrozenSet[str]) -> Set[int]:
+    """Identify loop-counter ops that synthesize into the controller FSM.
+
+    Pattern (produced by ``for`` lowering, also matched for equivalent
+    ``while`` loops): a latch block whose datapath content is exactly
+    ``CONST k; ADD var, var, k`` and a header whose compare feeds the
+    terminating BRANCH with the same variable as an operand.
+    """
+    fsm: Set[int] = set()
+    header_block = cdfg.blocks[header]
+    branch = header_block.terminator
+    if branch is None or branch.kind is not OpKind.BRANCH:
+        return fsm
+    # The compare producing the branch condition.
+    compare: Optional[Operation] = None
+    for op in header_block.body:
+        if op.result is not None and op.result == branch.operands[0] \
+                and op.is_compare:
+            compare = op
+    if compare is None:
+        return fsm
+
+    induction_vars = {v.name for v in compare.operands}
+    for pred in cdfg.predecessors(header):
+        if pred not in body:
+            continue
+        latch_ops = [op for op in cdfg.blocks[pred].body]
+        datapath = [op for op in latch_ops
+                    if op.kind not in (OpKind.CONST, OpKind.NOP)]
+        if len(datapath) != 1:
+            continue
+        step = datapath[0]
+        if step.kind in (OpKind.ADD, OpKind.SUB) and step.result is not None \
+                and step.result.name in induction_vars \
+                and any(v.name == step.result.name for v in step.operands):
+            fsm.add(step.op_id)
+            for op in latch_ops:
+                if op.kind is OpKind.CONST and step.operands and any(
+                        op.result == operand for operand in step.operands):
+                    fsm.add(op.op_id)
+            fsm.add(compare.op_id)
+    return fsm
+
+
+def _function_clusters(program: Program) -> List[Cluster]:
+    clusters: List[Cluster] = []
+    for name, cdfg in program.cdfgs.items():
+        if name == program.entry:
+            continue
+        ops = list(cdfg.all_ops())
+        has_call = any(op.kind is OpKind.CALL for op in ops)
+        clusters.append(Cluster(
+            name=f"{name}/function",
+            function=name,
+            kind="function",
+            header=cdfg.entry,
+            blocks=frozenset(cdfg.blocks),
+            order_index=0,
+            depth=0,
+            gen=gen_set(ops),
+            use=use_set(ops) | frozenset(
+                p for p in cdfg.params),
+            contains_call=has_call,
+        ))
+    return clusters
+
+
+def decompose_into_clusters(program: Program,
+                            function: Optional[str] = None) -> List[Cluster]:
+    """Decompose ``program`` into candidate clusters.
+
+    When ``function`` is given, only that function's CDFG is decomposed
+    (without whole-function clusters); otherwise every function is
+    decomposed and call-free functions additionally become clusters.
+    """
+    if function is not None:
+        return _decompose_cdfg(program.cdfgs[function])
+    clusters: List[Cluster] = []
+    for name in sorted(program.cdfgs):
+        clusters.extend(_decompose_cdfg(program.cdfgs[name]))
+    clusters.extend(_function_clusters(program))
+    return clusters
+
+
+def _decompose_cdfg(cdfg: CDFG) -> List[Cluster]:
+    loops = cdfg.natural_loops()
+    # Outermost-first: a loop is outermost if its body is not contained in
+    # any other loop's body.
+    outermost: List[Tuple[str, FrozenSet[str]]] = []
+    inner: List[Tuple[str, FrozenSet[str], int]] = []
+    for header, body in loops:
+        enclosing = [1 for other_header, other_body in loops
+                     if other_header != header and body < other_body]
+        depth = len(enclosing)
+        if depth == 0:
+            outermost.append((header, body))
+        else:
+            inner.append((header, body, depth))
+
+    order = cdfg.reverse_postorder()
+    position = {name: i for i, name in enumerate(order)}
+    in_outer_loop: Dict[str, str] = {}
+    for header, body in outermost:
+        for block in body:
+            in_outer_loop[block] = header
+
+    clusters: List[Cluster] = []
+    order_index = 0
+    current_region: List[str] = []
+
+    def flush_region() -> None:
+        nonlocal order_index
+        if not current_region:
+            return
+        blocks = frozenset(current_region)
+        ops: List[Operation] = []
+        for block_name in current_region:
+            ops.extend(cdfg.blocks[block_name].ops)
+        clusters.append(Cluster(
+            name=f"{cdfg.name}/region@{current_region[0]}",
+            function=cdfg.name,
+            kind="region",
+            header=current_region[0],
+            blocks=blocks,
+            order_index=order_index,
+            depth=0,
+            gen=gen_set(ops),
+            use=use_set(ops),
+            contains_call=any(op.kind is OpKind.CALL for op in ops),
+        ))
+        order_index += 1
+        current_region.clear()
+
+    emitted_loops: Set[str] = set()
+    for block_name in order:
+        loop_header = in_outer_loop.get(block_name)
+        if loop_header is None:
+            current_region.append(block_name)
+            continue
+        if loop_header in emitted_loops:
+            continue
+        flush_region()
+        emitted_loops.add(loop_header)
+        body = next(b for h, b in outermost if h == loop_header)
+        ops = []
+        for name in sorted(body):
+            ops.extend(cdfg.blocks[name].ops)
+        clusters.append(Cluster(
+            name=f"{cdfg.name}/loop@{loop_header}",
+            function=cdfg.name,
+            kind="loop",
+            header=loop_header,
+            blocks=body,
+            order_index=order_index,
+            depth=0,
+            gen=gen_set(ops),
+            use=use_set(ops),
+            fsm_ops=frozenset(_loop_fsm_ops(cdfg, loop_header, body)),
+            contains_call=any(op.kind is OpKind.CALL for op in ops),
+        ))
+        order_index += 1
+    flush_region()
+
+    # Inner loops: separate candidates sharing the enclosing top-level slot.
+    slot_of_block: Dict[str, int] = {}
+    for cluster in clusters:
+        for block in cluster.blocks:
+            slot_of_block[block] = cluster.order_index
+    for header, body, depth in sorted(inner, key=lambda t: position[t[0]]):
+        ops = []
+        for name in sorted(body):
+            ops.extend(cdfg.blocks[name].ops)
+        clusters.append(Cluster(
+            name=f"{cdfg.name}/loop@{header}",
+            function=cdfg.name,
+            kind="loop",
+            header=header,
+            blocks=body,
+            order_index=slot_of_block.get(header, 0),
+            depth=depth,
+            gen=gen_set(ops),
+            use=use_set(ops),
+            fsm_ops=frozenset(_loop_fsm_ops(cdfg, header, body)),
+            contains_call=any(op.kind is OpKind.CALL for op in ops),
+        ))
+    return clusters

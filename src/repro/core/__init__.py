@@ -1,0 +1,49 @@
+"""The paper's primary contribution: the low-power partitioning algorithm.
+
+* :mod:`repro.core.objective` — the objective function ``OF`` (Fig. 1
+  line 13): normalized system energy balanced against hardware effort by
+  the designer factor ``F``.
+* :mod:`repro.core.partitioner` — the Fig. 1 algorithm: decompose,
+  pre-select (Fig. 3), schedule, compute ``U_R^core``/``GEQ_RS`` (Fig. 4),
+  estimate energies, pick the best candidate.
+* :mod:`repro.core.flow` — the full design flow of Fig. 5, from behavioral
+  source to the gate-level-checked partitioned system evaluation.
+* :mod:`repro.core.baselines` — comparison partitioners: the classic
+  performance-driven approach of the related work, and a COSYN-style
+  average-power allocator.
+"""
+
+from repro.core.objective import ObjectiveConfig, objective_value
+from repro.core.partitioner import (
+    CandidateEvaluation,
+    PartitionConfig,
+    PartitionDecision,
+    Partitioner,
+)
+from repro.core.flow import AppSpec, FlowResult, LowPowerFlow
+from repro.core.iterative import (
+    IterativePartitioner,
+    IterativeResult,
+    IterativeStep,
+)
+from repro.core.baselines import (
+    performance_driven_choice,
+    average_power_choice,
+)
+
+__all__ = [
+    "ObjectiveConfig",
+    "objective_value",
+    "CandidateEvaluation",
+    "PartitionConfig",
+    "PartitionDecision",
+    "Partitioner",
+    "AppSpec",
+    "FlowResult",
+    "LowPowerFlow",
+    "IterativePartitioner",
+    "IterativeResult",
+    "IterativeStep",
+    "performance_driven_choice",
+    "average_power_choice",
+]

@@ -1,0 +1,59 @@
+"""The partitioning objective function (paper Fig. 1 line 13).
+
+``OF = F * (E_R + E_uP + E_rest) / E_0 + G * GEQ / GEQ_0``
+
+The first term is the normalized total system energy of the candidate
+partition; the paper's ellipsis covers "possible other design constraints",
+realized here (as in the paper's experiments, where factor ``F`` rejects
+clusters with "unacceptably high hardware effort") as a normalized
+hardware-effort term and an optional hard cell cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ObjectiveConfig:
+    """Designer-tunable objective parameters.
+
+    Attributes:
+        f_energy: the paper's ``F`` — weight of the normalized energy term.
+        g_hardware: weight of the normalized hardware-effort term.
+        geq_normalizer: ``GEQ_0`` — hardware effort considered "unit cost"
+            (defaults to 16k cells, the paper's largest observed core).
+        geq_cap: hard upper bound on ASIC cells; candidates above it are
+            rejected outright (how "trick" lost its big cluster).
+    """
+
+    f_energy: float = 1.0
+    g_hardware: float = 0.05
+    geq_normalizer: int = 16_000
+    geq_cap: Optional[int] = 20_000
+
+    def __post_init__(self) -> None:
+        if self.f_energy <= 0:
+            raise ValueError(f"F must be positive, got {self.f_energy}")
+        if self.g_hardware < 0:
+            raise ValueError(f"G must be non-negative, got {self.g_hardware}")
+        if self.geq_normalizer <= 0:
+            raise ValueError("GEQ_0 must be positive")
+
+
+def objective_value(total_energy_nj: float, e0_nj: float, geq: int,
+                    config: ObjectiveConfig) -> float:
+    """Evaluate ``OF`` for one candidate partition.
+
+    Args:
+        total_energy_nj: ``E_R + E_uP + E_rest`` of the candidate.
+        e0_nj: the normalization energy ``E_0`` (the initial design's total).
+        geq: candidate hardware effort in cells.
+        config: objective parameters.
+    """
+    if e0_nj <= 0:
+        raise ValueError(f"E_0 must be positive, got {e0_nj}")
+    energy_term = config.f_energy * (total_energy_nj / e0_nj)
+    hardware_term = config.g_hardware * (geq / config.geq_normalizer)
+    return energy_term + hardware_term

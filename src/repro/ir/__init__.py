@@ -1,0 +1,35 @@
+"""Intermediate representation: operations, basic blocks, CDFG and dataflow.
+
+The IR mirrors the paper's graph ``G = {V, E}`` (Fig. 1, step 1): nodes are
+operations, edges are data and control dependences.  A :class:`~repro.ir.cdfg.CDFG`
+is a control-flow graph of :class:`~repro.ir.cdfg.BasicBlock` objects, each
+holding a list of :class:`~repro.ir.ops.Operation` in program order; the
+operation-level data-flow edges are derived from def/use chains.
+"""
+
+from repro.ir.ops import OpKind, Operation, Value, is_commutative
+from repro.ir.cdfg import CDFG, BasicBlock
+from repro.ir.dataflow import (
+    gen_set,
+    use_set,
+    block_gen_use,
+    live_variables,
+    reaching_definitions,
+)
+from repro.ir.optimize import optimize_cdfg, optimize_program
+
+__all__ = [
+    "OpKind",
+    "Operation",
+    "Value",
+    "is_commutative",
+    "CDFG",
+    "BasicBlock",
+    "gen_set",
+    "use_set",
+    "block_gen_use",
+    "live_variables",
+    "reaching_definitions",
+    "optimize_cdfg",
+    "optimize_program",
+]

@@ -1,0 +1,133 @@
+"""Classic dataflow analyses over the CDFG.
+
+The partitioner's bus-transfer estimator (paper Fig. 3) is phrased in terms
+of ``gen[c]`` and ``use[c]`` sets "as defined in [Aho/Sethi/Ullman]".  Here a
+*datum* is either a scalar variable name or an array symbol: a STORE into an
+array generates the array symbol, a LOAD uses it — the granularity at which
+data would cross the shared-memory bus between the μP core and the ASIC core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.ir.cdfg import CDFG
+from repro.ir.ops import Operation, OpKind
+
+
+def gen_set(ops: Iterable[Operation]) -> FrozenSet[str]:
+    """Names *generated* (defined) by ``ops``: scalar results and stored arrays."""
+    generated: Set[str] = set()
+    for op in ops:
+        if op.result is not None:
+            generated.add(op.result.name)
+        if op.kind is OpKind.STORE:
+            generated.add(op.symbol)
+    return frozenset(generated)
+
+
+def use_set(ops: Iterable[Operation]) -> FrozenSet[str]:
+    """Upward-exposed uses of ``ops``: names read before any local definition.
+
+    Array symbols are treated conservatively: a LOAD always uses the array
+    (a preceding local STORE may not have covered the loaded element).
+    """
+    used: Set[str] = set()
+    defined: Set[str] = set()
+    for op in ops:
+        for value in op.uses:
+            if value.name not in defined:
+                used.add(value.name)
+        if op.kind is OpKind.LOAD:
+            used.add(op.symbol)
+        if op.result is not None:
+            defined.add(op.result.name)
+    return frozenset(used)
+
+
+def block_gen_use(cdfg: CDFG) -> Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]]:
+    """Per-block ``(gen, use)`` pairs for every block of ``cdfg``."""
+    return {
+        name: (gen_set(block.ops), use_set(block.ops))
+        for name, block in cdfg.blocks.items()
+    }
+
+
+def live_variables(cdfg: CDFG) -> Tuple[Dict[str, FrozenSet[str]], Dict[str, FrozenSet[str]]]:
+    """Backward liveness analysis.
+
+    Returns ``(live_in, live_out)`` maps keyed by block name.  Array symbols
+    participate like scalars (an array is live when a later LOAD may read it).
+    """
+    gen_use = block_gen_use(cdfg)
+    live_in: Dict[str, Set[str]] = {name: set() for name in cdfg.blocks}
+    live_out: Dict[str, Set[str]] = {name: set() for name in cdfg.blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for name in reversed(cdfg.reverse_postorder()):
+            out: Set[str] = set()
+            for succ in cdfg.successors(name):
+                out |= live_in[succ]
+            gen, use = gen_use[name]
+            new_in = use | (out - gen)
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return (
+        {name: frozenset(values) for name, values in live_in.items()},
+        {name: frozenset(values) for name, values in live_out.items()},
+    )
+
+
+def reaching_definitions(cdfg: CDFG) -> Dict[str, FrozenSet[int]]:
+    """Forward reaching-definitions analysis.
+
+    Returns ``reach_in`` keyed by block name; elements are ``op_id`` values of
+    defining operations (scalar results and array stores).
+    """
+    defs_of: Dict[str, List[Operation]] = {}
+    for op in cdfg.all_ops():
+        if op.result is not None:
+            defs_of.setdefault(op.result.name, []).append(op)
+        if op.kind is OpKind.STORE:
+            defs_of.setdefault(op.symbol, []).append(op)
+
+    block_gen: Dict[str, Set[int]] = {}
+    block_kill: Dict[str, Set[int]] = {}
+    for name, block in cdfg.blocks.items():
+        gen: Dict[str, int] = {}
+        kill: Set[int] = set()
+        for op in block.ops:
+            names = []
+            if op.result is not None:
+                names.append(op.result.name)
+            if op.kind is OpKind.STORE:
+                names.append(op.symbol)
+            for defined_name in names:
+                gen[defined_name] = op.op_id
+                # A scalar redefinition kills all other defs of the name;
+                # array stores do not kill (they may write other elements).
+                if op.kind is not OpKind.STORE:
+                    kill |= {d.op_id for d in defs_of.get(defined_name, ()) if d is not op}
+        block_gen[name] = set(gen.values())
+        block_kill[name] = kill
+
+    reach_in: Dict[str, Set[int]] = {name: set() for name in cdfg.blocks}
+    reach_out: Dict[str, Set[int]] = {name: set(block_gen[name]) for name in cdfg.blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for name in cdfg.reverse_postorder():
+            incoming: Set[int] = set()
+            for pred in cdfg.predecessors(name):
+                incoming |= reach_out[pred]
+            new_out = block_gen[name] | (incoming - block_kill[name])
+            if incoming != reach_in[name] or new_out != reach_out[name]:
+                reach_in[name] = incoming
+                reach_out[name] = new_out
+                changed = True
+    return {name: frozenset(values) for name, values in reach_in.items()}

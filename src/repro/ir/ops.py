@@ -1,0 +1,172 @@
+"""Operation-level IR nodes.
+
+Every computation in a behavioral description lowers to a flat list of
+:class:`Operation` objects inside basic blocks.  Operation kinds are the
+vocabulary shared by the scheduler, the binding algorithm (paper Fig. 4),
+the SL32 code generator and the ASIC datapath builder.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class OpKind(enum.Enum):
+    """Kinds of IR operations.
+
+    The arithmetic/logic/comparison kinds map one-to-one onto datapath
+    resources (see :mod:`repro.tech.resources`); the control kinds shape the
+    CFG and never occupy a datapath resource in the ASIC schedule.
+    """
+
+    # Arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    NEG = "neg"
+    # Bitwise / logic
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    # Comparison
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    # Data movement
+    MOV = "mov"
+    CONST = "const"
+    # Memory
+    LOAD = "load"
+    STORE = "store"
+    # Control (block terminators / calls)
+    BRANCH = "branch"  # conditional branch on first operand
+    JUMP = "jump"
+    CALL = "call"
+    RETURN = "return"
+    NOP = "nop"
+
+
+#: Kinds that terminate a basic block.
+TERMINATOR_KINDS = frozenset({OpKind.BRANCH, OpKind.JUMP, OpKind.RETURN})
+
+#: Kinds that neither read nor write a datapath resource when scheduled.
+CONTROL_KINDS = frozenset(
+    {OpKind.BRANCH, OpKind.JUMP, OpKind.CALL, OpKind.RETURN, OpKind.NOP}
+)
+
+#: Binary comparison kinds (produce a boolean 0/1 result).
+COMPARE_KINDS = frozenset(
+    {OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE}
+)
+
+#: Commutative binary kinds (operand order may be swapped by optimizers).
+_COMMUTATIVE = frozenset(
+    {OpKind.ADD, OpKind.MUL, OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.EQ, OpKind.NE}
+)
+
+
+def is_commutative(kind: OpKind) -> bool:
+    """Return True when ``a kind b == b kind a``."""
+    return kind in _COMMUTATIVE
+
+
+@dataclass(frozen=True)
+class Value:
+    """A named IR value (virtual register or named scalar variable).
+
+    ``name`` is unique within a function.  Array elements are not Values;
+    arrays are accessed through LOAD/STORE with a base symbol + index value.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"%{self.name}"
+
+
+_op_counter = itertools.count()
+
+
+def _next_op_id() -> int:
+    return next(_op_counter)
+
+
+@dataclass
+class Operation:
+    """One IR operation.
+
+    Attributes:
+        kind: the operation kind.
+        result: value defined by this operation (None for stores/branches).
+        operands: values read by this operation, in positional order.
+        const: immediate payload for CONST operations.
+        symbol: array/global symbol name for LOAD/STORE, callee for CALL,
+            branch target labels are carried by the CFG instead.
+        array_args: for CALL only — array symbols passed by reference, in
+            the callee's array-parameter order.
+        op_id: globally unique id, used as the DFG node key.
+    """
+
+    kind: OpKind
+    result: Optional[Value] = None
+    operands: Tuple[Value, ...] = ()
+    const: Optional[int] = None
+    symbol: Optional[str] = None
+    array_args: Tuple[str, ...] = ()
+    op_id: int = field(default_factory=_next_op_id)
+
+    def __post_init__(self) -> None:
+        if self.kind is OpKind.CONST and self.const is None:
+            raise ValueError("CONST operation requires a const payload")
+        if self.kind in (OpKind.LOAD, OpKind.STORE) and self.symbol is None:
+            raise ValueError(f"{self.kind.value} operation requires a symbol")
+
+    @property
+    def defines(self) -> Optional[Value]:
+        """The value written by this operation, if any."""
+        return self.result
+
+    @property
+    def uses(self) -> Tuple[Value, ...]:
+        """Values read by this operation."""
+        return self.operands
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.kind in TERMINATOR_KINDS
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in (OpKind.LOAD, OpKind.STORE)
+
+    @property
+    def is_compare(self) -> bool:
+        return self.kind in COMPARE_KINDS
+
+    def __hash__(self) -> int:
+        return self.op_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Operation) and other.op_id == self.op_id
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [self.kind.value]
+        if self.result is not None:
+            parts.insert(0, f"{self.result!r} =")
+        if self.symbol is not None:
+            parts.append(f"@{self.symbol}")
+        parts.extend(repr(v) for v in self.operands)
+        if self.const is not None:
+            parts.append(f"#{self.const}")
+        return f"<{' '.join(parts)} (op{self.op_id})>"

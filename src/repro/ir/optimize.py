@@ -1,0 +1,423 @@
+"""IR optimization passes.
+
+A small, conservative optimizer over lowered CDFGs: block-local copy
+propagation and constant folding, algebraic simplification / strength
+reduction, and function-global dead-code elimination.  The passes run to a
+fixpoint.  They matter twice in this reproduction:
+
+* the software side gets a more realistic instruction stream (the paper's
+  applications were compiled with a production compiler, not -O0);
+* the hardware side sees fewer artificial CONST/MOV chains, so schedules
+  and utilization rates reflect real datapath work.
+
+Every pass preserves BDL semantics (32-bit wrapping arithmetic, C-style
+division); this is enforced by differential property tests.  Loads may be
+removed when their value is unused — an unused out-of-bounds load no
+longer faults, the usual compiler contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.cdfg import CDFG
+from repro.ir.ops import Operation, OpKind, Value
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _wrap32(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+#: Pure value-producing kinds that can be constant-folded.
+_FOLDABLE = frozenset({
+    OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.DIV, OpKind.MOD, OpKind.NEG,
+    OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT, OpKind.SHL, OpKind.SHR,
+    OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE,
+    OpKind.MOV,
+})
+
+#: Kinds with no side effects whose unused results may be deleted.
+_REMOVABLE = _FOLDABLE | frozenset({OpKind.CONST, OpKind.LOAD})
+
+
+def _evaluate(kind: OpKind, a: int, b: int) -> Optional[int]:
+    """Fold one pure binary/unary operation; None when undefined."""
+    if kind is OpKind.ADD:
+        return _wrap32(a + b)
+    if kind is OpKind.SUB:
+        return _wrap32(a - b)
+    if kind is OpKind.MUL:
+        return _wrap32(a * b)
+    if kind is OpKind.DIV:
+        if b == 0:
+            return None
+        q = abs(a) // abs(b)
+        return _wrap32(-q if (a < 0) != (b < 0) else q)
+    if kind is OpKind.MOD:
+        if b == 0:
+            return None
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return _wrap32(a - b * q)
+    if kind is OpKind.NEG:
+        return _wrap32(-a)
+    if kind is OpKind.AND:
+        return _wrap32(a & b)
+    if kind is OpKind.OR:
+        return _wrap32(a | b)
+    if kind is OpKind.XOR:
+        return _wrap32(a ^ b)
+    if kind is OpKind.NOT:
+        return _wrap32(~a)
+    if kind is OpKind.SHL:
+        return _wrap32(a << (b & 31))
+    if kind is OpKind.SHR:
+        return _wrap32((a & _MASK32) >> (b & 31))
+    if kind is OpKind.EQ:
+        return int(a == b)
+    if kind is OpKind.NE:
+        return int(a != b)
+    if kind is OpKind.LT:
+        return int(a < b)
+    if kind is OpKind.LE:
+        return int(a <= b)
+    if kind is OpKind.GT:
+        return int(a > b)
+    if kind is OpKind.GE:
+        return int(a >= b)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Block-local passes
+# ---------------------------------------------------------------------------
+
+def _propagate_and_fold_block(ops: List[Operation]
+                              ) -> Tuple[List[Operation], bool]:
+    """Copy propagation + constant folding + algebraic simplification,
+    within one block.  Returns (new ops, changed?)."""
+    constants: Dict[str, int] = {}
+    copies: Dict[str, Value] = {}
+    out: List[Operation] = []
+    changed = False
+
+    def resolve(value: Value) -> Value:
+        seen = set()
+        while value.name in copies and value.name not in seen:
+            seen.add(value.name)
+            value = copies[value.name]
+        return value
+
+    def kill(name: str) -> None:
+        constants.pop(name, None)
+        copies.pop(name, None)
+        for key in [k for k, v in copies.items() if v.name == name]:
+            del copies[key]
+
+    for op in ops:
+        # Rewrite operands through known copies.
+        operands = tuple(resolve(v) for v in op.operands)
+        if operands != op.operands:
+            changed = True
+        kind = op.kind
+        result = op.result
+
+        new_op: Optional[Operation] = None
+
+        if kind is OpKind.CONST:
+            new_op = op
+            kill(result.name)
+            constants[result.name] = op.const
+        elif kind in _FOLDABLE and result is not None:
+            const_vals = [constants.get(v.name) for v in operands]
+            if kind is OpKind.MOV:
+                src = operands[0]
+                if const_vals[0] is not None:
+                    new_op = Operation(OpKind.CONST, result=result,
+                                       const=const_vals[0])
+                    changed = True
+                else:
+                    new_op = Operation(OpKind.MOV, result=result,
+                                       operands=operands)
+                kill(result.name)
+                if const_vals[0] is not None:
+                    constants[result.name] = const_vals[0]
+                elif src.name != result.name:
+                    copies[result.name] = src
+            elif all(c is not None for c in const_vals):
+                a = const_vals[0]
+                b = const_vals[1] if len(const_vals) > 1 else 0
+                folded = _evaluate(kind, a, b)
+                if folded is not None:
+                    new_op = Operation(OpKind.CONST, result=result,
+                                       const=folded)
+                    changed = True
+                    kill(result.name)
+                    constants[result.name] = folded
+                else:
+                    new_op = Operation(kind, result=result, operands=operands)
+                    kill(result.name)
+            else:
+                reduction = _strength_reduce_mul(kind, result, operands,
+                                                 constants)
+                if reduction is not None:
+                    out.extend(reduction[:-1])
+                    new_op = reduction[-1]
+                    changed = True
+                    kill(result.name)
+                else:
+                    simplified = _algebraic(kind, result, operands, constants)
+                    if simplified is not None:
+                        new_op = simplified
+                        changed = True
+                    else:
+                        new_op = Operation(kind, result=result,
+                                           operands=operands)
+                    kill(result.name)
+                    if new_op.kind is OpKind.MOV:
+                        copies[result.name] = new_op.operands[0]
+                    elif new_op.kind is OpKind.CONST:
+                        constants[result.name] = new_op.const
+        else:
+            # LOAD/STORE/CALL/control: rewrite operands, kill the result.
+            new_op = Operation(kind, result=result, operands=operands,
+                               const=op.const, symbol=op.symbol,
+                               array_args=op.array_args) \
+                if operands != op.operands else op
+            if result is not None:
+                kill(result.name)
+            if kind is OpKind.CALL:
+                # Calls may write global scalars' backing arrays but never
+                # the caller's scalar values: constants/copies survive.
+                pass
+        out.append(new_op)
+    return out, changed
+
+
+_opt_counter = [0]
+
+
+def _strength_reduce_mul(kind: OpKind, result: Value, operands, constants
+                         ) -> Optional[List[Operation]]:
+    """``x * 2^k -> x << k`` (exact under 32-bit wrapping arithmetic).
+
+    Returns the replacement sequence ``[CONST k, SHL]`` or None.
+    """
+    if kind is not OpKind.MUL or len(operands) != 2:
+        return None
+    for const_index in (1, 0):
+        value = constants.get(operands[const_index].name)
+        if value is not None and value > 1 and (value & (value - 1)) == 0:
+            other = operands[1 - const_index]
+            _opt_counter[0] += 1
+            shamt = Value(f"__sr{_opt_counter[0]}")
+            return [
+                Operation(OpKind.CONST, result=shamt,
+                          const=value.bit_length() - 1),
+                Operation(OpKind.SHL, result=result,
+                          operands=(other, shamt)),
+            ]
+    return None
+
+
+def _algebraic(kind: OpKind, result: Value, operands, constants
+               ) -> Optional[Operation]:
+    """Strength reduction / identities with one constant operand."""
+    def const_of(index: int) -> Optional[int]:
+        if index >= len(operands):
+            return None
+        return constants.get(operands[index].name)
+
+    a_const, b_const = const_of(0), const_of(1)
+
+    if kind is OpKind.MUL:
+        for this, other in ((b_const, operands[0]),
+                            (a_const,
+                             operands[1] if len(operands) > 1 else None)):
+            if this is None or other is None:
+                continue
+            if this == 0:
+                return Operation(OpKind.CONST, result=result, const=0)
+            if this == 1:
+                return Operation(OpKind.MOV, result=result, operands=(other,))
+        return None
+    if kind in (OpKind.ADD, OpKind.OR, OpKind.XOR):
+        if b_const == 0:
+            return Operation(OpKind.MOV, result=result, operands=(operands[0],))
+        if a_const == 0:
+            return Operation(OpKind.MOV, result=result, operands=(operands[1],))
+        return None
+    if kind in (OpKind.SUB, OpKind.SHL, OpKind.SHR):
+        if b_const == 0:
+            return Operation(OpKind.MOV, result=result, operands=(operands[0],))
+        return None
+    if kind is OpKind.AND:
+        if a_const == 0 or b_const == 0:
+            return Operation(OpKind.CONST, result=result, const=0)
+        return None
+    return None
+
+
+def _dead_code_elimination(cdfg: CDFG) -> bool:
+    """Remove pure operations whose results are never used anywhere in the
+    function.  Iterates to a fixpoint; returns True when anything changed."""
+    changed_any = False
+    while True:
+        used: Set[str] = set()
+        for op in cdfg.all_ops():
+            for value in op.uses:
+                used.add(value.name)
+        removed = False
+        for block in cdfg.blocks.values():
+            kept: List[Operation] = []
+            for op in block.ops:
+                if (op.kind in _REMOVABLE and op.result is not None
+                        and op.result.name not in used):
+                    removed = True
+                    continue
+                kept.append(op)
+            block.ops = kept
+        if not removed:
+            return changed_any
+        changed_any = True
+
+
+def _licm(cdfg: CDFG) -> bool:
+    """Loop-invariant code motion.
+
+    Hoists pure operations (and loads from arrays the loop never stores
+    to) whose operands are loop-invariant into the loop's preheader.
+    Safety rules, conservative on purpose:
+
+    * the loop header must have exactly one out-of-loop predecessor (the
+      preheader) whose terminator is not a branch;
+    * the candidate's result name must be defined exactly once in the
+      whole function (SSA-like — true for lowering temps), so speculative
+      execution when the loop runs zero times cannot clobber anything;
+    * DIV/MOD never move (hoisting could introduce a fault);
+    * a LOAD moves only when no STORE to its symbol (or CALL) exists
+      anywhere inside the loop *and* its index is a compile-time constant
+      provably in bounds (a zero-trip loop must not acquire a fault it
+      never had).
+    """
+    changed = False
+    def_counts: Dict[str, int] = {}
+    const_values: Dict[str, int] = {}
+    for op in cdfg.all_ops():
+        if op.result is not None:
+            name = op.result.name
+            def_counts[name] = def_counts.get(name, 0) + 1
+            if op.kind is OpKind.CONST:
+                const_values[name] = op.const
+
+    def load_provably_safe(op: Operation) -> bool:
+        index = op.operands[0].name
+        if def_counts.get(index, 0) != 1 or index not in const_values:
+            return False
+        size = cdfg.arrays.get(op.symbol, 0)
+        return 0 <= const_values[index] < size
+
+    for header, body in cdfg.natural_loops():
+        outside_preds = [p for p in cdfg.predecessors(header)
+                         if p not in body]
+        if len(outside_preds) != 1:
+            continue
+        preheader = cdfg.blocks[outside_preds[0]]
+        terminator = preheader.terminator
+        if terminator is not None and terminator.kind is not OpKind.JUMP:
+            continue  # conditional entry: hoisting would speculate across it
+
+        loop_ops = [op for name in body for op in cdfg.blocks[name].ops]
+        stored_symbols = {op.symbol for op in loop_ops
+                          if op.kind is OpKind.STORE}
+        has_call = any(op.kind is OpKind.CALL for op in loop_ops)
+        defined_in_loop = {op.result.name for op in loop_ops
+                           if op.result is not None}
+
+        # In-loop CONST definitions count as invariant *operands* (their
+        # values are known anywhere), but a CONST itself is only hoisted on
+        # demand — rematerializing a 1-cycle constant inside the loop is
+        # cheaper than keeping it live across the loop in a register.
+        loop_consts: Dict[str, Operation] = {
+            op.result.name: op for op in loop_ops
+            if op.kind is OpKind.CONST and op.result is not None
+            and def_counts.get(op.result.name, 0) == 1
+        }
+
+        def hoist(op: Operation, block) -> None:
+            block.ops.remove(op)
+            insert_at = (len(preheader.ops) - 1
+                         if preheader.terminator is not None
+                         else len(preheader.ops))
+            preheader.ops.insert(insert_at, op)
+            defined_in_loop.discard(op.result.name)
+
+        block_of: Dict[int, object] = {}
+        for block_name in body:
+            for op in cdfg.blocks[block_name].ops:
+                block_of[op.op_id] = cdfg.blocks[block_name]
+
+        moved = True
+        while moved:
+            moved = False
+            for block_name in sorted(body):
+                block = cdfg.blocks[block_name]
+                for op in list(block.body):
+                    if op.result is None or op.kind is OpKind.CONST:
+                        continue
+                    if def_counts.get(op.result.name, 0) != 1:
+                        continue
+                    kind = op.kind
+                    hoistable = (
+                        kind in _FOLDABLE - {OpKind.DIV, OpKind.MOD}
+                        or (kind is OpKind.LOAD and not has_call
+                            and op.symbol not in stored_symbols
+                            and load_provably_safe(op)))
+                    if not hoistable:
+                        continue
+                    if any(v.name in defined_in_loop
+                           and v.name not in loop_consts
+                           for v in op.uses):
+                        continue
+                    # Pull in any in-loop CONST operands first (on demand).
+                    for value in op.uses:
+                        if value.name in defined_in_loop \
+                                and value.name in loop_consts:
+                            const_op = loop_consts[value.name]
+                            hoist(const_op, block_of[const_op.op_id])
+                    hoist(op, block)
+                    moved = True
+                    changed = True
+    return changed
+
+
+def optimize_cdfg(cdfg: CDFG, max_passes: int = 8) -> bool:
+    """Optimize one function's CDFG in place; returns True if changed."""
+    changed_any = False
+    for _ in range(max_passes):
+        changed = False
+        for block in cdfg.blocks.values():
+            new_ops, block_changed = _propagate_and_fold_block(block.ops)
+            if block_changed:
+                block.ops = new_ops
+                changed = True
+        if _licm(cdfg):
+            changed = True
+        if _dead_code_elimination(cdfg):
+            changed = True
+        if not changed:
+            break
+        changed_any = True
+    cdfg.verify()
+    return changed_any
+
+
+def optimize_program(program) -> "object":
+    """Optimize every function of a compiled
+    :class:`~repro.lang.program.Program`, in place, and return it."""
+    for cdfg in program.cdfgs.values():
+        optimize_cdfg(cdfg)
+    return program

@@ -1,0 +1,71 @@
+"""Human-readable CDFG dumps.
+
+Renders a function's blocks in reverse postorder with one operation per
+line, successor edges, and (optionally) profiled execution counts — the
+view the partitioning papers draw as node-and-arc figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.ir.cdfg import CDFG
+from repro.ir.ops import Operation, OpKind
+
+
+def _format_operation(op: Operation) -> str:
+    parts = []
+    if op.result is not None:
+        parts.append(f"%{op.result.name} =")
+    parts.append(op.kind.value)
+    if op.symbol is not None:
+        parts.append(f"@{op.symbol}")
+    parts.extend(f"%{v.name}" for v in op.operands)
+    if op.const is not None:
+        parts.append(f"#{op.const}")
+    if op.array_args:
+        parts.append("[" + ", ".join(op.array_args) + "]")
+    return " ".join(parts)
+
+
+def format_cdfg(cdfg: CDFG,
+                ex_times: Optional[Mapping[str, int]] = None) -> str:
+    """Render one function's CDFG as text.
+
+    Args:
+        cdfg: the function graph.
+        ex_times: optional profiled per-block execution counts, printed
+            next to each block header.
+    """
+    lines = [f"func {cdfg.name}({', '.join(cdfg.params)})"]
+    if cdfg.arrays:
+        arrays = ", ".join(f"{s}[{n}]" for s, n in sorted(cdfg.arrays.items()))
+        lines.append(f"  arrays: {arrays}")
+    for name in cdfg.reverse_postorder():
+        block = cdfg.blocks[name]
+        suffix = ""
+        if ex_times is not None:
+            suffix = f"    ; x{ex_times.get(name, 0)}"
+        lines.append(f"{name}:{suffix}")
+        for op in block.ops:
+            lines.append(f"    {_format_operation(op)}")
+        term = block.terminator
+        if term is not None and term.kind is OpKind.BRANCH:
+            taken, fall = cdfg.branch_targets(name)
+            lines.append(f"    -> true: {taken}, false: {fall}")
+        else:
+            successors = cdfg.successors(name)
+            if successors:
+                lines.append(f"    -> {', '.join(successors)}")
+    return "\n".join(lines)
+
+
+def format_program(program, ex_times_by_function: Optional[Dict] = None) -> str:
+    """Render every function of a compiled program."""
+    chunks = []
+    for name in sorted(program.cdfgs):
+        ex = None
+        if ex_times_by_function is not None:
+            ex = ex_times_by_function.get(name)
+        chunks.append(format_cdfg(program.cdfgs[name], ex))
+    return "\n\n".join(chunks)

@@ -1,0 +1,39 @@
+"""SL32 — the SPARCLite-class microprocessor core substrate.
+
+The paper's software side runs on an LSI SPARCLite core, evaluated with an
+in-house instruction-set energy simulator.  SL32 is our equivalent: a
+32-register RISC ISA, a code generator + linear-scan register allocator from
+the CDFG, a cycle-counting instruction-set simulator that streams fetch and
+data references into the cache models, and a Tiwari-style instruction-level
+energy model (base cost per instruction + inter-instruction circuit-state
+overhead + stall energy).
+
+Crucially for the paper's method, every instruction is annotated with the
+set of datapath resources it *actively uses* — the ISS accumulates per-
+resource active cycles, which yields the μP core's utilization rate
+``U_μP^core`` (Eq. 1/4) that candidate ASIC clusters must beat.
+"""
+
+from repro.isa.instructions import Opcode, Instruction, INSTRUCTION_INFO
+from repro.isa.image import ProgramImage, link_program, LinkError
+from repro.isa.codegen import CodeGenerator, CodegenError
+from repro.isa.regalloc import LinearScanAllocator, Allocation
+from repro.isa.simulator import Simulator, SimResult, SimError
+from repro.isa.energy import InstructionEnergyModel
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "INSTRUCTION_INFO",
+    "ProgramImage",
+    "link_program",
+    "LinkError",
+    "CodeGenerator",
+    "CodegenError",
+    "LinearScanAllocator",
+    "Allocation",
+    "Simulator",
+    "SimResult",
+    "SimError",
+    "InstructionEnergyModel",
+]

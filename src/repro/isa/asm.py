@@ -1,0 +1,171 @@
+"""A small SL32 assembler.
+
+Accepts a readable text syntax (labels, register aliases, comments),
+resolves branch targets, and produces either a raw instruction list or a
+runnable :class:`~repro.isa.image.ProgramImage`.  Used by tests and by
+anyone wanting to poke at the simulator without going through BDL.
+
+Syntax::
+
+    # comment
+    start:
+        li   r2, 10
+        li   r3, 0
+    loop:
+        add  r3, r3, r2
+        addi r2, r2, -1
+        bnz  r2, loop
+        mov  r1, r3
+        halt
+
+Register aliases: ``zero`` (r0), ``sp`` (r29), ``ra`` (r31).
+Memory operands: ``lw rD, [rS+imm]`` / ``sw rV, [rS+imm]`` (imm optional,
+may be negative).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.isa.image import ProgramImage
+from repro.isa.instructions import Instruction, Opcode
+
+_ALIASES = {"zero": 0, "sp": 29, "ra": 31}
+
+_MEM_RE = re.compile(r"^\[\s*(\w+)\s*(?:([+-])\s*([+-]?\w+))?\s*\]$")
+
+
+class AsmError(Exception):
+    """Raised on malformed assembly."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"{message} (line {line})")
+        self.line = line
+
+
+def _parse_register(token: str, line: int) -> int:
+    token = token.strip().lower()
+    if token in _ALIASES:
+        return _ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index < 32:
+            return index
+    raise AsmError(f"bad register {token!r}", line)
+
+
+def _parse_imm(token: str, line: int) -> int:
+    try:
+        return int(token.replace(" ", ""), 0)
+    except ValueError:
+        raise AsmError(f"bad immediate {token!r}", line) from None
+
+
+def _parse_mem(token: str, line: int) -> Tuple[int, int]:
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise AsmError(f"bad memory operand {token!r}", line)
+    base = _parse_register(match.group(1), line)
+    offset = 0
+    if match.group(3) is not None:
+        offset = _parse_imm(match.group(3), line)
+        if match.group(2) == "-":
+            offset = -offset
+    return base, offset
+
+
+#: opcode -> operand shape.
+_SHAPES: Dict[str, str] = {
+    # rd, rs1, rs2
+    **{op: "rrr" for op in ("add", "sub", "and", "or", "xor", "sll", "srl",
+                            "mul", "div", "rem", "seq", "sne", "slt", "sle",
+                            "sgt", "sge")},
+    "mov": "rr", "not": "rr", "neg": "rr",
+    "li": "ri", "addi": "rri", "slli": "rri",
+    "lw": "rm", "sw": "vm",
+    "bez": "rl", "bnz": "rl",
+    "jmp": "l", "call": "l",
+    "ret": "", "nop": "", "halt": "",
+}
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble SL32 text into an instruction list (targets resolved)."""
+    labels: Dict[str, int] = {}
+    parsed: List[Tuple[int, str, List[str]]] = []  # (line, mnemonic, args)
+
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("#", 1)[0].strip()
+        while text:
+            label_match = re.match(r"^(\w+)\s*:\s*", text)
+            if label_match:
+                label = label_match.group(1)
+                if label in labels:
+                    raise AsmError(f"duplicate label {label!r}", line_number)
+                labels[label] = len(parsed)
+                text = text[label_match.end():]
+                continue
+            break
+        if not text:
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        args = [a.strip() for a in parts[1].split(",")] if len(parts) > 1 else []
+        if mnemonic not in _SHAPES:
+            raise AsmError(f"unknown mnemonic {mnemonic!r}", line_number)
+        parsed.append((line_number, mnemonic, args))
+
+    # Field sequences per shape: which Instruction field receives each
+    # positional operand.
+    fields_of_shape = {
+        "rrr": ("rd", "rs1", "rs2"),
+        "rr": ("rd", "rs1"),
+        "ri": ("rd", "imm"),
+        "rri": ("rd", "rs1", "imm"),
+        "rm": ("rd", "mem"),
+        "vm": ("rs2", "mem"),
+        "rl": ("rs1", "label"),
+        "l": ("label",),
+        "": (),
+    }
+
+    instructions: List[Instruction] = []
+    for line_number, mnemonic, args in parsed:
+        shape = _SHAPES[mnemonic]
+        fields = fields_of_shape[shape]
+        opcode = Opcode(mnemonic)
+        if len(args) != len(fields):
+            raise AsmError(
+                f"{mnemonic} expects {len(fields)} operands, got {len(args)}",
+                line_number)
+        instr = Instruction(opcode)
+        for arg, field in zip(args, fields):
+            if field in ("rd", "rs1", "rs2"):
+                setattr(instr, field, _parse_register(arg, line_number))
+            elif field == "imm":
+                instr.imm = _parse_imm(arg, line_number)
+            elif field == "mem":
+                instr.rs1, instr.imm = _parse_mem(arg, line_number)
+            else:  # label
+                if arg not in labels:
+                    raise AsmError(f"unknown label {arg!r}", line_number)
+                instr.target = labels[arg]
+        instructions.append(instr)
+    return instructions
+
+
+def assemble_image(source: str, name: str = "asm") -> ProgramImage:
+    """Assemble text into a runnable single-function program image."""
+    instructions = assemble(source)
+    if not instructions:
+        raise AsmError("empty program", 0)
+    return ProgramImage(
+        name=name,
+        instructions=instructions,
+        entry_pc=0,
+        function_ranges={name: (0, len(instructions))},
+        symbol_addresses={},
+        attribution=[(name, "body")] * len(instructions),
+        frame_sizes={},
+    )

@@ -1,0 +1,363 @@
+"""CDFG -> SL32 code generation.
+
+Per function: emit virtual-register code block by block (reverse postorder
+layout), run linear-scan allocation, then wrap with prologue/epilogue and
+patch symbolic frame offsets.
+
+Calling convention (stack-passed, callee-saved):
+
+* argument ``i`` is stored by the caller at ``[sp - 4*(i+1)]`` (just below
+  its own frame); after the callee's ``addi sp, sp, -F`` that is
+  ``[sp + F - 4*(i+1)]``.  Array arguments pass their base address.
+* the return value travels in ``r1``.
+* the callee saves ``ra`` and every allocatable register it writes.
+
+Frame layout, offsets measured from the frame *top* (old sp):
+
+====================  =========================
+incoming args         ``4*(i+1)``
+saved ra              ``4*(nargs+1)``
+saved registers j     ``4*(nargs+2+j)``
+spill slot s          ``4*(nargs+nsaved+2+s)``
+local arrays          at the bottom, addressed as ``sp + fixed``
+====================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.cdfg import CDFG
+from repro.ir.ops import Operation, OpKind, Value
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    RA_REG,
+    RETVAL_REG,
+    SP_REG,
+    WORD_BYTES,
+)
+from repro.isa.regalloc import (
+    Allocation,
+    Item,
+    Label,
+    LinearScanAllocator,
+    VREG_BASE,
+)
+from repro.lang.program import Program
+
+
+class CodegenError(Exception):
+    """Raised when a CDFG cannot be compiled to SL32."""
+
+
+_ALU_OPCODES = {
+    OpKind.ADD: Opcode.ADD, OpKind.SUB: Opcode.SUB, OpKind.MUL: Opcode.MUL,
+    OpKind.DIV: Opcode.DIV, OpKind.MOD: Opcode.REM, OpKind.AND: Opcode.AND,
+    OpKind.OR: Opcode.OR, OpKind.XOR: Opcode.XOR, OpKind.SHL: Opcode.SLL,
+    OpKind.SHR: Opcode.SRL, OpKind.EQ: Opcode.SEQ, OpKind.NE: Opcode.SNE,
+    OpKind.LT: Opcode.SLT, OpKind.LE: Opcode.SLE, OpKind.GT: Opcode.SGT,
+    OpKind.GE: Opcode.SGE,
+}
+
+
+@dataclass
+class FunctionCode:
+    """Assembled code of one function (branch targets function-local)."""
+
+    name: str
+    instructions: List[Instruction]
+    frame_size: int
+    label_index: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.instructions)
+
+
+class _FuncCodegen:
+    """Compiles one CDFG to SL32."""
+
+    def __init__(self, cdfg: CDFG, program: Program,
+                 global_layout: Dict[str, int]) -> None:
+        self.cdfg = cdfg
+        self.program = program
+        self.global_layout = global_layout
+        self.items: List[Item] = []
+        self._vreg_of: Dict[str, int] = {}
+        self._next_vreg = VREG_BASE
+        self._frame_refs: Dict[int, int] = {}  # id(instr) -> offset_from_top
+        self._signature = program.signatures[cdfg.name]
+        # Local arrays at the frame bottom.
+        self._local_array_offset: Dict[str, int] = {}
+        offset = 0
+        global_arrays = program.global_arrays
+        param_arrays = {
+            name for name, is_array in zip(self._signature.param_names,
+                                           self._signature.param_is_array)
+            if is_array
+        }
+        for symbol, size in cdfg.arrays.items():
+            if symbol in global_arrays or symbol in param_arrays:
+                continue
+            self._local_array_offset[symbol] = offset
+            offset += size * WORD_BYTES
+        self._arrays_bytes = offset
+
+    # ------------------------------------------------------------------
+    # Virtual registers
+    # ------------------------------------------------------------------
+
+    def _vreg(self, value: Value) -> int:
+        reg = self._vreg_of.get(value.name)
+        if reg is None:
+            reg = self._next_vreg
+            self._next_vreg += 1
+            self._vreg_of[value.name] = reg
+        return reg
+
+    def _temp(self) -> int:
+        reg = self._next_vreg
+        self._next_vreg += 1
+        return reg
+
+    def _emit(self, instr: Instruction) -> Instruction:
+        self.items.append(instr)
+        return instr
+
+    # ------------------------------------------------------------------
+    # Main entry
+    # ------------------------------------------------------------------
+
+    def generate(self) -> FunctionCode:
+        self._emit_param_loads()
+        layout = self.cdfg.reverse_postorder()
+        next_of = {layout[i]: layout[i + 1] if i + 1 < len(layout) else None
+                   for i in range(len(layout))}
+        for block_name in layout:
+            self.items.append(Label(block_name))
+            block = self.cdfg.blocks[block_name]
+            for op in block.ops:
+                self._emit_op(op, block_name, next_of[block_name])
+            if block.terminator is None:
+                successors = self.cdfg.successors(block_name)
+                target = successors[0] if successors else "__epilogue"
+                if target != next_of[block_name]:
+                    self._emit(Instruction(Opcode.JMP, target=target))
+
+        allocation = LinearScanAllocator(self.items).allocate()
+        return self._finalize(allocation)
+
+    def _emit_param_loads(self) -> None:
+        """Prologue part 2: pull incoming stack args into vregs."""
+        for index, name in enumerate(self._signature.param_names):
+            load = Instruction(Opcode.LW, rd=self._vreg(Value(name)),
+                               rs1=SP_REG, comment=f"param {name}")
+            self._emit(load)
+            self._frame_refs[id(load)] = WORD_BYTES * (index + 1)
+
+    # ------------------------------------------------------------------
+    # Operation lowering
+    # ------------------------------------------------------------------
+
+    def _emit_op(self, op: Operation, block_name: str,
+                 next_block: Optional[str]) -> None:
+        kind = op.kind
+        if kind in _ALU_OPCODES:
+            self._emit(Instruction(_ALU_OPCODES[kind], rd=self._vreg(op.result),
+                                   rs1=self._vreg(op.operands[0]),
+                                   rs2=self._vreg(op.operands[1])))
+        elif kind is OpKind.NEG:
+            self._emit(Instruction(Opcode.NEG, rd=self._vreg(op.result),
+                                   rs1=self._vreg(op.operands[0])))
+        elif kind is OpKind.NOT:
+            self._emit(Instruction(Opcode.NOT, rd=self._vreg(op.result),
+                                   rs1=self._vreg(op.operands[0])))
+        elif kind is OpKind.CONST:
+            self._emit(Instruction(Opcode.LI, rd=self._vreg(op.result),
+                                   imm=op.const))
+        elif kind is OpKind.MOV:
+            self._emit(Instruction(Opcode.MOV, rd=self._vreg(op.result),
+                                   rs1=self._vreg(op.operands[0])))
+        elif kind is OpKind.LOAD:
+            address = self._element_address(op.symbol, op.operands[0])
+            self._emit(Instruction(Opcode.LW, rd=self._vreg(op.result),
+                                   rs1=address, comment=f"load {op.symbol}"))
+        elif kind is OpKind.STORE:
+            address = self._element_address(op.symbol, op.operands[0])
+            self._emit(Instruction(Opcode.SW, rs1=address,
+                                   rs2=self._vreg(op.operands[1]),
+                                   comment=f"store {op.symbol}"))
+        elif kind is OpKind.BRANCH:
+            taken, not_taken = self.cdfg.branch_targets(block_name)
+            self._emit(Instruction(Opcode.BNZ, rs1=self._vreg(op.operands[0]),
+                                   target=taken))
+            if not_taken != next_block:
+                self._emit(Instruction(Opcode.JMP, target=not_taken))
+        elif kind is OpKind.JUMP:
+            target = self.cdfg.successors(block_name)[0]
+            if target != next_block:
+                self._emit(Instruction(Opcode.JMP, target=target))
+        elif kind is OpKind.RETURN:
+            if op.operands:
+                self._emit(Instruction(Opcode.MOV, rd=RETVAL_REG,
+                                       rs1=self._vreg(op.operands[0])))
+            self._emit(Instruction(Opcode.JMP, target="__epilogue"))
+        elif kind is OpKind.CALL:
+            self._emit_call(op)
+        elif kind is OpKind.NOP:
+            self._emit(Instruction(Opcode.NOP))
+        else:  # pragma: no cover - exhaustive over OpKind
+            raise CodegenError(f"cannot compile {kind}")
+
+    def _element_address(self, symbol: str, index: Value) -> int:
+        """Emit address computation for ``symbol[index]``; return vreg."""
+        base = self._array_base(symbol)
+        scaled = self._temp()
+        self._emit(Instruction(Opcode.SLLI, rd=scaled, rs1=self._vreg(index),
+                               imm=2))
+        address = self._temp()
+        self._emit(Instruction(Opcode.ADD, rd=address, rs1=base, rs2=scaled))
+        return address
+
+    def _array_base(self, symbol: str) -> int:
+        """Emit (or reuse) the base address of ``symbol`` in a vreg."""
+        if symbol in self._local_array_offset:
+            base = self._temp()
+            self._emit(Instruction(Opcode.ADDI, rd=base, rs1=SP_REG,
+                                   imm=self._local_array_offset[symbol],
+                                   comment=f"&{symbol} (local)"))
+            return base
+        if symbol in self.global_layout:
+            base = self._temp()
+            self._emit(Instruction(Opcode.LI, rd=base,
+                                   imm=self.global_layout[symbol],
+                                   comment=f"&{symbol} (global)"))
+            return base
+        # Array parameter: base address arrived as an argument value.
+        if symbol in self._vreg_of:
+            return self._vreg_of[symbol]
+        raise CodegenError(
+            f"unknown array symbol {symbol!r} in {self.cdfg.name}")
+
+    def _emit_call(self, op: Operation) -> None:
+        signature = self.program.signatures[op.symbol]
+        scalar_iter = iter(op.operands)
+        array_iter = iter(op.array_args)
+        for index, is_array in enumerate(signature.param_is_array):
+            if is_array:
+                symbol = next(array_iter)
+                base = self._array_base(symbol)
+                self._emit(Instruction(Opcode.SW, rs1=SP_REG, rs2=base,
+                                       imm=-WORD_BYTES * (index + 1),
+                                       comment=f"arg{index} <- &{symbol}"))
+            else:
+                value = next(scalar_iter)
+                self._emit(Instruction(Opcode.SW, rs1=SP_REG,
+                                       rs2=self._vreg(value),
+                                       imm=-WORD_BYTES * (index + 1),
+                                       comment=f"arg{index}"))
+        self._emit(Instruction(Opcode.CALL, target=op.symbol))
+        if op.result is not None:
+            self._emit(Instruction(Opcode.MOV, rd=self._vreg(op.result),
+                                   rs1=RETVAL_REG))
+
+    # ------------------------------------------------------------------
+    # Finalize: prologue/epilogue, frame patching, label resolution
+    # ------------------------------------------------------------------
+
+    def _finalize(self, allocation: Allocation) -> FunctionCode:
+        nargs = len(self._signature.param_names)
+        # Callee-save only allocatable registers: r1 carries the return
+        # value across the epilogue, and spill scratch (r24-r26) is never
+        # live across a call.
+        saved = sorted(reg for reg in allocation.used_phys if 2 <= reg <= 23)
+        nsaved = len(saved)
+        nspills = allocation.spill_slots
+        top_words = nargs + 1 + nsaved + nspills
+        frame_size = top_words * WORD_BYTES + self._arrays_bytes
+
+        def from_top(offset_from_top: int) -> int:
+            return frame_size - offset_from_top
+
+        ra_off = WORD_BYTES * (nargs + 1)
+        saved_off = {reg: WORD_BYTES * (nargs + 2 + j)
+                     for j, reg in enumerate(saved)}
+
+        prologue: List[Item] = [Label("__function_entry")]
+        prologue.append(Instruction(Opcode.ADDI, rd=SP_REG, rs1=SP_REG,
+                                    imm=-frame_size, comment="frame"))
+        prologue.append(Instruction(Opcode.SW, rs1=SP_REG, rs2=RA_REG,
+                                    imm=from_top(ra_off), comment="save ra"))
+        for reg in saved:
+            prologue.append(Instruction(Opcode.SW, rs1=SP_REG, rs2=reg,
+                                        imm=from_top(saved_off[reg]),
+                                        comment=f"save r{reg}"))
+
+        epilogue: List[Item] = [Label("__epilogue")]
+        for reg in saved:
+            epilogue.append(Instruction(Opcode.LW, rd=reg, rs1=SP_REG,
+                                        imm=from_top(saved_off[reg]),
+                                        comment=f"restore r{reg}"))
+        epilogue.append(Instruction(Opcode.LW, rd=RA_REG, rs1=SP_REG,
+                                    imm=from_top(ra_off), comment="restore ra"))
+        epilogue.append(Instruction(Opcode.ADDI, rd=SP_REG, rs1=SP_REG,
+                                    imm=frame_size, comment="pop frame"))
+        epilogue.append(Instruction(Opcode.RET))
+
+        # Patch symbolic frame references.
+        spill_base_words = nargs + 2 + nsaved  # first spill slot, in words
+        for item in allocation.items:
+            if isinstance(item, Label):
+                continue
+            ref = allocation.frame_refs.get(id(item))
+            if ref is not None:
+                offset_from_top = WORD_BYTES * (spill_base_words + ref.offset_from_top)
+                item.imm = from_top(offset_from_top)
+            else:
+                codegen_off = self._frame_refs.get(id(item))
+                if codegen_off is not None:
+                    item.imm = from_top(codegen_off)
+
+        all_items = prologue + allocation.items + epilogue
+        return _assemble(self.cdfg.name, all_items, frame_size)
+
+
+def _assemble(name: str, items: List[Item], frame_size: int) -> FunctionCode:
+    """Resolve labels to function-local indices."""
+    label_index: Dict[str, int] = {}
+    index = 0
+    for item in items:
+        if isinstance(item, Label):
+            # Multiple labels may map to the same position.
+            label_index[item.name] = index
+        else:
+            index += 1
+    instructions: List[Instruction] = []
+    for item in items:
+        if isinstance(item, Label):
+            continue
+        if item.opcode in (Opcode.BEZ, Opcode.BNZ, Opcode.JMP):
+            if not isinstance(item.target, str):
+                raise CodegenError(f"unresolved branch target in {name}")
+            if item.target not in label_index:
+                raise CodegenError(f"unknown label {item.target!r} in {name}")
+            item.target = label_index[item.target]
+        instructions.append(item)
+    return FunctionCode(name=name, instructions=instructions,
+                        frame_size=frame_size, label_index=label_index)
+
+
+class CodeGenerator:
+    """Compiles every function of a program against a global data layout."""
+
+    def __init__(self, program: Program, global_layout: Dict[str, int]) -> None:
+        self.program = program
+        self.global_layout = global_layout
+
+    def generate(self) -> Dict[str, FunctionCode]:
+        return {
+            name: _FuncCodegen(cdfg, self.program, self.global_layout).generate()
+            for name, cdfg in self.program.cdfgs.items()
+        }

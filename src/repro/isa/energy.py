@@ -1,0 +1,80 @@
+"""Tiwari-style instruction-level energy model for the SL32 core.
+
+Following Tiwari/Malik/Wolfe (the paper's basis, ref. [12]), the energy of a
+program is::
+
+    E = sum_i Base(class_i) + sum_i Overhead(class_{i-1}, class_i)
+        + E_stall * stall_cycles
+
+* ``Base`` is the average energy of one instruction of a class (measured on
+  real hardware in [12]; synthetic here, anchored so the whole-core average
+  matches ``TechnologyLibrary.up_cycle_energy_nj`` ~ 14 nJ/cycle at
+  0.8 micron / 3.3 V / 20 MHz).
+* ``Overhead`` is the circuit-state change cost between consecutive
+  instructions of different classes (~10-20% of base in [12]).
+* Stall cycles (cache refills) burn a reduced, clock-tree-dominated energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.tech.library import TechnologyLibrary
+
+
+#: Relative base-cost weights per energy class, scaled by the library anchor.
+#: Multi-cycle classes cost more in total but less per cycle (the rest of
+#: the core idles while the multiplier/divider array churns).
+_BASE_WEIGHTS: Dict[str, float] = {
+    "alu": 1.00,
+    "shift": 0.95,
+    "mul": 2.60,   # 3 cycles
+    "div": 7.50,   # 12 cycles
+    "mem": 1.55,   # address gen + cache interface (2-cycle loads)
+    "ctrl": 1.15,
+    "nop": 0.55,
+}
+
+#: Circuit-state overhead weight between *different* consecutive classes.
+_OVERHEAD_WEIGHT = 0.15
+
+#: Energy per stall cycle relative to one average cycle.
+_STALL_WEIGHT = 0.45
+
+
+@dataclass
+class InstructionEnergyModel:
+    """Per-instruction energy lookup bound to a technology library."""
+
+    library: TechnologyLibrary
+
+    def __post_init__(self) -> None:
+        anchor = self.library.up_cycle_energy_nj
+        self._base_nj: Dict[str, float] = {
+            cls: weight * anchor for cls, weight in _BASE_WEIGHTS.items()
+        }
+        self._overhead_nj = _OVERHEAD_WEIGHT * anchor
+        self._stall_nj = _STALL_WEIGHT * anchor
+
+    def base_nj(self, energy_class: str) -> float:
+        """Base energy of one instruction of ``energy_class`` (nJ)."""
+        return self._base_nj[energy_class]
+
+    def overhead_nj(self, prev_class: str, energy_class: str) -> float:
+        """Inter-instruction circuit-state overhead (nJ)."""
+        if prev_class == energy_class:
+            return 0.0
+        return self._overhead_nj
+
+    @property
+    def stall_nj(self) -> float:
+        """Energy of one pipeline-stall cycle (nJ)."""
+        return self._stall_nj
+
+    def instruction_nj(self, prev_class: str, energy_class: str,
+                       stall_cycles: int = 0) -> float:
+        """Total energy of one dynamic instruction (nJ)."""
+        return (self.base_nj(energy_class)
+                + self.overhead_nj(prev_class, energy_class)
+                + stall_cycles * self._stall_nj)

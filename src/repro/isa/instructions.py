@@ -1,0 +1,197 @@
+"""SL32 instruction set definition.
+
+A small load/store RISC in the SPARCLite mould: 32 general registers
+(``r0`` hardwired to zero), MIPS-style set-on-compare instead of condition
+codes, and explicit multiply/divide units.  Each opcode carries:
+
+* base cycle count (without memory stalls),
+* the μP datapath resources it *actively uses* (drives ``U_μP^core``),
+* an energy *class* used by the inter-instruction overhead model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+
+class Opcode(enum.Enum):
+    # register-register ALU
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    NEG = "neg"
+    # immediates
+    LI = "li"       # rd <- imm32
+    ADDI = "addi"   # rd <- rs1 + imm
+    # shifts
+    SLL = "sll"
+    SRL = "srl"
+    SLLI = "slli"
+    # multiply / divide unit
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    # set-on-compare
+    SEQ = "seq"
+    SNE = "sne"
+    SLT = "slt"
+    SLE = "sle"
+    SGT = "sgt"
+    SGE = "sge"
+    # memory
+    LW = "lw"       # rd <- mem[rs1 + imm]
+    SW = "sw"       # mem[rs1 + imm] <- rs2
+    # control
+    BEZ = "bez"     # branch to target if rs1 == 0
+    BNZ = "bnz"     # branch to target if rs1 != 0
+    JMP = "jmp"
+    CALL = "call"
+    RET = "ret"
+    MOV = "mov"     # rd <- rs1
+    NOP = "nop"
+    HALT = "halt"   # stops the simulator (entry return)
+
+
+class UPResource(enum.Enum):
+    """Datapath resources of the SL32 core (for Eq. 1/4 on the μP side)."""
+
+    IFU = "ifu"            # fetch + decode + sequencing
+    REGFILE = "regfile"
+    ALU = "alu"
+    SHIFTER = "shifter"
+    MULTIPLIER = "multiplier"
+    DIVIDER = "divider"
+    LSU = "lsu"            # load/store unit (address + memory interface)
+    BRU = "bru"            # branch unit
+
+
+@dataclass(frozen=True)
+class InstructionInfo:
+    """Static properties of one opcode."""
+
+    cycles: int
+    resources: FrozenSet[UPResource]
+    energy_class: str  # 'alu', 'shift', 'mul', 'div', 'mem', 'ctrl', 'nop'
+
+
+_IF = UPResource.IFU
+_RF = UPResource.REGFILE
+_ALU = UPResource.ALU
+_SH = UPResource.SHIFTER
+_MUL = UPResource.MULTIPLIER
+_DIV = UPResource.DIVIDER
+_LSU = UPResource.LSU
+_BRU = UPResource.BRU
+
+
+def _info(cycles: int, resources: Tuple[UPResource, ...],
+          energy_class: str) -> InstructionInfo:
+    return InstructionInfo(cycles=cycles, resources=frozenset(resources),
+                           energy_class=energy_class)
+
+
+INSTRUCTION_INFO: Dict[Opcode, InstructionInfo] = {
+    Opcode.ADD: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.SUB: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.AND: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.OR: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.XOR: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.NOT: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.NEG: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.LI: _info(1, (_IF, _RF), "alu"),
+    Opcode.ADDI: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.MOV: _info(1, (_IF, _RF), "alu"),
+    Opcode.SLL: _info(1, (_IF, _RF, _SH), "shift"),
+    Opcode.SRL: _info(1, (_IF, _RF, _SH), "shift"),
+    Opcode.SLLI: _info(1, (_IF, _RF, _SH), "shift"),
+    Opcode.MUL: _info(3, (_IF, _RF, _MUL), "mul"),
+    Opcode.DIV: _info(12, (_IF, _RF, _DIV), "div"),
+    Opcode.REM: _info(12, (_IF, _RF, _DIV), "div"),
+    Opcode.SEQ: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.SNE: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.SLT: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.SLE: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.SGT: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.SGE: _info(1, (_IF, _RF, _ALU), "alu"),
+    Opcode.LW: _info(2, (_IF, _RF, _ALU, _LSU), "mem"),
+    Opcode.SW: _info(1, (_IF, _RF, _ALU, _LSU), "mem"),
+    Opcode.BEZ: _info(1, (_IF, _RF, _BRU), "ctrl"),   # +1 when taken
+    Opcode.BNZ: _info(1, (_IF, _RF, _BRU), "ctrl"),
+    Opcode.JMP: _info(2, (_IF, _BRU), "ctrl"),
+    Opcode.CALL: _info(2, (_IF, _RF, _BRU), "ctrl"),
+    Opcode.RET: _info(2, (_IF, _RF, _BRU), "ctrl"),
+    Opcode.NOP: _info(1, (_IF,), "nop"),
+    Opcode.HALT: _info(1, (_IF,), "nop"),
+}
+
+#: Extra cycles when a conditional branch is taken (pipeline refill).
+TAKEN_BRANCH_PENALTY = 1
+
+
+@dataclass
+class Instruction:
+    """One SL32 instruction.
+
+    ``target`` holds a label (function-local block label or callee name)
+    before linking and an absolute instruction index afterwards.
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: Optional[object] = None
+    comment: str = ""
+
+    @property
+    def info(self) -> InstructionInfo:
+        return INSTRUCTION_INFO[self.opcode]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fields = [self.opcode.value]
+        if self.opcode in (Opcode.LI,):
+            fields.append(f"r{self.rd}, {self.imm}")
+        elif self.opcode in (Opcode.LW,):
+            fields.append(f"r{self.rd}, [r{self.rs1}+{self.imm}]")
+        elif self.opcode in (Opcode.SW,):
+            fields.append(f"r{self.rs2}, [r{self.rs1}+{self.imm}]")
+        elif self.opcode in (Opcode.BEZ, Opcode.BNZ):
+            fields.append(f"r{self.rs1}, {self.target}")
+        elif self.opcode in (Opcode.JMP, Opcode.CALL):
+            fields.append(f"{self.target}")
+        elif self.opcode in (Opcode.ADDI, Opcode.SLLI):
+            fields.append(f"r{self.rd}, r{self.rs1}, {self.imm}")
+        elif self.opcode in (Opcode.MOV, Opcode.NOT, Opcode.NEG):
+            fields.append(f"r{self.rd}, r{self.rs1}")
+        elif self.opcode in (Opcode.RET, Opcode.NOP, Opcode.HALT):
+            pass
+        else:
+            fields.append(f"r{self.rd}, r{self.rs1}, r{self.rs2}")
+        text = " ".join(fields)
+        if self.comment:
+            text += f"  ; {self.comment}"
+        return f"<{text}>"
+
+
+# Register conventions ------------------------------------------------------
+
+ZERO_REG = 0
+#: First and last register available to the allocator (inclusive).
+ALLOC_FIRST, ALLOC_LAST = 1, 23
+#: Scratch registers reserved for spill reloads and address computation.
+SCRATCH0, SCRATCH1, SCRATCH2 = 24, 25, 26
+#: Argument / return-value registers (used at call boundaries only).
+ARG_REGS = (1, 2, 3, 4, 5, 6, 7, 8)
+RETVAL_REG = 1
+#: Stack pointer and return-address registers.
+SP_REG = 29
+RA_REG = 31
+
+NUM_REGS = 32
+WORD_BYTES = 4

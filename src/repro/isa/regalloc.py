@@ -1,0 +1,242 @@
+"""Linear-scan register allocation for SL32 virtual-register code.
+
+The code generator emits instructions whose register fields hold *virtual*
+register ids (>= :data:`VREG_BASE`); architectural ids below 32 (zero, sp,
+ra, return-value glue) pass through untouched.  This module computes live
+intervals over the linear instruction stream — extended across loop back
+edges so values live at a loop header survive the whole loop — allocates
+physical registers r2..r23, and rewrites spills through scratch registers
+r24..r26 with frame-relative loads/stores.
+
+Frame-relative accesses use ``rs1 = SP_REG`` and a symbolic *offset from the
+frame top*; the code generator patches them to real offsets once the final
+frame size (including the spill area this module creates) is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple, Union
+
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    SCRATCH0,
+    SCRATCH1,
+    SCRATCH2,
+    SP_REG,
+)
+
+#: Virtual register ids start here; below are architectural registers.
+VREG_BASE = 32
+
+#: Physical registers handed out by the allocator.  r1 is reserved as the
+#: call return-value register, r24-r26 as spill scratch, r29/r31 as sp/ra.
+ALLOCATABLE = tuple(range(2, 24))
+
+
+@dataclass
+class Label:
+    """Position marker in an instruction stream (branch target)."""
+
+    name: str
+
+
+Item = Union[Instruction, Label]
+
+
+@dataclass
+class FrameTopRef:
+    """Marks an instruction's ``imm`` as 'offset from frame top' to patch."""
+
+    offset_from_top: int
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation.
+
+    Attributes:
+        items: rewritten instruction stream (labels preserved).
+        spill_slots: number of spill words appended to the frame.
+        frame_refs: instruction -> FrameTopRef for spill slots created here.
+        used_phys: physical registers written anywhere in the stream
+            (callee-save candidates).
+        vreg_map: final vreg -> physical register for non-spilled vregs.
+    """
+
+    items: List[Item]
+    spill_slots: int
+    frame_refs: Dict[int, FrameTopRef] = field(default_factory=dict)
+    used_phys: Set[int] = field(default_factory=set)
+    vreg_map: Dict[int, int] = field(default_factory=dict)
+
+
+def _reg_fields(instr: Instruction) -> Tuple[List[str], List[str]]:
+    """(source fields, destination fields) holding register ids."""
+    op = instr.opcode
+    if op in (Opcode.LI,):
+        return [], ["rd"]
+    if op is Opcode.LW:
+        return ["rs1"], ["rd"]
+    if op is Opcode.SW:
+        return ["rs1", "rs2"], []
+    if op in (Opcode.BEZ, Opcode.BNZ):
+        return ["rs1"], []
+    if op in (Opcode.JMP, Opcode.CALL, Opcode.RET, Opcode.NOP, Opcode.HALT):
+        return [], []
+    if op in (Opcode.MOV, Opcode.NOT, Opcode.NEG, Opcode.ADDI, Opcode.SLLI):
+        return ["rs1"], ["rd"]
+    # three-register ALU / shift / mul / div / compare forms
+    return ["rs1", "rs2"], ["rd"]
+
+
+class LinearScanAllocator:
+    """Allocate physical registers for one function's instruction stream."""
+
+    def __init__(self, items: List[Item]) -> None:
+        self._items = items
+
+    # ------------------------------------------------------------------
+    # Live intervals
+    # ------------------------------------------------------------------
+
+    def _compute_intervals(self) -> Dict[int, Tuple[int, int]]:
+        """vreg -> (start, end) positions, extended over loop back edges."""
+        positions: Dict[int, Tuple[int, int]] = {}
+        label_pos: Dict[str, int] = {}
+        index = 0
+        for item in self._items:
+            if isinstance(item, Label):
+                label_pos[item.name] = index
+            else:
+                index += 1
+
+        back_edges: List[Tuple[int, int]] = []  # (branch position, head position)
+        index = 0
+        for item in self._items:
+            if isinstance(item, Label):
+                continue
+            sources, dests = _reg_fields(item)
+            for fld in sources + dests:
+                reg = getattr(item, fld)
+                if reg >= VREG_BASE:
+                    start, end = positions.get(reg, (index, index))
+                    positions[reg] = (min(start, index), max(end, index))
+            if item.opcode in (Opcode.BEZ, Opcode.BNZ, Opcode.JMP):
+                head = label_pos.get(item.target) if isinstance(item.target, str) else None
+                if head is not None and head <= index:
+                    back_edges.append((index, head))
+            index += 1
+
+        # Extend any interval alive at a loop head through the whole loop.
+        changed = True
+        while changed:
+            changed = False
+            for branch_pos, head_pos in back_edges:
+                for reg, (start, end) in positions.items():
+                    if start <= head_pos <= end and end < branch_pos:
+                        positions[reg] = (start, branch_pos)
+                        changed = True
+        return positions
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(self) -> Allocation:
+        intervals = self._compute_intervals()
+        order = sorted(intervals, key=lambda reg: intervals[reg][0])
+
+        free = list(ALLOCATABLE)
+        active: List[int] = []  # vregs, sorted by interval end
+        assignment: Dict[int, int] = {}
+        spilled: Dict[int, int] = {}  # vreg -> spill slot index
+
+        def expire(current_start: int) -> None:
+            while active and intervals[active[0]][1] < current_start:
+                freed = active.pop(0)
+                # Most-recently-freed first: re-using the same register
+                # keeps the function's callee-save set small.
+                free.insert(0, assignment[freed])
+
+        for reg in order:
+            start, end = intervals[reg]
+            expire(start)
+            if free:
+                phys = free.pop(0)
+                assignment[reg] = phys
+                active.append(reg)
+                active.sort(key=lambda r: intervals[r][1])
+            else:
+                victim = active[-1]
+                if intervals[victim][1] > end:
+                    # Steal the victim's register; spill the victim.
+                    assignment[reg] = assignment.pop(victim)
+                    spilled[victim] = len(spilled)
+                    active.pop()
+                    active.append(reg)
+                    active.sort(key=lambda r: intervals[r][1])
+                else:
+                    spilled[reg] = len(spilled)
+
+        return self._rewrite(assignment, spilled)
+
+    # ------------------------------------------------------------------
+    # Rewrite with spill code
+    # ------------------------------------------------------------------
+
+    def _rewrite(self, assignment: Dict[int, int],
+                 spilled: Dict[int, int]) -> Allocation:
+        result = Allocation(items=[], spill_slots=len(spilled),
+                            vreg_map=dict(assignment))
+        used_phys = result.used_phys
+
+        for item in self._items:
+            if isinstance(item, Label):
+                result.items.append(item)
+                continue
+            instr = item
+            sources, dests = _reg_fields(instr)
+            scratch_pool = [SCRATCH0, SCRATCH1, SCRATCH2]
+            post_stores: List[Tuple[Instruction, int]] = []
+
+            for fld in sources:
+                reg = getattr(instr, fld)
+                if reg < VREG_BASE:
+                    continue
+                if reg in assignment:
+                    setattr(instr, fld, assignment[reg])
+                    used_phys.add(assignment[reg])
+                else:
+                    scratch = scratch_pool.pop(0)
+                    load = Instruction(Opcode.LW, rd=scratch, rs1=SP_REG,
+                                       comment=f"reload spill v{reg}")
+                    result.items.append(load)
+                    result.frame_refs[id(load)] = FrameTopRef(spilled[reg])
+                    setattr(instr, fld, scratch)
+                    used_phys.add(scratch)
+
+            for fld in dests:
+                reg = getattr(instr, fld)
+                if reg < VREG_BASE:
+                    if reg != 0:
+                        used_phys.add(reg)
+                    continue
+                if reg in assignment:
+                    setattr(instr, fld, assignment[reg])
+                    used_phys.add(assignment[reg])
+                else:
+                    scratch = scratch_pool[0] if scratch_pool else SCRATCH2
+                    store = Instruction(Opcode.SW, rs2=scratch, rs1=SP_REG,
+                                        comment=f"spill v{reg}")
+                    post_stores.append((store, spilled[reg]))
+                    setattr(instr, fld, scratch)
+                    used_phys.add(scratch)
+
+            result.items.append(instr)
+            for store, slot in post_stores:
+                result.items.append(store)
+                result.frame_refs[id(store)] = FrameTopRef(slot)
+
+        return result

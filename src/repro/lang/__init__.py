@@ -1,0 +1,35 @@
+"""BDL — the behavioral description language frontend.
+
+The paper's input is "a behavioral description of an application" (section
+3.2), in practice C programs of 5-230 kB.  BDL is a small imperative language
+with the same shape: integer scalars, one-dimensional arrays, functions,
+loops and conditionals.  The pipeline is::
+
+    source text --lex/parse--> AST --check--> typed AST --lower--> CDFGs
+
+and a CDFG-level interpreter doubles as the profiler (paper footnote 14:
+"we obtain #ex_times through profiling").
+"""
+
+from repro.lang.lexer import Lexer, LexError
+from repro.lang.parser import Parser, ParseError, parse_program
+from repro.lang.semantics import check_program, SemanticError
+from repro.lang.lowering import lower_program
+from repro.lang.program import Program, compile_source
+from repro.lang.interp import Interpreter, ExecutionProfile, InterpError
+
+__all__ = [
+    "Lexer",
+    "LexError",
+    "Parser",
+    "ParseError",
+    "parse_program",
+    "check_program",
+    "SemanticError",
+    "lower_program",
+    "Program",
+    "compile_source",
+    "Interpreter",
+    "ExecutionProfile",
+    "InterpError",
+]

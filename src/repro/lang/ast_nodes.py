@@ -1,0 +1,172 @@
+"""Abstract syntax tree for BDL.
+
+Nodes are plain dataclasses; ``line`` is kept for diagnostics.  Types are
+minimal: every scalar is a 32-bit signed integer, arrays are 1-D integer
+arrays with a compile-time size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class NameRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Array element read: ``base[index]``."""
+    base: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # '-', '!', '~'
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""  # '+','-','*','/','%','<<','>>','&','|','^','<','<=','>','>=','==','!=','&&','||'
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    array_size: Optional[int] = None  # None => scalar
+    init: Optional[Expr] = None       # scalars only
+
+
+@dataclass
+class Assign(Stmt):
+    """Scalar assignment ``name = expr``."""
+    name: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class StoreStmt(Stmt):
+    """Array element write ``base[index] = expr``."""
+    base: str = ""
+    index: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ForRange(Stmt):
+    """``for var in lo .. hi { body }`` — half-open, step +1."""
+    var: str = ""
+    lo: Optional[Expr] = None
+    hi: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None  # None for void functions
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (a call)."""
+    expr: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    array_size: Optional[int] = None  # None => scalar int
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    returns_value: bool = True
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ConstDecl(Node):
+    name: str = ""
+    value: int = 0
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    array_size: Optional[int] = None  # None => scalar global
+
+
+@dataclass
+class Module(Node):
+    consts: List[ConstDecl] = field(default_factory=list)
+    globals_: List[GlobalDecl] = field(default_factory=list)
+    funcs: List[FuncDecl] = field(default_factory=list)

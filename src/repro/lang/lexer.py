@@ -1,0 +1,153 @@
+"""Hand-written lexer for BDL source text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+
+class LexError(Exception):
+    """Raised on malformed source text."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.line = line
+        self.col = col
+
+
+# Two-character operators, checked before single-character ones.
+_TWO_CHAR = {
+    "->": TokenKind.ARROW,
+    "..": TokenKind.DOTDOT,
+    "<<": TokenKind.SHL,
+    ">>": TokenKind.SHR,
+    "&&": TokenKind.ANDAND,
+    "||": TokenKind.OROR,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "&": TokenKind.AMP,
+    "|": TokenKind.PIPE,
+    "^": TokenKind.CARET,
+    "~": TokenKind.TILDE,
+    "!": TokenKind.BANG,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+}
+
+
+class Lexer:
+    """Tokenizes BDL source; ``#`` starts a comment to end of line."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos < len(self._source):
+                if self._source[self._pos] == "\n":
+                    self._line += 1
+                    self._col = 1
+                else:
+                    self._col += 1
+                self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch in (" ", "\t", "\r", "\n"):
+                self._advance()
+            elif ch == "#":
+                while self._peek() not in ("", "\n"):
+                    self._advance()
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        line, col = self._line, self._col
+        start = self._pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if not self._peek().isalnum():
+                raise LexError("malformed hex literal", line, col)
+            while self._peek().isalnum():
+                self._advance()
+            text = self._source[start:self._pos]
+            try:
+                value = int(text, 16)
+            except ValueError:
+                raise LexError(f"malformed hex literal {text!r}", line, col) from None
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek().isalpha() or self._peek() == "_":
+                raise LexError("identifier cannot start with a digit", line, col)
+            text = self._source[start:self._pos]
+            value = int(text, 10)
+        return Token(TokenKind.INT, text, line, col, value=value)
+
+    def _lex_ident(self) -> Token:
+        line, col = self._line, self._col
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[start:self._pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, line, col)
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        line, col = self._line, self._col
+        ch = self._peek()
+        if ch == "":
+            return Token(TokenKind.EOF, "", line, col)
+        if ch.isdigit():
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident()
+        two = ch + self._peek(1)
+        if two in _TWO_CHAR:
+            self._advance(2)
+            return Token(_TWO_CHAR[two], two, line, col)
+        if ch in _ONE_CHAR:
+            self._advance()
+            return Token(_ONE_CHAR[ch], ch, line, col)
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    def tokenize(self) -> List[Token]:
+        """Lex the whole input, including the trailing EOF token."""
+        tokens: List[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens

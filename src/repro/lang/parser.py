@@ -1,0 +1,393 @@
+"""Recursive-descent parser for BDL.
+
+Top-level ``const`` declarations are folded at parse time so that array
+sizes (``int[N]``) may reference them; everything else is resolved by
+:mod:`repro.lang.semantics`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import Lexer
+from repro.lang.tokens import Token, TokenKind
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid source."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} at line {token.line}, column {token.col} "
+                         f"(near {token.text!r})")
+        self.token = token
+
+
+# Binary operator precedence, higher binds tighter.
+_PRECEDENCE = {
+    TokenKind.OROR: 1,
+    TokenKind.ANDAND: 2,
+    TokenKind.PIPE: 3,
+    TokenKind.CARET: 4,
+    TokenKind.AMP: 5,
+    TokenKind.EQ: 6,
+    TokenKind.NE: 6,
+    TokenKind.LT: 7,
+    TokenKind.LE: 7,
+    TokenKind.GT: 7,
+    TokenKind.GE: 7,
+    TokenKind.SHL: 8,
+    TokenKind.SHR: 8,
+    TokenKind.PLUS: 9,
+    TokenKind.MINUS: 9,
+    TokenKind.STAR: 10,
+    TokenKind.SLASH: 10,
+    TokenKind.PERCENT: 10,
+}
+
+_OP_TEXT = {
+    TokenKind.OROR: "||", TokenKind.ANDAND: "&&", TokenKind.PIPE: "|",
+    TokenKind.CARET: "^", TokenKind.AMP: "&", TokenKind.EQ: "==",
+    TokenKind.NE: "!=", TokenKind.LT: "<", TokenKind.LE: "<=",
+    TokenKind.GT: ">", TokenKind.GE: ">=", TokenKind.SHL: "<<",
+    TokenKind.SHR: ">>", TokenKind.PLUS: "+", TokenKind.MINUS: "-",
+    TokenKind.STAR: "*", TokenKind.SLASH: "/", TokenKind.PERCENT: "%",
+}
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self._tokens = Lexer(source).tokenize()
+        self._pos = 0
+        self._consts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _match(self, kind: TokenKind) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, what: str) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(f"expected {what}", token)
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module(line=1)
+        while not self._check(TokenKind.EOF):
+            token = self._peek()
+            if token.kind is TokenKind.KW_CONST:
+                module.consts.append(self._parse_const())
+            elif token.kind is TokenKind.KW_GLOBAL:
+                module.globals_.append(self._parse_global())
+            elif token.kind is TokenKind.KW_FUNC:
+                module.funcs.append(self._parse_func())
+            else:
+                raise ParseError("expected 'const', 'global' or 'func'", token)
+        return module
+
+    def _parse_const(self) -> ast.ConstDecl:
+        kw = self._expect(TokenKind.KW_CONST, "'const'")
+        name = self._expect(TokenKind.IDENT, "constant name").text
+        if name in self._consts:
+            raise ParseError(f"duplicate constant {name!r}", kw)
+        self._expect(TokenKind.ASSIGN, "'='")
+        value_expr = self._parse_expr()
+        self._expect(TokenKind.SEMI, "';'")
+        value = self._fold_const(value_expr)
+        self._consts[name] = value
+        return ast.ConstDecl(name=name, value=value, line=kw.line)
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        kw = self._expect(TokenKind.KW_GLOBAL, "'global'")
+        name = self._expect(TokenKind.IDENT, "global name").text
+        self._expect(TokenKind.COLON, "':'")
+        size = self._parse_type()
+        self._expect(TokenKind.SEMI, "';'")
+        return ast.GlobalDecl(name=name, array_size=size, line=kw.line)
+
+    def _parse_func(self) -> ast.FuncDecl:
+        kw = self._expect(TokenKind.KW_FUNC, "'func'")
+        name = self._expect(TokenKind.IDENT, "function name").text
+        self._expect(TokenKind.LPAREN, "'('")
+        params: List[ast.Param] = []
+        if not self._check(TokenKind.RPAREN):
+            while True:
+                pname_tok = self._expect(TokenKind.IDENT, "parameter name")
+                self._expect(TokenKind.COLON, "':'")
+                size = self._parse_type()
+                params.append(ast.Param(name=pname_tok.text, array_size=size,
+                                        line=pname_tok.line))
+                if not self._match(TokenKind.COMMA):
+                    break
+        self._expect(TokenKind.RPAREN, "')'")
+        returns_value = False
+        if self._match(TokenKind.ARROW):
+            if self._match(TokenKind.KW_INT):
+                returns_value = True
+            elif self._match(TokenKind.KW_VOID):
+                returns_value = False
+            else:
+                raise ParseError("expected 'int' or 'void' return type", self._peek())
+        body = self._parse_block()
+        return ast.FuncDecl(name=name, params=params, returns_value=returns_value,
+                            body=body, line=kw.line)
+
+    def _parse_type(self) -> Optional[int]:
+        """Parse ``int`` or ``int[const-expr]``; return None or the size."""
+        self._expect(TokenKind.KW_INT, "'int'")
+        if self._match(TokenKind.LBRACKET):
+            size_expr = self._parse_expr()
+            close = self._expect(TokenKind.RBRACKET, "']'")
+            size = self._fold_const(size_expr)
+            if size <= 0:
+                raise ParseError(f"array size must be positive, got {size}", close)
+            return size
+        return None
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _parse_block(self) -> List[ast.Stmt]:
+        self._expect(TokenKind.LBRACE, "'{'")
+        stmts: List[ast.Stmt] = []
+        while not self._check(TokenKind.RBRACE):
+            if self._check(TokenKind.EOF):
+                raise ParseError("unterminated block", self._peek())
+            stmts.append(self._parse_stmt())
+        self._expect(TokenKind.RBRACE, "'}'")
+        return stmts
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind is TokenKind.KW_VAR:
+            return self._parse_var_decl()
+        if token.kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if token.kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if token.kind is TokenKind.KW_FOR:
+            return self._parse_for()
+        if token.kind is TokenKind.KW_RETURN:
+            self._advance()
+            value = None
+            if not self._check(TokenKind.SEMI):
+                value = self._parse_expr()
+            self._expect(TokenKind.SEMI, "';'")
+            return ast.Return(value=value, line=token.line)
+        if token.kind is TokenKind.KW_BREAK:
+            self._advance()
+            self._expect(TokenKind.SEMI, "';'")
+            return ast.Break(line=token.line)
+        if token.kind is TokenKind.KW_CONTINUE:
+            self._advance()
+            self._expect(TokenKind.SEMI, "';'")
+            return ast.Continue(line=token.line)
+        if token.kind is TokenKind.IDENT:
+            return self._parse_assign_or_call()
+        raise ParseError("expected a statement", token)
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        kw = self._expect(TokenKind.KW_VAR, "'var'")
+        name = self._expect(TokenKind.IDENT, "variable name").text
+        self._expect(TokenKind.COLON, "':'")
+        size = self._parse_type()
+        init = None
+        if self._match(TokenKind.ASSIGN):
+            if size is not None:
+                raise ParseError("array variables cannot have initializers", kw)
+            init = self._parse_expr()
+        self._expect(TokenKind.SEMI, "';'")
+        return ast.VarDecl(name=name, array_size=size, init=init, line=kw.line)
+
+    def _parse_if(self) -> ast.If:
+        kw = self._expect(TokenKind.KW_IF, "'if'")
+        cond = self._parse_expr()
+        then_body = self._parse_block()
+        else_body: List[ast.Stmt] = []
+        if self._match(TokenKind.KW_ELSE):
+            if self._check(TokenKind.KW_IF):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body,
+                      line=kw.line)
+
+    def _parse_while(self) -> ast.While:
+        kw = self._expect(TokenKind.KW_WHILE, "'while'")
+        cond = self._parse_expr()
+        body = self._parse_block()
+        return ast.While(cond=cond, body=body, line=kw.line)
+
+    def _parse_for(self) -> ast.ForRange:
+        kw = self._expect(TokenKind.KW_FOR, "'for'")
+        var = self._expect(TokenKind.IDENT, "loop variable").text
+        self._expect(TokenKind.KW_IN, "'in'")
+        lo = self._parse_expr()
+        self._expect(TokenKind.DOTDOT, "'..'")
+        hi = self._parse_expr()
+        body = self._parse_block()
+        return ast.ForRange(var=var, lo=lo, hi=hi, body=body, line=kw.line)
+
+    def _parse_assign_or_call(self) -> ast.Stmt:
+        name_tok = self._expect(TokenKind.IDENT, "identifier")
+        if self._match(TokenKind.ASSIGN):
+            value = self._parse_expr()
+            self._expect(TokenKind.SEMI, "';'")
+            return ast.Assign(name=name_tok.text, value=value, line=name_tok.line)
+        if self._match(TokenKind.LBRACKET):
+            index = self._parse_expr()
+            self._expect(TokenKind.RBRACKET, "']'")
+            self._expect(TokenKind.ASSIGN, "'='")
+            value = self._parse_expr()
+            self._expect(TokenKind.SEMI, "';'")
+            return ast.StoreStmt(base=name_tok.text, index=index, value=value,
+                                 line=name_tok.line)
+        if self._check(TokenKind.LPAREN):
+            call = self._parse_call(name_tok)
+            self._expect(TokenKind.SEMI, "';'")
+            return ast.ExprStmt(expr=call, line=name_tok.line)
+        raise ParseError("expected '=', '[' or '(' after identifier", self._peek())
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _parse_expr(self, min_prec: int = 1) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            kind = self._peek().kind
+            prec = _PRECEDENCE.get(kind, 0)
+            if prec < min_prec:
+                return left
+            op_tok = self._advance()
+            right = self._parse_expr(prec + 1)
+            left = ast.Binary(op=_OP_TEXT[kind], left=left, right=right,
+                              line=op_tok.line)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind in (TokenKind.MINUS, TokenKind.BANG, TokenKind.TILDE):
+            self._advance()
+            operand = self._parse_unary()
+            op = {"-": "-", "!": "!", "~": "~"}[token.text]
+            return ast.Unary(op=op, operand=operand, line=token.line)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLit(value=token.value, line=token.line)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN, "')'")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._check(TokenKind.LPAREN):
+                return self._parse_call(token)
+            if self._match(TokenKind.LBRACKET):
+                index = self._parse_expr()
+                self._expect(TokenKind.RBRACKET, "']'")
+                return ast.Index(base=token.text, index=index, line=token.line)
+            if token.text in self._consts:
+                return ast.IntLit(value=self._consts[token.text], line=token.line)
+            return ast.NameRef(name=token.text, line=token.line)
+        raise ParseError("expected an expression", token)
+
+    def _parse_call(self, name_tok: Token) -> ast.Call:
+        self._expect(TokenKind.LPAREN, "'('")
+        args: List[ast.Expr] = []
+        if not self._check(TokenKind.RPAREN):
+            while True:
+                args.append(self._parse_expr())
+                if not self._match(TokenKind.COMMA):
+                    break
+        self._expect(TokenKind.RPAREN, "')'")
+        return ast.Call(callee=name_tok.text, args=args, line=name_tok.line)
+
+    # ------------------------------------------------------------------
+    # Compile-time constant folding (const decls and array sizes)
+    # ------------------------------------------------------------------
+
+    def _fold_const(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.NameRef):
+            if expr.name in self._consts:
+                return self._consts[expr.name]
+            raise ParseError(f"{expr.name!r} is not a compile-time constant",
+                             self._peek())
+        if isinstance(expr, ast.Unary):
+            value = self._fold_const(expr.operand)
+            if expr.op == "-":
+                return -value
+            if expr.op == "~":
+                return ~value
+            return 0 if value else 1
+        if isinstance(expr, ast.Binary):
+            left = self._fold_const(expr.left)
+            right = self._fold_const(expr.right)
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: _const_div(a, b),
+                "%": lambda a, b: _const_mod(a, b),
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+                "&": lambda a, b: a & b,
+                "|": lambda a, b: a | b,
+                "^": lambda a, b: a ^ b,
+                "==": lambda a, b: int(a == b),
+                "!=": lambda a, b: int(a != b),
+                "<": lambda a, b: int(a < b),
+                "<=": lambda a, b: int(a <= b),
+                ">": lambda a, b: int(a > b),
+                ">=": lambda a, b: int(a >= b),
+                "&&": lambda a, b: int(bool(a) and bool(b)),
+                "||": lambda a, b: int(bool(a) or bool(b)),
+            }
+            return ops[expr.op](left, right)
+        raise ParseError("expression is not a compile-time constant", self._peek())
+
+
+def _const_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("division by zero in constant expression")
+    return int(a / b)  # C-style truncation toward zero
+
+
+def _const_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("modulo by zero in constant expression")
+    return a - b * int(a / b)
+
+
+def parse_program(source: str) -> ast.Module:
+    """Parse BDL source text into an AST module."""
+    return Parser(source).parse_module()

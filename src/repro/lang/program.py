@@ -1,0 +1,69 @@
+"""Compiled-program container: source -> AST -> CDFGs in one object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.ir.cdfg import CDFG
+from repro.lang import ast_nodes as ast
+from repro.lang.lowering import lower_program
+from repro.lang.parser import parse_program
+from repro.lang.semantics import Signature, check_program
+
+
+@dataclass
+class Program:
+    """A fully compiled BDL program.
+
+    Attributes:
+        name: program label (used in reports).
+        module: the parsed AST.
+        signatures: function signatures by name.
+        cdfgs: lowered CDFGs by function name.
+        global_arrays: global symbol -> element count (including the
+            ``__g_*`` backing arrays of scalar globals).
+        entry: entry function name.
+    """
+
+    name: str
+    module: ast.Module
+    signatures: Dict[str, Signature]
+    cdfgs: Dict[str, CDFG]
+    global_arrays: Dict[str, int] = field(default_factory=dict)
+    entry: str = "main"
+
+    @property
+    def entry_cdfg(self) -> CDFG:
+        return self.cdfgs[self.entry]
+
+    def cdfg(self, name: str) -> CDFG:
+        return self.cdfgs[name]
+
+    @property
+    def op_count(self) -> int:
+        return sum(c.op_count for c in self.cdfgs.values())
+
+
+def compile_source(source: str, name: str = "program",
+                   entry: str = "main") -> Program:
+    """Compile BDL source text into a :class:`Program`.
+
+    Raises :class:`~repro.lang.lexer.LexError`,
+    :class:`~repro.lang.parser.ParseError` or
+    :class:`~repro.lang.semantics.SemanticError` on bad input, and
+    ``KeyError`` if ``entry`` does not exist.
+    """
+    module = parse_program(source)
+    signatures = check_program(module)
+    cdfgs = lower_program(module)
+    if entry not in cdfgs:
+        raise KeyError(f"program has no entry function {entry!r}")
+    global_arrays: Dict[str, int] = {}
+    for decl in module.globals_:
+        if decl.array_size is not None:
+            global_arrays[decl.name] = decl.array_size
+        else:
+            global_arrays[f"__g_{decl.name}"] = 1
+    return Program(name=name, module=module, signatures=signatures,
+                   cdfgs=cdfgs, global_arrays=global_arrays, entry=entry)

@@ -1,0 +1,225 @@
+"""Semantic checking for BDL modules.
+
+Validates name resolution, scalar/array usage, call signatures, and
+break/continue placement before lowering.  All scalars are 32-bit ints so
+there is no further type inference to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import ast_nodes as ast
+
+
+class SemanticError(Exception):
+    """Raised on semantically invalid BDL."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        suffix = f" (line {line})" if line else ""
+        super().__init__(message + suffix)
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Callable interface of a function: per-parameter scalar/array flags."""
+
+    name: str
+    param_names: Tuple[str, ...]
+    param_is_array: Tuple[bool, ...]
+    param_array_sizes: Tuple[Optional[int], ...]
+    returns_value: bool
+
+
+def signatures_of(module: ast.Module) -> Dict[str, Signature]:
+    """Collect all function signatures, checking for duplicates."""
+    signatures: Dict[str, Signature] = {}
+    for func in module.funcs:
+        if func.name in signatures:
+            raise SemanticError(f"duplicate function {func.name!r}", func.line)
+        names = tuple(p.name for p in func.params)
+        if len(set(names)) != len(names):
+            raise SemanticError(f"duplicate parameter in {func.name!r}", func.line)
+        signatures[func.name] = Signature(
+            name=func.name,
+            param_names=names,
+            param_is_array=tuple(p.array_size is not None for p in func.params),
+            param_array_sizes=tuple(p.array_size for p in func.params),
+            returns_value=func.returns_value,
+        )
+    return signatures
+
+
+class _Scope:
+    """Function-local symbol table: name -> array size (None for scalars)."""
+
+    def __init__(self, globals_: Dict[str, Optional[int]]) -> None:
+        self._globals = globals_
+        self._locals: Dict[str, Optional[int]] = {}
+
+    def declare(self, name: str, array_size: Optional[int], line: int) -> None:
+        if name in self._locals:
+            raise SemanticError(f"duplicate declaration of {name!r}", line)
+        self._locals[name] = array_size
+
+    def lookup(self, name: str) -> Tuple[bool, Optional[int]]:
+        """Return ``(found, array_size)``; locals shadow globals."""
+        if name in self._locals:
+            return True, self._locals[name]
+        if name in self._globals:
+            return True, self._globals[name]
+        return False, None
+
+
+class _Checker:
+    def __init__(self, module: ast.Module) -> None:
+        self.module = module
+        self.signatures = signatures_of(module)
+        self.globals: Dict[str, Optional[int]] = {}
+        for decl in module.globals_:
+            if decl.name in self.globals:
+                raise SemanticError(f"duplicate global {decl.name!r}", decl.line)
+            self.globals[decl.name] = decl.array_size
+
+    def check(self) -> None:
+        for func in self.module.funcs:
+            self._check_func(func)
+
+    def _check_func(self, func: ast.FuncDecl) -> None:
+        scope = _Scope(self.globals)
+        for param in func.params:
+            scope.declare(param.name, param.array_size, param.line)
+        self._check_body(func, func.body, scope, loop_depth=0)
+
+    def _check_body(self, func: ast.FuncDecl, body: List[ast.Stmt],
+                    scope: _Scope, loop_depth: int) -> None:
+        for stmt in body:
+            self._check_stmt(func, stmt, scope, loop_depth)
+
+    def _check_stmt(self, func: ast.FuncDecl, stmt: ast.Stmt,
+                    scope: _Scope, loop_depth: int) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            scope.declare(stmt.name, stmt.array_size, stmt.line)
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope)
+        elif isinstance(stmt, ast.Assign):
+            found, size = scope.lookup(stmt.name)
+            if not found:
+                raise SemanticError(f"assignment to undeclared {stmt.name!r}",
+                                    stmt.line)
+            if size is not None:
+                raise SemanticError(
+                    f"cannot assign whole array {stmt.name!r}; use an index",
+                    stmt.line)
+            self._check_expr(stmt.value, scope)
+        elif isinstance(stmt, ast.StoreStmt):
+            found, size = scope.lookup(stmt.base)
+            if not found:
+                raise SemanticError(f"store to undeclared {stmt.base!r}", stmt.line)
+            if size is None:
+                raise SemanticError(f"{stmt.base!r} is a scalar, not an array",
+                                    stmt.line)
+            self._check_expr(stmt.index, scope)
+            self._check_expr(stmt.value, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, scope)
+            self._check_body(func, stmt.then_body, scope, loop_depth)
+            self._check_body(func, stmt.else_body, scope, loop_depth)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond, scope)
+            self._check_body(func, stmt.body, scope, loop_depth + 1)
+        elif isinstance(stmt, ast.ForRange):
+            self._check_expr(stmt.lo, scope)
+            self._check_expr(stmt.hi, scope)
+            found, size = scope.lookup(stmt.var)
+            if not found:
+                scope.declare(stmt.var, None, stmt.line)
+            elif size is not None:
+                raise SemanticError(f"loop variable {stmt.var!r} is an array",
+                                    stmt.line)
+            self._check_body(func, stmt.body, scope, loop_depth + 1)
+        elif isinstance(stmt, ast.Return):
+            if func.returns_value and stmt.value is None:
+                raise SemanticError(f"{func.name!r} must return a value", stmt.line)
+            if not func.returns_value and stmt.value is not None:
+                raise SemanticError(f"void function {func.name!r} returns a value",
+                                    stmt.line)
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if loop_depth == 0:
+                word = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise SemanticError(f"{word} outside of a loop", stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            if not isinstance(stmt.expr, ast.Call):
+                raise SemanticError("expression statements must be calls", stmt.line)
+            self._check_expr(stmt.expr, scope, allow_void_call=True)
+        else:  # pragma: no cover - exhaustive over the AST
+            raise SemanticError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope,
+                    allow_void_call: bool = False) -> None:
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.NameRef):
+            found, size = scope.lookup(expr.name)
+            if not found:
+                raise SemanticError(f"use of undeclared {expr.name!r}", expr.line)
+            if size is not None:
+                raise SemanticError(
+                    f"array {expr.name!r} used as a scalar value", expr.line)
+            return
+        if isinstance(expr, ast.Index):
+            found, size = scope.lookup(expr.base)
+            if not found:
+                raise SemanticError(f"use of undeclared array {expr.base!r}",
+                                    expr.line)
+            if size is None:
+                raise SemanticError(f"{expr.base!r} is a scalar, cannot index",
+                                    expr.line)
+            self._check_expr(expr.index, scope)
+            return
+        if isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand, scope)
+            return
+        if isinstance(expr, ast.Binary):
+            self._check_expr(expr.left, scope)
+            self._check_expr(expr.right, scope)
+            return
+        if isinstance(expr, ast.Call):
+            sig = self.signatures.get(expr.callee)
+            if sig is None:
+                raise SemanticError(f"call to unknown function {expr.callee!r}",
+                                    expr.line)
+            if not sig.returns_value and not allow_void_call:
+                raise SemanticError(
+                    f"void function {expr.callee!r} used in an expression",
+                    expr.line)
+            if len(expr.args) != len(sig.param_names):
+                raise SemanticError(
+                    f"{expr.callee!r} expects {len(sig.param_names)} args, "
+                    f"got {len(expr.args)}", expr.line)
+            for arg, is_array in zip(expr.args, sig.param_is_array):
+                if is_array:
+                    if not isinstance(arg, ast.NameRef):
+                        raise SemanticError(
+                            f"array parameter of {expr.callee!r} needs an array "
+                            "name argument", expr.line)
+                    found, size = scope.lookup(arg.name)
+                    if not found or size is None:
+                        raise SemanticError(
+                            f"argument {arg.name!r} to {expr.callee!r} is not an "
+                            "array", expr.line)
+                else:
+                    self._check_expr(arg, scope)
+            return
+        raise SemanticError(f"unknown expression {type(expr).__name__}", expr.line)
+
+
+def check_program(module: ast.Module) -> Dict[str, Signature]:
+    """Check ``module``; return its function signatures on success."""
+    checker = _Checker(module)
+    checker.check()
+    return checker.signatures

@@ -1,0 +1,91 @@
+"""Token definitions for the BDL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int_literal"
+    # keywords
+    KW_FUNC = "func"
+    KW_VAR = "var"
+    KW_CONST = "const"
+    KW_GLOBAL = "global"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_FOR = "for"
+    KW_IN = "in"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_INT = "type_int"
+    KW_VOID = "type_void"
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    ARROW = "->"
+    DOTDOT = ".."
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    SHL = "<<"
+    SHR = ">>"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    BANG = "!"
+    ANDAND = "&&"
+    OROR = "||"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "func": TokenKind.KW_FUNC,
+    "var": TokenKind.KW_VAR,
+    "const": TokenKind.KW_CONST,
+    "global": TokenKind.KW_GLOBAL,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "for": TokenKind.KW_FOR,
+    "in": TokenKind.KW_IN,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+    "int": TokenKind.KW_INT,
+    "void": TokenKind.KW_VOID,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+    value: Optional[int] = None  # for INT literals
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.kind.name} {self.text!r} @{self.line}:{self.col}>"

@@ -1,0 +1,50 @@
+"""Memory-system cores: caches, main memory and the shared bus.
+
+The paper treats these as standard cores whose energy is estimated with
+"analytical models ... based on parameters (feature sizes, capacitances) of
+a 0.8 micron CMOS process" fed by a cache profiler (WARTS).  Here the
+instruction-set simulator streams references directly into
+:class:`~repro.mem.cache.Cache` instances, and the analytical models in
+:mod:`repro.mem.cache_energy` / :mod:`repro.mem.main_memory` convert the
+resulting access counts into energy.
+"""
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.cache_energy import CacheEnergyModel
+from repro.mem.main_memory import MainMemory
+from repro.mem.bus import SharedBus
+from repro.mem.explore import (
+    CacheDesignPoint,
+    best_point,
+    default_search_space,
+    explore_cache_configs,
+    initial_evaluator,
+    partitioned_evaluator,
+)
+from repro.mem.trace import Access, MemoryTrace
+from repro.mem.profiler import (
+    CacheProfile,
+    best_profile,
+    profile_configs,
+    replay,
+)
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheEnergyModel",
+    "MainMemory",
+    "SharedBus",
+    "CacheDesignPoint",
+    "best_point",
+    "default_search_space",
+    "explore_cache_configs",
+    "initial_evaluator",
+    "partitioned_evaluator",
+    "Access",
+    "MemoryTrace",
+    "CacheProfile",
+    "best_profile",
+    "profile_configs",
+    "replay",
+]

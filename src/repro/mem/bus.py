@@ -1,0 +1,55 @@
+"""Shared-bus core (paper Fig. 2a).
+
+The μP core, the ASIC core, the caches and the main memory communicate over
+one shared bus.  Each word transfer costs ``E_bus read/write`` — the paper
+notes reads and writes "imply different amounts of energy" (footnote 9).
+The cluster pre-selection estimator (Fig. 3) prices candidate partitions
+with exactly these constants; at system-evaluation time the same constants
+price the transfers that actually occur.
+"""
+
+from __future__ import annotations
+
+from repro.tech.library import TechnologyLibrary
+
+
+class SharedBus:
+    """Counts word transfers on the shared bus and converts them to energy."""
+
+    def __init__(self, library: TechnologyLibrary, name: str = "bus") -> None:
+        self.library = library
+        self.name = name
+        self.word_reads = 0
+        self.word_writes = 0
+
+    def reset(self) -> None:
+        self.word_reads = 0
+        self.word_writes = 0
+
+    def read_words(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"negative transfer count: {count}")
+        self.word_reads += count
+
+    def write_words(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"negative transfer count: {count}")
+        self.word_writes += count
+
+    @property
+    def transfers(self) -> int:
+        return self.word_reads + self.word_writes
+
+    def energy_nj(self) -> float:
+        return (self.word_reads * self.library.bus_read_energy_nj
+                + self.word_writes * self.library.bus_write_energy_nj)
+
+    def transfer_energy_nj(self, reads: int, writes: int) -> float:
+        """Price a hypothetical transfer pattern without recording it
+        (used by the pre-selection estimator, paper Fig. 3 step 5)."""
+        return (reads * self.library.bus_read_energy_nj
+                + writes * self.library.bus_write_energy_nj)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<SharedBus {self.name}: {self.word_reads} reads, "
+                f"{self.word_writes} writes>")

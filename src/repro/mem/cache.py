@@ -1,0 +1,149 @@
+"""Set-associative cache simulator (LRU, write-through, no-allocate).
+
+Write-through with no write-allocate matches the embedded cores of the
+paper's era (e.g. SPARCLite): write misses go straight to memory without
+disturbing the array, writes are buffered (no stall), read misses stall the
+pipeline for ``miss_penalty`` cycles while the line refills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache core.
+
+    Attributes:
+        size_bytes: total data capacity.
+        line_bytes: line (block) size.
+        associativity: ways per set (1 = direct-mapped).
+        miss_penalty: stall cycles for a read miss (line refill).
+        address_bits: physical address width (for tag-energy modelling).
+    """
+
+    size_bytes: int = 8192
+    line_bytes: int = 16
+    associativity: int = 2
+    miss_penalty: int = 8
+    address_bits: int = 24
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache sizes must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ValueError(
+                f"size {self.size_bytes} not divisible by "
+                f"line*assoc = {self.line_bytes * self.associativity}")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        num_sets = self.size_bytes // (self.line_bytes * self.associativity)
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"number of sets ({num_sets}) must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def line_words(self) -> int:
+        return self.line_bytes // 4
+
+    @property
+    def index_bits(self) -> int:
+        return max(1, self.num_sets - 1).bit_length() if self.num_sets > 1 else 0
+
+    @property
+    def offset_bits(self) -> int:
+        return (self.line_bytes - 1).bit_length()
+
+    @property
+    def tag_bits(self) -> int:
+        return max(1, self.address_bits - self.index_bits - self.offset_bits)
+
+
+class Cache:
+    """One cache core; call :meth:`access` per reference.
+
+    Statistics accumulate until :meth:`reset`.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        # Per set: list of tags in MRU-first order.
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        self._set_mask = config.num_sets - 1
+        self._offset_shift = config.offset_bits
+        self.reads = 0
+        self.writes = 0
+        self.read_misses = 0
+        self.write_misses = 0
+        self.fills = 0
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self._sets = [[] for _ in range(self.config.num_sets)]
+        self.reads = 0
+        self.writes = 0
+        self.read_misses = 0
+        self.write_misses = 0
+        self.fills = 0
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Simulate one reference; returns True on hit.
+
+        Read misses allocate (LRU eviction); write misses do not
+        (no-write-allocate, write-through).
+        """
+        line = address >> self._offset_shift
+        tags = self._sets[line & self._set_mask]
+        tag = line >> self.config.index_bits if self.config.num_sets > 1 else line
+        if is_write:
+            self.writes += 1
+            try:
+                index = tags.index(tag)
+            except ValueError:
+                self.write_misses += 1
+                return False
+            if index:
+                tags.insert(0, tags.pop(index))
+            return True
+        self.reads += 1
+        try:
+            index = tags.index(tag)
+        except ValueError:
+            self.read_misses += 1
+            self.fills += 1
+            tags.insert(0, tag)
+            if len(tags) > self.config.associativity:
+                tags.pop()
+            return False
+        if index:
+            tags.insert(0, tags.pop(index))
+        return True
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 1.0
+        return 1.0 - self.misses / self.accesses
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Cache {self.name}: {self.config.size_bytes}B "
+                f"{self.config.associativity}-way, "
+                f"{self.accesses} accesses, hit rate {self.hit_rate:.3f}>")

@@ -1,0 +1,75 @@
+"""Analytical cache energy model (0.8 micron CMOS).
+
+A simplified Kamble/Ghose-style decomposition: every access pays for set
+decode, wordline drive, bitline swings across all ways, tag comparison and
+sense amplification; hits additionally drive the output bus, and read-miss
+refills re-write a full line into the array.  Per-event energies come from
+the :class:`~repro.tech.library.TechnologyLibrary` capacitance constants.
+
+Energy of the memory traffic a miss generates is charged to the main-memory
+and bus models, not here — matching the paper's per-core columns in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.tech.library import TechnologyLibrary
+
+
+@dataclass
+class CacheEnergyModel:
+    """Converts cache access counts into energy (nJ)."""
+
+    library: TechnologyLibrary
+    config: CacheConfig
+
+    def __post_init__(self) -> None:
+        lib = self.library
+        cfg = self.config
+        line_bits = cfg.line_bytes * 8
+        word_bits = 32
+        # Read: decode + wordline over the selected line + bitline swings on
+        # every way (all ways are read in parallel before tag select) + tag
+        # probe per way + sense amps + output drive.
+        self._read_pj = (
+            lib.cache_decode_energy_pj
+            + lib.cache_wordline_energy_pj * line_bits * cfg.associativity
+            + lib.cache_bitline_energy_pj * line_bits * cfg.associativity
+            + lib.cache_tag_bit_energy_pj * cfg.tag_bits * cfg.associativity
+            + lib.cache_senseamp_energy_pj
+            + lib.cache_output_energy_pj
+        )
+        # Write-through word write: decode + tag probe + one word's bitlines.
+        self._write_pj = (
+            lib.cache_decode_energy_pj
+            + lib.cache_tag_bit_energy_pj * cfg.tag_bits * cfg.associativity
+            + lib.cache_bitline_energy_pj * word_bits
+            + lib.cache_wordline_energy_pj * word_bits
+        )
+        # Refill: rewrite the whole line (one way) + tag update.
+        self._fill_pj = (
+            lib.cache_decode_energy_pj
+            + lib.cache_bitline_energy_pj * line_bits
+            + lib.cache_wordline_energy_pj * line_bits
+            + lib.cache_tag_bit_energy_pj * cfg.tag_bits
+        )
+
+    @property
+    def read_access_nj(self) -> float:
+        return self._read_pj / 1000.0
+
+    @property
+    def write_access_nj(self) -> float:
+        return self._write_pj / 1000.0
+
+    @property
+    def fill_nj(self) -> float:
+        return self._fill_pj / 1000.0
+
+    def energy_nj(self, cache: Cache) -> float:
+        """Total energy of all traffic recorded by ``cache`` (nJ)."""
+        return (cache.reads * self.read_access_nj
+                + cache.writes * self.write_access_nj
+                + cache.fills * self.fill_nj)

@@ -1,0 +1,133 @@
+"""Cache-geometry exploration for a chosen partition.
+
+The paper's footnote 4: the standard cores "have to be adapted efficiently
+(e.g. size of memory, size of caches, cache policy etc.) according to the
+particular hw/sw partitioning chosen", precisely because the partition
+changes the access pattern (footnote 2).  This module sweeps cache
+geometries for a given system configuration (initial or partitioned) and
+reports the energy-optimal point — typically *smaller* caches for the
+partitioned design, whose remaining software side is leaner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.mem.cache import CacheConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard: repro.power
+    # imports repro.mem submodules, so these are runtime-lazy.
+    from repro.isa.image import ProgramImage
+    from repro.power.system import SystemRun
+    from repro.sched.utilization import ClusterMetrics
+    from repro.synth.rtl_sim import AsicRunStats
+    from repro.tech.library import TechnologyLibrary
+
+
+@dataclass
+class CacheDesignPoint:
+    """One explored (i-cache, d-cache) geometry and its system evaluation."""
+
+    icache: CacheConfig
+    dcache: CacheConfig
+    run: SystemRun
+
+    @property
+    def memory_system_energy_nj(self) -> float:
+        energy = self.run.energy
+        return (energy.icache_nj + energy.dcache_nj + energy.mem_nj
+                + energy.bus_nj)
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.run.total_energy_nj
+
+    @property
+    def label(self) -> str:
+        return (f"i{self.icache.size_bytes}/{self.icache.associativity}w+"
+                f"d{self.dcache.size_bytes}/{self.dcache.associativity}w")
+
+
+def default_search_space() -> List[Tuple[CacheConfig, CacheConfig]]:
+    """A compact sweep: i-cache {1k, 2k, 4k} x d-cache {512, 1k, 2k} x
+    associativity {1, 2} with 16-byte lines."""
+    space: List[Tuple[CacheConfig, CacheConfig]] = []
+    for assoc in (1, 2):
+        for isize in (1024, 2048, 4096):
+            for dsize in (512, 1024, 2048):
+                space.append((
+                    CacheConfig(size_bytes=isize, line_bytes=16,
+                                associativity=assoc, miss_penalty=8),
+                    CacheConfig(size_bytes=dsize, line_bytes=16,
+                                associativity=assoc, miss_penalty=8),
+                ))
+    return space
+
+
+Evaluator = Callable[[CacheConfig, CacheConfig], "SystemRun"]
+
+
+def explore_cache_configs(
+        evaluate: Evaluator,
+        space: Optional[Sequence[Tuple[CacheConfig, CacheConfig]]] = None,
+) -> List[CacheDesignPoint]:
+    """Evaluate every geometry in ``space`` (default: the compact sweep)."""
+    if space is None:
+        space = default_search_space()
+    points: List[CacheDesignPoint] = []
+    for icache_cfg, dcache_cfg in space:
+        run = evaluate(icache_cfg, dcache_cfg)
+        points.append(CacheDesignPoint(icache=icache_cfg, dcache=dcache_cfg,
+                                       run=run))
+    return points
+
+
+def best_point(points: Sequence[CacheDesignPoint]) -> CacheDesignPoint:
+    """The geometry minimizing total system energy."""
+    if not points:
+        raise ValueError("no design points to choose from")
+    return min(points, key=lambda p: p.total_energy_nj)
+
+
+def initial_evaluator(image: ProgramImage, library: TechnologyLibrary,
+                      args: Tuple[int, ...] = (),
+                      globals_init: Optional[Dict[str, List[int]]] = None,
+                      ) -> Evaluator:
+    """Evaluator for the unpartitioned design."""
+    from repro.power.system import evaluate_initial
+
+    def evaluate(icache_cfg: CacheConfig,
+                 dcache_cfg: CacheConfig) -> "SystemRun":
+        return evaluate_initial(image, library, args=args,
+                                globals_init=globals_init,
+                                icache_cfg=icache_cfg, dcache_cfg=dcache_cfg)
+    return evaluate
+
+
+def partitioned_evaluator(image: ProgramImage, library: TechnologyLibrary,
+                          hw_blocks: Set[Tuple[str, str]],
+                          asic_stats: AsicRunStats,
+                          asic_metrics: ClusterMetrics,
+                          asic_cells: int,
+                          asic_energy_nj: Optional[float] = None,
+                          asic_mem_reads: int = 0,
+                          asic_mem_writes: int = 0,
+                          args: Tuple[int, ...] = (),
+                          globals_init: Optional[Dict[str, List[int]]] = None,
+                          ) -> Evaluator:
+    """Evaluator for a partitioned design with a fixed ASIC core."""
+    from repro.power.system import evaluate_partitioned
+
+    def evaluate(icache_cfg: CacheConfig,
+                 dcache_cfg: CacheConfig) -> "SystemRun":
+        return evaluate_partitioned(
+            image, library, hw_blocks=hw_blocks, asic_stats=asic_stats,
+            asic_metrics=asic_metrics, asic_cells=asic_cells,
+            asic_energy_nj=asic_energy_nj, asic_mem_reads=asic_mem_reads,
+            asic_mem_writes=asic_mem_writes, args=args,
+            globals_init=globals_init,
+            icache_cfg=icache_cfg, dcache_cfg=dcache_cfg)
+    return evaluate

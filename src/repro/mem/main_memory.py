@@ -1,0 +1,49 @@
+"""Main-memory core: access counting + analytical energy model.
+
+The memory sees only the traffic the caches let through: line refills on
+read misses, and word writes from the write-through path.  The ASIC core's
+shared-memory transfers (paper Fig. 2a) also land here when a partitioned
+system executes.
+"""
+
+from __future__ import annotations
+
+from repro.tech.library import TechnologyLibrary
+
+
+class MainMemory:
+    """Counts word-granularity reads/writes and converts them to energy."""
+
+    def __init__(self, library: TechnologyLibrary, name: str = "mem") -> None:
+        self.library = library
+        self.name = name
+        self.word_reads = 0
+        self.word_writes = 0
+
+    def reset(self) -> None:
+        self.word_reads = 0
+        self.word_writes = 0
+
+    def refill(self, line_words: int) -> None:
+        """A cache line refill reads ``line_words`` words."""
+        self.word_reads += line_words
+
+    def write_word(self) -> None:
+        """One write-through (or ASIC deposit) word write."""
+        self.word_writes += 1
+
+    def read_word(self) -> None:
+        """One uncached word read (ASIC-side access)."""
+        self.word_reads += 1
+
+    @property
+    def accesses(self) -> int:
+        return self.word_reads + self.word_writes
+
+    def energy_nj(self) -> float:
+        return (self.word_reads * self.library.mem_read_energy_nj
+                + self.word_writes * self.library.mem_write_energy_nj)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<MainMemory {self.name}: {self.word_reads} reads, "
+                f"{self.word_writes} writes>")

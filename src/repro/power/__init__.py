@@ -1,0 +1,14 @@
+"""Whole-system energy accounting (the machinery behind the paper's Table 1)."""
+
+from repro.power.system import CoreEnergy, SystemRun, evaluate_initial, evaluate_partitioned
+from repro.power.report import format_table1, format_savings, format_savings_chart
+
+__all__ = [
+    "CoreEnergy",
+    "SystemRun",
+    "evaluate_initial",
+    "evaluate_partitioned",
+    "format_table1",
+    "format_savings",
+    "format_savings_chart",
+]

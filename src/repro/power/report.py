@@ -1,0 +1,103 @@
+"""Textual reports in the layout of the paper's Table 1 and Figure 6."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.power.system import SystemRun
+
+
+def _fmt_energy(nj: float) -> str:
+    """Engineering-format an energy given in nanojoules."""
+    if nj == 0:
+        return "0.0"
+    if nj >= 1e6:
+        return f"{nj / 1e6:.3f}mJ"
+    if nj >= 1e3:
+        return f"{nj / 1e3:.3f}uJ"
+    return f"{nj:.3f}nJ"
+
+
+def energy_savings_percent(initial: SystemRun, partitioned: SystemRun) -> float:
+    """Table 1 'Sav%': negative means the partition saves energy."""
+    if initial.total_energy_nj == 0:
+        return 0.0
+    return -100.0 * (1.0 - partitioned.total_energy_nj
+                     / initial.total_energy_nj)
+
+
+def time_change_percent(initial: SystemRun, partitioned: SystemRun) -> float:
+    """Table 1 'Chg%': negative means the partition is faster."""
+    if initial.total_cycles == 0:
+        return 0.0
+    return 100.0 * (partitioned.total_cycles / initial.total_cycles - 1.0)
+
+
+def format_table1(rows: Iterable[Tuple[str, SystemRun, SystemRun]]) -> str:
+    """Render Table 1: per app, the initial (I) and partitioned (P) rows.
+
+    The ``mem`` column includes the shared-bus energy (the paper reports
+    one memory-subsystem column), so the displayed columns sum to the
+    total.
+    """
+    header = (f"{'App':6s}|{'':2s}|{'i-cache':>10s}|{'d-cache':>10s}|"
+              f"{'mem':>10s}|{'uP core':>10s}|{'ASIC core':>10s}|"
+              f"{'total':>10s}|{'Sav%':>7s}|{'uP cyc':>11s}|{'ASIC cyc':>11s}|"
+              f"{'total cyc':>11s}|{'Chg%':>7s}")
+    lines = [header, "-" * len(header)]
+    for name, initial, part in rows:
+        sav = energy_savings_percent(initial, part)
+        chg = time_change_percent(initial, part)
+        for tag, run in (("I", initial), ("P", part)):
+            e = run.energy
+            lines.append(
+                f"{name:6s}|{tag:2s}|{_fmt_energy(e.icache_nj):>10s}|"
+                f"{_fmt_energy(e.dcache_nj):>10s}|"
+                f"{_fmt_energy(e.mem_nj + e.bus_nj):>10s}|"
+                f"{_fmt_energy(e.up_core_nj):>10s}|"
+                f"{_fmt_energy(e.asic_core_nj):>10s}|"
+                f"{_fmt_energy(run.total_energy_nj):>10s}|"
+                f"{(f'{sav:7.2f}' if tag == 'P' else ''):>7s}|"
+                f"{run.up_cycles:11,d}|{run.asic_cycles:11,d}|"
+                f"{run.total_cycles:11,d}|"
+                f"{(f'{chg:7.2f}' if tag == 'P' else ''):>7s}")
+    return "\n".join(lines)
+
+
+def format_savings(rows: Iterable[Tuple[str, SystemRun, SystemRun]]) -> str:
+    """Render Figure 6: energy savings and execution-time change per app."""
+    lines = [f"{'App':8s} {'Energy saving %':>16s} {'Exec time change %':>20s}"]
+    for name, initial, part in rows:
+        sav = -energy_savings_percent(initial, part)
+        chg = time_change_percent(initial, part)
+        lines.append(f"{name:8s} {sav:16.2f} {chg:20.2f}")
+    return "\n".join(lines)
+
+
+def format_savings_chart(rows: Iterable[Tuple[str, SystemRun, SystemRun]],
+                         width: int = 48) -> str:
+    """Figure 6 as a text bar chart.
+
+    One pair of bars per application: ``E`` is the energy saving (always
+    rightward), ``t`` is the execution-time change (leftward bar = faster,
+    rightward ``+`` bar = slower — `trick`'s signature).
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no results)"
+    half = max(8, width // 2)
+    scale = 100.0  # percent full-scale per half-width
+
+    def bar(value: float, char: str) -> str:
+        cells = min(half, max(0, int(round(abs(value) / scale * half))))
+        if value >= 0:
+            return " " * half + "|" + (char * cells).ljust(half)
+        return (char * cells).rjust(half) + "|" + " " * half
+
+    lines = [f"{'':8s} {'-100%':>{half}}|{'+100%':<{half}}"]
+    for name, initial, part in rows:
+        saving = -energy_savings_percent(initial, part)   # positive = saved
+        change = time_change_percent(initial, part)       # negative = faster
+        lines.append(f"{name:>7s}E {bar(saving, '#')}  {saving:6.1f}% saved")
+        lines.append(f"{'':7s}t {bar(change, '=')}  {change:+6.1f}% time")
+    return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""System-level energy evaluation — the machinery behind Table 1.
+
+The paper stresses that "all system components are taken into consideration
+to estimate energy savings" because a partition changes the cache access
+pattern (footnote 2).  :func:`evaluate_initial` runs the whole application
+on the μP core with its caches; :func:`evaluate_partitioned` re-runs it with
+the chosen cluster in hardware-shadow mode (see
+:class:`~repro.isa.simulator.Simulator`), adds the ASIC core's energy and
+cycles from the synthesis models, and accounts the shared-memory transfer
+traffic on the bus, the memory and the μP core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.energy import InstructionEnergyModel
+from repro.isa.image import ProgramImage
+from repro.isa.simulator import SimResult, Simulator
+from repro.mem.bus import SharedBus
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.cache_energy import CacheEnergyModel
+from repro.mem.main_memory import MainMemory
+from repro.sched.utilization import ClusterMetrics
+from repro.synth.rtl_sim import AsicRunStats
+from repro.tech.library import TechnologyLibrary
+
+
+@dataclass
+class CoreEnergy:
+    """Per-core energy breakdown in nanojoules (Table 1's energy columns)."""
+
+    icache_nj: float = 0.0
+    dcache_nj: float = 0.0
+    mem_nj: float = 0.0
+    up_core_nj: float = 0.0
+    asic_core_nj: float = 0.0
+    bus_nj: float = 0.0
+
+    @property
+    def total_nj(self) -> float:
+        return (self.icache_nj + self.dcache_nj + self.mem_nj
+                + self.up_core_nj + self.asic_core_nj + self.bus_nj)
+
+
+@dataclass
+class SystemRun:
+    """One evaluated system configuration (initial or partitioned)."""
+
+    label: str
+    energy: CoreEnergy
+    up_cycles: int
+    asic_cycles: int
+    result: int
+    up_utilization: float
+    asic_utilization: float = 0.0
+    asic_cells: int = 0
+    sim: Optional[SimResult] = None
+    icache_hit_rate: float = 1.0
+    dcache_hit_rate: float = 1.0
+    transfer_words: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.up_cycles + self.asic_cycles
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.energy.total_nj
+
+
+def default_cache_configs() -> Tuple[CacheConfig, CacheConfig]:
+    """Instruction and data cache geometries (SPARCLite-class, 0.8 micron)."""
+    icache = CacheConfig(size_bytes=2048, line_bytes=16, associativity=2,
+                         miss_penalty=8)
+    dcache = CacheConfig(size_bytes=1024, line_bytes=16, associativity=2,
+                         miss_penalty=8)
+    return icache, dcache
+
+
+def _build_memory_system(library: TechnologyLibrary,
+                         icache_cfg: CacheConfig,
+                         dcache_cfg: CacheConfig):
+    icache = Cache(icache_cfg, "icache")
+    dcache = Cache(dcache_cfg, "dcache")
+    memory = MainMemory(library)
+    bus = SharedBus(library)
+    return icache, dcache, memory, bus
+
+
+def evaluate_initial(image: ProgramImage, library: TechnologyLibrary,
+                     args: Tuple[int, ...] = (),
+                     globals_init: Optional[Dict[str, List[int]]] = None,
+                     icache_cfg: Optional[CacheConfig] = None,
+                     dcache_cfg: Optional[CacheConfig] = None,
+                     model_caches: bool = True) -> SystemRun:
+    """Run the unpartitioned ("I") design and account every core.
+
+    With ``model_caches=False`` the memory system is left out entirely —
+    the treatment the paper gives its least memory-intensive application
+    ("the contribution to total energy consumption could be neglected").
+    """
+    if icache_cfg is None or dcache_cfg is None:
+        default_i, default_d = default_cache_configs()
+        icache_cfg = icache_cfg or default_i
+        dcache_cfg = dcache_cfg or default_d
+    if model_caches:
+        icache, dcache, memory, bus = _build_memory_system(
+            library, icache_cfg, dcache_cfg)
+    else:
+        icache = dcache = memory = bus = None
+    sim = Simulator(image, library, icache=icache, dcache=dcache,
+                    memory_model=memory, bus=bus)
+    for name, values in (globals_init or {}).items():
+        sim.set_global(name, values)
+    result = sim.run(*args)
+
+    energy = CoreEnergy(
+        icache_nj=(CacheEnergyModel(library, icache_cfg).energy_nj(icache)
+                   if icache else 0.0),
+        dcache_nj=(CacheEnergyModel(library, dcache_cfg).energy_nj(dcache)
+                   if dcache else 0.0),
+        mem_nj=memory.energy_nj() if memory else 0.0,
+        up_core_nj=result.energy_nj,
+        asic_core_nj=0.0,
+        bus_nj=bus.energy_nj() if bus else 0.0,
+    )
+    return SystemRun(
+        label="initial",
+        energy=energy,
+        up_cycles=result.cycles,
+        asic_cycles=0,
+        result=result.result,
+        up_utilization=result.utilization,
+        sim=result,
+        icache_hit_rate=icache.hit_rate if icache else 1.0,
+        dcache_hit_rate=dcache.hit_rate if dcache else 1.0,
+    )
+
+
+def evaluate_partitioned(image: ProgramImage, library: TechnologyLibrary,
+                         hw_blocks: Set[Tuple[str, str]],
+                         asic_stats: AsicRunStats,
+                         asic_metrics: ClusterMetrics,
+                         asic_cells: int,
+                         asic_energy_nj: Optional[float] = None,
+                         asic_mem_reads: int = 0,
+                         asic_mem_writes: int = 0,
+                         args: Tuple[int, ...] = (),
+                         globals_init: Optional[Dict[str, List[int]]] = None,
+                         icache_cfg: Optional[CacheConfig] = None,
+                         dcache_cfg: Optional[CacheConfig] = None,
+                         model_caches: bool = True) -> SystemRun:
+    """Run the partitioned ("P") design.
+
+    Args:
+        hw_blocks: ``(function, block)`` labels mapped to the ASIC core.
+        asic_stats: cycle accounting of the synthesized core.
+        asic_metrics: utilization/energy metrics of the binding.
+        asic_cells: reported hardware effort of the whole core.
+        asic_energy_nj: gate-level energy estimate; falls back to the
+            detailed resource-level model when absent.
+        asic_mem_reads / asic_mem_writes: the ASIC's in-place accesses to
+            oversized (non-scratchpad) arrays in shared memory.
+    """
+    if icache_cfg is None or dcache_cfg is None:
+        default_i, default_d = default_cache_configs()
+        icache_cfg = icache_cfg or default_i
+        dcache_cfg = dcache_cfg or default_d
+    if model_caches:
+        icache, dcache, memory, bus = _build_memory_system(
+            library, icache_cfg, dcache_cfg)
+    else:
+        icache = dcache = memory = bus = None
+    sim = Simulator(image, library, icache=icache, dcache=dcache,
+                    memory_model=memory, bus=bus, hw_blocks=hw_blocks)
+    for name, values in (globals_init or {}).items():
+        sim.set_global(name, values)
+    result = sim.run(*args)
+
+    # Shared-memory transfers (Fig. 2a): the μP deposits inputs (bus+mem
+    # write), the ASIC downloads them (bus+mem read); symmetrically for
+    # outputs.  The μP spends load/store instructions moving its side.
+    words = asic_stats.transfer_words_in + asic_stats.transfer_words_out
+    if memory is not None:
+        memory.word_writes += words
+        memory.word_reads += words
+        memory.word_reads += asic_mem_reads
+        memory.word_writes += asic_mem_writes
+    if bus is not None:
+        bus.write_words(words)
+        bus.read_words(words)
+        bus.read_words(asic_mem_reads)
+        bus.write_words(asic_mem_writes)
+    energy_model = InstructionEnergyModel(library)
+    transfer_up_nj = words * 2 * energy_model.base_nj("mem")
+
+    asic_nj = asic_energy_nj if asic_energy_nj is not None \
+        else asic_metrics.energy_detailed_nj
+
+    energy = CoreEnergy(
+        icache_nj=(CacheEnergyModel(library, icache_cfg).energy_nj(icache)
+                   if icache else 0.0),
+        dcache_nj=(CacheEnergyModel(library, dcache_cfg).energy_nj(dcache)
+                   if dcache else 0.0),
+        mem_nj=memory.energy_nj() if memory else 0.0,
+        up_core_nj=result.energy_nj + transfer_up_nj,
+        asic_core_nj=asic_nj,
+        bus_nj=bus.energy_nj() if bus else 0.0,
+    )
+    return SystemRun(
+        label="partitioned",
+        energy=energy,
+        up_cycles=result.cycles + asic_stats.transfer_cycles,
+        asic_cycles=asic_stats.asic_cycles,
+        result=result.result,
+        up_utilization=result.utilization,
+        asic_utilization=asic_metrics.utilization,
+        asic_cells=asic_cells,
+        sim=result,
+        icache_hit_rate=icache.hit_rate if icache else 1.0,
+        dcache_hit_rate=dcache.hit_rate if dcache else 1.0,
+        transfer_words=words,
+    )

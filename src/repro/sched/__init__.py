@@ -1,0 +1,36 @@
+"""Scheduling and binding for candidate ASIC clusters.
+
+``do_list_schedule`` (paper Fig. 1 line 8) is a resource-constrained list
+scheduler over the block-level data-dependence DAG; :mod:`repro.sched.binding`
+implements the paper's Fig. 4 algorithm that assigns operations to resource
+*instances* (the Glob/Loc/Sorted resource lists), yielding the hardware
+effort ``GEQ_RS`` and the utilization rate ``U_R^core``.
+"""
+
+from repro.sched.priority import asap_schedule, alap_schedule, mobility, path_height
+from repro.sched.list_scheduler import (
+    ChainingModel,
+    Schedule,
+    ScheduledOp,
+    ScheduleError,
+    list_schedule,
+)
+from repro.sched.binding import BindingResult, InstanceUsage, bind_schedule
+from repro.sched.utilization import ClusterMetrics, cluster_metrics
+
+__all__ = [
+    "asap_schedule",
+    "alap_schedule",
+    "mobility",
+    "path_height",
+    "ChainingModel",
+    "Schedule",
+    "ScheduledOp",
+    "list_schedule",
+    "ScheduleError",
+    "BindingResult",
+    "InstanceUsage",
+    "bind_schedule",
+    "ClusterMetrics",
+    "cluster_metrics",
+]

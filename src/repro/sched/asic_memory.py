@@ -1,0 +1,79 @@
+"""ASIC-side memory modelling: local scratchpads vs shared memory.
+
+A synthesized core of a few thousand cells can buffer small arrays locally
+(line buffers, coefficient tables) but cannot hold large data structures:
+accesses to arrays above ``library.asic_local_buffer_words`` go to the
+shared memory over the bus (Fig. 2a), with higher latency and with
+main-memory/bus energy per word.  This is what makes some clusters poor
+hardware citizens even when their datapath utilization is high — the
+mechanism behind the paper's "trick" application, whose partition saves
+energy but *loses* execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Tuple
+
+from repro.ir.ops import Operation, OpKind
+from repro.tech.library import TechnologyLibrary
+from repro.tech.resources import operation_latency
+
+
+def make_latency_fn(array_sizes: Mapping[str, int],
+                    library: TechnologyLibrary) -> Callable[[Operation], int]:
+    """Latency function for scheduling a cluster's operations.
+
+    LOAD/STORE on arrays larger than the ASIC's local buffer capacity take
+    ``asic_shared_mem_latency`` cycles; everything else uses the technology
+    default.
+    """
+    limit = library.asic_local_buffer_words
+    shared_latency = library.asic_shared_mem_latency
+
+    def latency_of(op: Operation) -> int:
+        if op.kind in (OpKind.LOAD, OpKind.STORE):
+            size = array_sizes.get(op.symbol, 0)
+            if size > limit:
+                return shared_latency
+        return operation_latency(op.kind)
+
+    return latency_of
+
+
+def shared_memory_traffic(block_ops: Mapping[str, Iterable[Operation]],
+                          ex_times: Mapping[str, int],
+                          array_sizes: Mapping[str, int],
+                          library: TechnologyLibrary) -> Tuple[int, int]:
+    """Dynamic shared-memory (word reads, word writes) of an ASIC cluster.
+
+    Counts LOAD/STORE executions on oversized arrays, weighted by profiled
+    block execution counts.
+    """
+    limit = library.asic_local_buffer_words
+    reads = 0
+    writes = 0
+    for block, ops in block_ops.items():
+        count = ex_times.get(block, 0)
+        if count == 0:
+            continue
+        for op in ops:
+            if op.kind is OpKind.LOAD and array_sizes.get(op.symbol, 0) > limit:
+                reads += count
+            elif op.kind is OpKind.STORE and array_sizes.get(op.symbol, 0) > limit:
+                writes += count
+    return reads, writes
+
+
+def local_buffer_words(block_ops: Mapping[str, Iterable[Operation]],
+                       array_sizes: Mapping[str, int],
+                       library: TechnologyLibrary) -> int:
+    """Total scratchpad words the cluster's local arrays require."""
+    limit = library.asic_local_buffer_words
+    seen: Dict[str, int] = {}
+    for ops in block_ops.values():
+        for op in ops:
+            if op.kind in (OpKind.LOAD, OpKind.STORE):
+                size = array_sizes.get(op.symbol, 0)
+                if 0 < size <= limit:
+                    seen[op.symbol] = size
+    return sum(seen.values())

@@ -1,0 +1,144 @@
+"""Operator-to-instance binding — the paper's Fig. 4 algorithm.
+
+Given the list schedules of a cluster's blocks, assign every operation to a
+concrete resource *instance*, building the global resource list
+(``Glob_RS_List[cs][rs][is]`` in the paper): per control step, per resource
+type, per instance, a used/unused flag.  The policy follows Fig. 4:
+
+* per operation, candidate resource types are tried smallest-first
+  (``Sorted_RS_List``, footnote 13: the smallest is the most energy
+  efficient);
+* an already-instantiated instance that is idle in the current step is
+  preferred over instantiating new hardware (lines 9-13);
+* if nothing is free, a new instance of the smallest compatible type with
+  remaining capacity in the designer's resource set is created; as a last
+  resort the scheduler's own kind choice is used (always feasible, since
+  the schedule respects per-step capacity).
+
+Outputs: instance counts per type, the hardware effort ``GEQ_RS``
+(lines 16-18), and per-instance busy cycles per block (lines 19-23), from
+which :mod:`repro.sched.utilization` computes ``U_R^core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.ir.ops import Operation
+from repro.sched.list_scheduler import Schedule, ScheduleError
+from repro.tech.library import TechnologyLibrary
+from repro.tech.resources import ResourceKind, compatible_resources
+
+
+@dataclass
+class InstanceUsage:
+    """Busy intervals of one resource instance, per block."""
+
+    kind: ResourceKind
+    index: int
+    #: block id -> list of (start, end) busy intervals.
+    intervals: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    def is_free(self, block: str, start: int, end: int) -> bool:
+        for s, e in self.intervals.get(block, ()):
+            if start < e and s < end:
+                return False
+        return True
+
+    def occupy(self, block: str, start: int, end: int) -> None:
+        self.intervals.setdefault(block, []).append((start, end))
+
+    def busy_cycles(self, block: str) -> int:
+        return sum(e - s for s, e in self.intervals.get(block, ()))
+
+
+@dataclass
+class BindingResult:
+    """Fig. 4 outputs for one cluster on one resource set."""
+
+    instances: List[InstanceUsage]
+    assignment: Dict[Operation, Tuple[ResourceKind, int]]
+    geq: int
+    block_makespans: Dict[str, int]
+
+    @property
+    def instance_counts(self) -> Dict[ResourceKind, int]:
+        counts: Dict[ResourceKind, int] = {}
+        for inst in self.instances:
+            counts[inst.kind] = counts.get(inst.kind, 0) + 1
+        return counts
+
+    def instances_of(self, kind: ResourceKind) -> List[InstanceUsage]:
+        return [inst for inst in self.instances if inst.kind == kind]
+
+
+def bind_schedule(schedules: Mapping[str, Schedule],
+                  library: TechnologyLibrary) -> BindingResult:
+    """Bind the scheduled blocks of a cluster to shared resource instances.
+
+    ``schedules`` maps block names to their list schedules; all blocks share
+    one datapath (the ASIC core executes them at different times), so an
+    instance used by one block is reusable by every other block.  Every
+    schedule must target the same resource set.
+    """
+    resource_sets = {id(s.resource_set) for s in schedules.values()}
+    if len(resource_sets) > 1:
+        names = {s.resource_set.name for s in schedules.values()}
+        if len(names) > 1:
+            raise ScheduleError(
+                f"blocks scheduled on different resource sets: {sorted(names)}")
+
+    instances: List[InstanceUsage] = []
+    by_kind: Dict[ResourceKind, List[InstanceUsage]] = {}
+    assignment: Dict[Operation, Tuple[ResourceKind, int]] = {}
+
+    def instantiate(kind: ResourceKind) -> InstanceUsage:
+        inst = InstanceUsage(kind=kind, index=len(by_kind.get(kind, ())))
+        instances.append(inst)
+        by_kind.setdefault(kind, []).append(inst)
+        return inst
+
+    for block_name in sorted(schedules):
+        schedule = schedules[block_name]
+        capacity = schedule.resource_set
+        for entry in sorted(schedule.entries, key=lambda e: (e.start, e.op.op_id)):
+            sorted_rs_list = compatible_resources(entry.op.kind)
+            chosen: Optional[InstanceUsage] = None
+            # Paper lines 7-13: prefer any already-instantiated compatible
+            # type with an instance idle during this operation's interval.
+            for kind in sorted_rs_list:
+                for inst in by_kind.get(kind, ()):
+                    if inst.is_free(block_name, entry.start, entry.end):
+                        chosen = inst
+                        break
+                if chosen is not None:
+                    break
+            if chosen is None:
+                # Instantiate the smallest compatible type that still has
+                # capacity in the designer's allocation (footnote 13).
+                for kind in sorted_rs_list:
+                    if len(by_kind.get(kind, ())) < capacity.count(kind):
+                        chosen = instantiate(kind)
+                        break
+            if chosen is None:
+                # Feasibility fallback: fall back to the scheduler's own
+                # kind assignment.  Cross-type reuse above can occasionally
+                # consume an instance the scheduler had reserved; in that
+                # rare case one extra instance is instantiated — honest
+                # hardware whose cost lands in GEQ_RS like any other.
+                kind = entry.resource
+                for inst in by_kind.get(kind, ()):
+                    if inst.is_free(block_name, entry.start, entry.end):
+                        chosen = inst
+                        break
+                if chosen is None:
+                    chosen = instantiate(kind)
+            chosen.occupy(block_name, entry.start, entry.end)
+            assignment[entry.op] = (chosen.kind, chosen.index)
+
+    # Fig. 4 lines 16-18: hardware effort.
+    geq = sum(library.spec(inst.kind).geq for inst in instances)
+    makespans = {name: schedules[name].makespan for name in schedules}
+    return BindingResult(instances=instances, assignment=assignment,
+                         geq=geq, block_makespans=makespans)

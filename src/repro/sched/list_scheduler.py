@@ -1,0 +1,355 @@
+"""Resource-constrained list scheduling (paper Fig. 1 line 8).
+
+Schedules the datapath operations of one basic block onto a designer-given
+:class:`~repro.tech.resources.ResourceSet`.  Control steps are ASIC clock
+cycles; a multi-cycle operation occupies one instance of its resource for
+its whole latency.  Priority is latency-weighted path height (critical path
+first), the standard "simple list schedule".
+
+Control operations (branch/jump/return) never occupy a datapath resource:
+the controller FSM realizes them, so they are excluded before scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.cdfg import build_data_dependence_graph
+from repro.ir.ops import CONTROL_KINDS, Operation, OpKind
+from repro.sched.priority import default_latency, path_height
+from repro.tech.resources import (
+    ResourceKind,
+    ResourceSet,
+    compatible_resources,
+)
+
+
+class ScheduleError(Exception):
+    """Raised when a block cannot be scheduled on a resource set."""
+
+
+#: Kinds that synthesize to wires/literals, not datapath resources:
+#: constants are hardwired and copies are routing.
+_WIRE_KINDS = frozenset({OpKind.CONST, OpKind.MOV})
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One scheduled operation: start step, latency, executing resource kind."""
+
+    op: Operation
+    start: int
+    latency: int
+    resource: ResourceKind
+
+    @property
+    def end(self) -> int:
+        """First step after the operation completes."""
+        return self.start + self.latency
+
+
+@dataclass
+class Schedule:
+    """Result of list-scheduling one basic block.
+
+    Attributes:
+        entries: scheduled operations (in nondecreasing start order).
+        makespan: number of control steps (block latency in ASIC cycles).
+        resource_set: the allocation scheduled against.
+    """
+
+    entries: List[ScheduledOp]
+    makespan: int
+    resource_set: ResourceSet
+    by_step: Dict[int, List[ScheduledOp]] = field(default_factory=dict)
+    ddg: Optional[object] = None  # the reduced dependence DAG (networkx)
+
+    def __post_init__(self) -> None:
+        if not self.by_step:
+            for entry in self.entries:
+                self.by_step.setdefault(entry.start, []).append(entry)
+
+    @property
+    def op_count(self) -> int:
+        return len(self.entries)
+
+    def ops_active_in(self, step: int) -> List[ScheduledOp]:
+        """Operations whose execution covers control step ``step``."""
+        return [e for e in self.entries if e.start <= step < e.end]
+
+    def verify(self) -> None:
+        """Check resource-capacity and dependence feasibility."""
+        usage: Dict[Tuple[int, ResourceKind], int] = {}
+        for entry in self.entries:
+            for step in range(entry.start, entry.end):
+                key = (step, entry.resource)
+                usage[key] = usage.get(key, 0) + 1
+                if usage[key] > self.resource_set.count(entry.resource):
+                    raise ScheduleError(
+                        f"over-subscribed {entry.resource.value} at step {step}")
+        if self.ddg is None:
+            return
+        finish = {e.op: e.end for e in self.entries}
+        start = {e.op: e.start for e in self.entries}
+        for src, dst in self.ddg.edges():
+            if start[dst] < finish[src]:
+                raise ScheduleError(
+                    f"dependence violated: {src!r} -> {dst!r}")
+
+
+def datapath_ops(ops: Iterable[Operation]) -> List[Operation]:
+    """Operations that occupy a datapath resource when synthesized:
+    control flow goes to the FSM, constants/copies become wires."""
+    return [op for op in ops
+            if op.kind not in CONTROL_KINDS and op.kind not in _WIRE_KINDS]
+
+
+def hw_dependence_graph(ops: Iterable[Operation]):
+    """Data-dependence DAG over the schedulable (datapath) operations.
+
+    Built over all non-control operations, then CONST/MOV nodes are
+    contracted away: their consumers inherit the producers' dependences
+    with zero latency (a wire).
+    """
+    non_control = [op for op in ops if op.kind not in CONTROL_KINDS]
+    ddg = build_data_dependence_graph(non_control)
+    for op in list(ddg.nodes):
+        if op.kind in _WIRE_KINDS:
+            preds = list(ddg.predecessors(op))
+            succs = list(ddg.successors(op))
+            for pred in preds:
+                for succ in succs:
+                    if pred is not succ:
+                        ddg.add_edge(pred, succ, dep="flow")
+            ddg.remove_node(op)
+    return ddg
+
+
+def list_schedule(ops: Iterable[Operation],
+                  resource_set: ResourceSet,
+                  latency_of=None,
+                  chaining: Optional["ChainingModel"] = None) -> Schedule:
+    """Schedule the datapath operations of one block.
+
+    Args:
+        ops: the block's operations in program order.
+        resource_set: the designer allocation to schedule against.
+        latency_of: optional ``Operation -> cycles`` override (used to give
+            LOAD/STORE on oversized arrays their shared-memory latency).
+        chaining: optional operator-chaining model; when given, dependent
+            single-cycle operations may share a control step as long as
+            their combinational delays fit the clock period (see
+            :class:`ChainingModel`).
+
+    Raises :class:`ScheduleError` if some operation has no compatible
+    resource in ``resource_set`` (the designer's allocation cannot execute
+    the cluster — the partitioner then skips this (cluster, set) pair).
+    """
+    if chaining is not None:
+        return _list_schedule_chained(ops, resource_set, latency_of, chaining)
+    ops = list(ops)
+    body = datapath_ops(ops)
+    for op in body:
+        if not resource_set.can_execute(op.kind):
+            raise ScheduleError(
+                f"no resource in set {resource_set.name!r} executes "
+                f"{op.kind.value}")
+    if not body:
+        return Schedule(entries=[], makespan=0, resource_set=resource_set)
+
+    latency_of = latency_of or default_latency
+
+    ddg = hw_dependence_graph(ops)
+    priority = path_height(ddg, latency_of)
+    indegree = {op: ddg.in_degree(op) for op in body}
+    ready: List[Operation] = [op for op in body if indegree[op] == 0]
+    # Earliest step each op may start (dependence-driven).
+    earliest: Dict[Operation, int] = {op: 0 for op in body}
+    # resource kind -> list of instance-free-at step counters.
+    busy_until: Dict[ResourceKind, List[int]] = {
+        kind: [0] * count for kind, count in resource_set.items()
+    }
+
+    entries: List[ScheduledOp] = []
+    scheduled: Dict[Operation, ScheduledOp] = {}
+    step = 0
+    remaining = len(body)
+    guard = 0
+    while remaining > 0:
+        guard += 1
+        if guard > 10_000_000:  # pragma: no cover - defensive
+            raise ScheduleError("scheduler failed to converge")
+        # Ready ops whose dependence time has come, best priority first.
+        # Ties broken by op_id for determinism.
+        candidates = sorted(
+            (op for op in ready if earliest[op] <= step),
+            key=lambda op: (-priority[op], op.op_id))
+        for op in candidates:
+            placed = False
+            for kind in compatible_resources(op.kind):
+                instances = busy_until.get(kind)
+                if not instances:
+                    continue
+                for index, free_at in enumerate(instances):
+                    if free_at <= step:
+                        latency = latency_of(op)
+                        instances[index] = step + latency
+                        entry = ScheduledOp(op=op, start=step, latency=latency,
+                                            resource=kind)
+                        entries.append(entry)
+                        scheduled[op] = entry
+                        ready.remove(op)
+                        remaining -= 1
+                        placed = True
+                        break
+                if placed:
+                    break
+            if placed:
+                for succ in ddg.successors(op):
+                    indegree[succ] -= 1
+                    earliest[succ] = max(earliest[succ], scheduled[op].end)
+                    if indegree[succ] == 0:
+                        ready.append(succ)
+        step += 1
+
+    makespan = max(e.end for e in entries)
+    return Schedule(entries=entries, makespan=makespan,
+                    resource_set=resource_set, ddg=ddg)
+
+
+@dataclass(frozen=True)
+class ChainingModel:
+    """Operator-chaining parameters.
+
+    Attributes:
+        clock_ns: target control-step period.  Defaults (0.0) to the
+            slowest instantiated resource's cycle time, resolved at
+            schedule time from the resource set.
+        delay_of_ns: combinational delay per resource kind (defaults to the
+            technology ``t_cyc_ns`` of the kind executing the op).
+    """
+
+    clock_ns: float = 0.0
+
+    def resolve_clock(self, resource_set: ResourceSet, library) -> float:
+        if self.clock_ns > 0:
+            return self.clock_ns
+        return max(library.spec(kind).t_cyc_ns
+                   for kind in resource_set.kinds())
+
+
+def _list_schedule_chained(ops: Iterable[Operation],
+                           resource_set: ResourceSet,
+                           latency_of,
+                           chaining: ChainingModel) -> Schedule:
+    """List scheduling with operator chaining.
+
+    Dependent single-cycle operations may share a control step as long as
+    the accumulated combinational delay along the chain stays within the
+    clock period.  Multi-cycle operations (multiplies, divides, memory)
+    are chain *breakers*: they neither chain after a producer in the same
+    step nor feed a consumer in their final step.
+    """
+    from repro.tech.library import cmos6_library
+
+    library = cmos6_library()
+    clock_ns = chaining.resolve_clock(resource_set, library)
+    latency_of = latency_of or default_latency
+
+    ops = list(ops)
+    body = datapath_ops(ops)
+    for op in body:
+        if not resource_set.can_execute(op.kind):
+            raise ScheduleError(
+                f"no resource in set {resource_set.name!r} executes "
+                f"{op.kind.value}")
+    if not body:
+        return Schedule(entries=[], makespan=0, resource_set=resource_set)
+
+    ddg = hw_dependence_graph(ops)
+    priority = path_height(ddg, latency_of)
+    indegree = {op: ddg.in_degree(op) for op in body}
+    ready: List[Operation] = [op for op in body if indegree[op] == 0]
+
+    # Dependence availability: (step, intra-step chain delay in ns).
+    avail_step: Dict[Operation, int] = {op: 0 for op in body}
+    avail_delay: Dict[Operation, float] = {op: 0.0 for op in body}
+    busy_until: Dict[ResourceKind, List[int]] = {
+        kind: [0] * count for kind, count in resource_set.items()
+    }
+
+    entries: List[ScheduledOp] = []
+    finish_step: Dict[Operation, int] = {}
+    finish_delay: Dict[Operation, float] = {}
+    step = 0
+    remaining = len(body)
+    guard = 0
+    progressed = True
+    while remaining > 0:
+        guard += 1
+        if guard > 10_000_000:  # pragma: no cover - defensive
+            raise ScheduleError("chained scheduler failed to converge")
+        if not progressed:
+            step += 1
+        progressed = False
+        # Repeated passes at the same step let a consumer chain behind a
+        # producer placed earlier in this very step.
+        candidates = sorted(
+            (op for op in ready if avail_step[op] <= step),
+            key=lambda op: (-priority[op], op.op_id))
+        for op in candidates:
+            latency = latency_of(op)
+            start_delay = avail_delay[op] if avail_step[op] == step else 0.0
+            delay_ns = library.spec(compatible_resources(op.kind)[0]).t_cyc_ns
+            chainable = latency == 1 and start_delay + delay_ns <= clock_ns
+            if start_delay > 0.0 and not chainable:
+                # Cannot extend the chain: wait for the next step.
+                if avail_step[op] == step:
+                    avail_step[op] = step + 1
+                    avail_delay[op] = 0.0
+                continue
+            placed = False
+            for kind in compatible_resources(op.kind):
+                instances = busy_until.get(kind)
+                if not instances:
+                    continue
+                for index, free_at in enumerate(instances):
+                    if free_at <= step:
+                        instances[index] = step + latency
+                        entries.append(ScheduledOp(op=op, start=step,
+                                                   latency=latency,
+                                                   resource=kind))
+                        finish_step[op] = step + latency
+                        if latency == 1:
+                            finish_delay[op] = start_delay + delay_ns
+                        else:
+                            finish_delay[op] = clock_ns  # chain breaker
+                        ready.remove(op)
+                        remaining -= 1
+                        placed = True
+                        progressed = True
+                        break
+                if placed:
+                    break
+            if placed:
+                for succ in ddg.successors(op):
+                    indegree[succ] -= 1
+                    # The consumer may chain in the producer's last step
+                    # when the producer is single-cycle.
+                    if latency == 1 and finish_delay[op] < clock_ns:
+                        succ_step = finish_step[op] - 1
+                        succ_delay = finish_delay[op]
+                    else:
+                        succ_step = finish_step[op]
+                        succ_delay = 0.0
+                    if (succ_step, succ_delay) > (avail_step[succ],
+                                                  avail_delay[succ]):
+                        avail_step[succ] = succ_step
+                        avail_delay[succ] = succ_delay
+                    if indegree[succ] == 0:
+                        ready.append(succ)
+
+    makespan = max(e.end for e in entries)
+    return Schedule(entries=entries, makespan=makespan,
+                    resource_set=resource_set, ddg=None)

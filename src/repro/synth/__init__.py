@@ -1,0 +1,39 @@
+"""ASIC-core synthesis substrate.
+
+The paper's flow hands the winning cluster to "a behavioral compilation
+tool, followed by an RTL simulator ... an RTL logic synthesis tool using a
+CMOS6 library and finally the gate-level simulation tool with attached
+switching energy calculation" (Fig. 5).  This package is that tool chain's
+open equivalent:
+
+* :mod:`repro.synth.datapath` — builds the RTL structure (functional units
+  from the binding, registers from value lifetimes, operand muxes);
+* :mod:`repro.synth.fsm` — the controller (one state per control step plus
+  loop counters for FSM-realized induction ops);
+* :mod:`repro.synth.netlist` — expands the RTL to gate counts per component;
+* :mod:`repro.synth.gatesim` — switching-energy estimation over the gate
+  counts with the binding's per-instance activity (the line-15 gate-level
+  check of the line-11 estimate);
+* :mod:`repro.synth.rtl_sim` — cycle-accurate-at-the-schedule-level run
+  statistics of the synthesized core (cycles, invocation overheads,
+  transfer cycles).
+"""
+
+from repro.synth.datapath import Datapath, build_datapath
+from repro.synth.fsm import Controller, build_controller
+from repro.synth.netlist import Netlist, expand_netlist
+from repro.synth.gatesim import GateLevelEnergy, estimate_gate_energy
+from repro.synth.rtl_sim import AsicRunStats, simulate_asic
+
+__all__ = [
+    "Datapath",
+    "build_datapath",
+    "Controller",
+    "build_controller",
+    "Netlist",
+    "expand_netlist",
+    "GateLevelEnergy",
+    "estimate_gate_energy",
+    "AsicRunStats",
+    "simulate_asic",
+]

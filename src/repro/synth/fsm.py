@@ -1,0 +1,46 @@
+"""Controller (FSM) construction for a synthesized cluster.
+
+One state per control step of every block, a state register, next-state and
+output logic proportional to states x controlled points, plus one hardware
+loop counter per FSM-realized induction update (the `for`-loop counters the
+cluster decomposition marked as controller work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.sched.list_scheduler import Schedule
+
+#: GEQ cost constants for the controller structure.
+FSM_BASE_GEQ = 180          # handshake, start/done logic
+FSM_STATE_GEQ = 24          # next-state + output logic per state
+LOOP_COUNTER_GEQ = 420      # 32-bit counter + compare
+
+
+@dataclass
+class Controller:
+    """Structural summary of the cluster controller."""
+
+    states: int
+    loop_counters: int
+    geq: int
+
+
+def build_controller(schedules: Mapping[str, Schedule],
+                     loop_counter_count: int) -> Controller:
+    """Size the FSM for a cluster's schedules.
+
+    Args:
+        schedules: block name -> schedule (states = sum of makespans, with
+            a minimum of one state per block for pure-control blocks).
+        loop_counter_count: induction updates realized as counters.
+    """
+    if loop_counter_count < 0:
+        raise ValueError(f"negative counter count: {loop_counter_count}")
+    states = sum(max(1, s.makespan) for s in schedules.values())
+    geq = (FSM_BASE_GEQ
+           + states * FSM_STATE_GEQ
+           + loop_counter_count * LOOP_COUNTER_GEQ)
+    return Controller(states=states, loop_counters=loop_counter_count, geq=geq)

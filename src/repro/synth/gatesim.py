@@ -1,0 +1,74 @@
+"""Gate-level switching-energy estimation (paper Fig. 1 line 15).
+
+The flow's final check: after synthesis, estimate the chosen core's energy
+from the gate level rather than from the line-11 resource formula.  For a
+component with G combinational gates at switching activity ``a``, one clock
+cycle costs ``G * a * E_gate`` — with ``a = active_activity`` while the
+component computes and ``a = idle_activity`` otherwise (no gated clocks).
+Sequential gates toggle every cycle (clock input) at a reduced weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.sched.binding import BindingResult
+from repro.synth.netlist import Netlist
+from repro.tech.library import TechnologyLibrary
+
+#: Relative activity of a sequential gate's clock network per cycle.
+_SEQ_CLOCK_ACTIVITY = 0.5
+
+
+@dataclass
+class GateLevelEnergy:
+    """Per-component and total gate-level energy of one cluster run."""
+
+    component_nj: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_nj(self) -> float:
+        return sum(self.component_nj.values())
+
+
+def estimate_gate_energy(netlist: Netlist,
+                         binding: BindingResult,
+                         ex_times: Mapping[str, int],
+                         total_cycles: int,
+                         library: TechnologyLibrary) -> GateLevelEnergy:
+    """Estimate the synthesized core's switching energy over one run.
+
+    Args:
+        netlist: gate counts per component.
+        binding: per-instance busy intervals (drives per-unit activity).
+        ex_times: block execution counts from profiling.
+        total_cycles: the cluster's total execution cycles ``N_cyc^c``.
+        library: switching-energy constants.
+    """
+    energy = GateLevelEnergy()
+    e_gate = library.gate_switch_energy_pj
+
+    active_by_unit: Dict[str, int] = {}
+    for inst in binding.instances:
+        cycles = sum(inst.busy_cycles(block) * ex_times.get(block, 0)
+                     for block in binding.block_makespans)
+        active_by_unit[f"{inst.kind.value}{inst.index}"] = cycles
+
+    idle_factor = library.asic_idle_factor
+    for comp in netlist.components:
+        active = active_by_unit.get(comp.name)
+        if active is None:
+            # Registers, muxes, controller: busy whenever the core runs.
+            active = total_cycles
+        active = min(active, total_cycles)
+        idle = max(0, total_cycles - active)
+        comb_pj = comp.combinational_gates * e_gate * (
+            active * library.active_activity
+            + idle * library.idle_activity * idle_factor)
+        # Sequential gates see the clock every active cycle; during idle
+        # cycles the clock is gated down to the library's idle factor.
+        seq_pj = (comp.sequential_gates * e_gate * _SEQ_CLOCK_ACTIVITY
+                  * (active + idle * idle_factor))
+        energy.component_nj[comp.name] = (comb_pj + seq_pj) / 1000.0
+    return energy

@@ -1,0 +1,79 @@
+"""RTL-level run statistics of a synthesized ASIC core.
+
+The paper's flow runs an RTL simulator "to retrieve the number of cycles it
+needs to execute the cluster".  Our schedules are already cycle-accurate at
+the control-step level, so the RTL run statistics follow directly: block
+makespans weighted by profiled execution counts, plus per-invocation
+start/done handshake states and the shared-memory transfer traffic
+(performed by the μP core at its clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.sched.list_scheduler import Schedule
+
+#: Handshake cycles per ASIC invocation (start + done synchronization).
+HANDSHAKE_CYCLES = 4
+#: μP-side cycles to move one word to/from the shared memory.
+TRANSFER_CYCLES_PER_WORD = 2
+
+
+@dataclass
+class AsicRunStats:
+    """Cycle accounting of one partitioned run.
+
+    Attributes:
+        compute_cycles: ASIC cycles executing the cluster(s).
+        handshake_cycles: ASIC-side synchronization cycles.
+        transfer_cycles: μP-side cycles spent depositing inputs and reading
+            back outputs through the shared memory.
+        invocations: number of ASIC activations.
+        transfer_words_in / transfer_words_out: words moved per run (all
+            invocations).
+    """
+
+    compute_cycles: int
+    handshake_cycles: int
+    transfer_cycles: int
+    invocations: int
+    transfer_words_in: int
+    transfer_words_out: int
+
+    @property
+    def asic_cycles(self) -> int:
+        """Cycles attributed to the ASIC core in Table-1-style reports."""
+        return self.compute_cycles + self.handshake_cycles
+
+
+def simulate_asic(schedules: Mapping[str, Schedule],
+                  ex_times: Mapping[str, int],
+                  invocations: int,
+                  transfer_words_in: int,
+                  transfer_words_out: int) -> AsicRunStats:
+    """Compute run statistics of the synthesized core.
+
+    Args:
+        schedules: block -> schedule of the mapped cluster.
+        ex_times: block execution counts from profiling.
+        invocations: ASIC activations over the run.
+        transfer_words_in / transfer_words_out: total words crossing the
+            shared memory over the whole run (already invocation-scaled).
+    """
+    if invocations < 0:
+        raise ValueError(f"negative invocation count: {invocations}")
+    compute = sum(schedule.makespan * ex_times.get(block, 0)
+                  for block, schedule in schedules.items())
+    handshake = HANDSHAKE_CYCLES * invocations
+    transfer = TRANSFER_CYCLES_PER_WORD * (transfer_words_in
+                                           + transfer_words_out)
+    return AsicRunStats(
+        compute_cycles=compute,
+        handshake_cycles=handshake,
+        transfer_cycles=transfer,
+        invocations=invocations,
+        transfer_words_in=transfer_words_in,
+        transfer_words_out=transfer_words_out,
+    )

@@ -1,0 +1,33 @@
+"""Synthetic CMOS6-class technology data (0.8 micron, 3.3 V).
+
+The paper derives per-resource average power, minimum cycle time and hardware
+effort (gate equivalents) from NEC's proprietary CMOS6 library; it also feeds
+analytical cache/memory models with 0.8 micron feature-size parameters.  This
+package provides an equivalent open data set with the same *relative* cost
+structure (multiplier >> ALU > shifter > comparator, etc.).
+"""
+
+from repro.tech.resources import (
+    ResourceKind,
+    ResourceSpec,
+    ResourceSet,
+    compatible_resources,
+    default_resource_sets,
+    operation_latency,
+)
+from repro.tech.library import TechnologyLibrary, cmos6_library, with_gated_asic
+from repro.tech.geq import geq_of_set, cells_of_geq
+
+__all__ = [
+    "ResourceKind",
+    "ResourceSpec",
+    "ResourceSet",
+    "compatible_resources",
+    "default_resource_sets",
+    "operation_latency",
+    "TechnologyLibrary",
+    "cmos6_library",
+    "with_gated_asic",
+    "geq_of_set",
+    "cells_of_geq",
+]

@@ -1,0 +1,33 @@
+"""Gate-equivalent (hardware effort) arithmetic.
+
+The paper reports ASIC hardware effort in *cells* ("slightly less than 16k
+cells" for the largest core).  We follow the usual standard-cell convention
+of one gate equivalent == one 2-input-NAND-sized cell, so cells and GEQ are
+the same unit here; :func:`cells_of_geq` exists to keep call sites explicit
+about which quantity they report.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.tech.library import TechnologyLibrary
+from repro.tech.resources import ResourceKind, ResourceSet
+
+
+def geq_of_set(library: TechnologyLibrary, resource_set: ResourceSet) -> int:
+    """Total datapath GEQ of instantiating every resource in ``resource_set``."""
+    return sum(library.spec(kind).geq * count for kind, count in resource_set.items())
+
+
+def geq_of_counts(library: TechnologyLibrary,
+                  counts: Mapping[ResourceKind, int]) -> int:
+    """Total GEQ for an explicit ``kind -> instance count`` mapping."""
+    return sum(library.spec(kind).geq * count for kind, count in counts.items())
+
+
+def cells_of_geq(geq: int) -> int:
+    """Convert GEQ to reported cells (identity under the NAND2 convention)."""
+    if geq < 0:
+        raise ValueError(f"negative hardware effort: {geq}")
+    return geq

@@ -1,0 +1,165 @@
+"""The synthetic CMOS6-class technology library.
+
+One :class:`TechnologyLibrary` object carries every technology-dependent
+constant the flow needs: per-resource specs (``P_av``, ``T_cyc``, ``GEQ``),
+gate-level switching energy for the gate-level estimator, the 0.8 micron
+cache/memory circuit parameters for the analytical models, bus transfer
+energies, and the microprocessor core's operating point.
+
+Absolute values are synthetic but sit at a published 0.8 micron / 3.3 V
+operating point; all *ratios* (the quantities partitioning decisions depend
+on) follow the structure of the paper's Table 1 and of Tiwari-style
+instruction-level measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.tech.resources import ResourceKind, ResourceSpec
+
+
+@dataclass(frozen=True)
+class TechnologyLibrary:
+    """Immutable bundle of technology constants.
+
+    Attributes:
+        name: library identifier.
+        feature_um: feature size in microns.
+        voltage_v: supply voltage.
+        resources: specs per datapath resource kind.
+        gate_switch_energy_pj: energy of one gate-equivalent switching event
+            (used by the gate-level estimator, paper Fig. 1 line 15).
+        active_activity: average switching activity of an actively used
+            resource (fraction of gates toggling per cycle).
+        idle_activity: switching activity of a clocked but idle resource —
+            non-zero because the cores lack gated clocks (paper section 3.1).
+        up_clock_mhz: microprocessor core clock.
+        up_cycle_energy_nj: average whole-core energy per μP cycle, the
+            anchor for the instruction-level model (Table 1 implies ~14
+            nJ/cycle for the SPARCLite-class core).
+        bus_read_energy_nj / bus_write_energy_nj: energy per 32-bit shared
+            bus transfer (``E_bus read/write`` of paper Fig. 3 step 5; reads
+            and writes "imply different amounts of energy", footnote 9).
+        mem_read_energy_nj / mem_write_energy_nj: main-memory energy per
+            32-bit word access.
+        cache_*: analytical cache-model circuit constants (0.8 micron).
+    """
+
+    name: str
+    feature_um: float
+    voltage_v: float
+    resources: Dict[ResourceKind, ResourceSpec]
+    gate_switch_energy_pj: float
+    active_activity: float
+    idle_activity: float
+    up_clock_mhz: float
+    up_cycle_energy_nj: float
+    bus_read_energy_nj: float
+    bus_write_energy_nj: float
+    mem_read_energy_nj: float
+    mem_write_energy_nj: float
+    cache_bitline_energy_pj: float
+    cache_wordline_energy_pj: float
+    cache_senseamp_energy_pj: float
+    cache_decode_energy_pj: float
+    cache_tag_bit_energy_pj: float
+    cache_output_energy_pj: float
+    #: Largest array (words) the ASIC core can keep in local scratchpad
+    #: buffers; larger arrays are accessed in shared memory over the bus.
+    asic_local_buffer_words: int = 1024
+    #: ASIC-side latency (cycles) of one shared-memory access (bus
+    #: arbitration + memory), vs. the MEMPORT's local-buffer latency.
+    #: The shared memory's real access time matches the μP's refill path
+    #: (~8 cycles at 50 ns); at the ASIC's ~25 ns clock that is ~16 cycles.
+    asic_shared_mem_latency: int = 16
+    #: Fraction of nominal idle power the ASIC core's resources burn.
+    #: 1.0 = non-gated clocks like the purchased cores (the default, and
+    #: the paper's setting); 0.0 = perfect clock gating in the new core.
+    asic_idle_factor: float = 1.0
+
+    def spec(self, kind: ResourceKind) -> ResourceSpec:
+        return self.resources[kind]
+
+    @property
+    def up_cycle_time_ns(self) -> float:
+        return 1000.0 / self.up_clock_mhz
+
+    def resource_energy_nj(self, kind: ResourceKind, active_cycles: int,
+                           idle_cycles: int = 0) -> float:
+        """Energy of one resource instance over a run (nJ)."""
+        spec = self.spec(kind)
+        return (active_cycles * spec.energy_active_pj
+                + idle_cycles * spec.energy_idle_pj) / 1000.0
+
+
+def _cmos6_resources() -> Dict[ResourceKind, ResourceSpec]:
+    """32-bit datapath units in a 0.8 micron standard-cell flavour.
+
+    GEQ and energy ratios follow standard datapath costs: an array multiplier
+    dwarfs an ALU, a barrel shifter is slightly smaller than an ALU, a
+    comparator is tiny.  Idle energies are ~35-40% of active (clock tree +
+    spurious toggling on a non-gated design).
+    """
+    table = [
+        #            kind                    geq  act_pj idle_pj t_ns
+        ResourceSpec(ResourceKind.ALU,        1400, 180.0,  70.0, 12.0),
+        # Booth-encoded 32-bit multiplier (array multipliers are ~50% larger).
+        ResourceSpec(ResourceKind.MULTIPLIER, 5400, 1150.0, 450.0, 25.0),
+        ResourceSpec(ResourceKind.DIVIDER,    9800, 1700.0, 660.0, 30.0),
+        ResourceSpec(ResourceKind.SHIFTER,     950, 110.0,  44.0, 10.0),
+        ResourceSpec(ResourceKind.COMPARATOR,  320,  45.0,  18.0,  8.0),
+        ResourceSpec(ResourceKind.MEMPORT,     520, 260.0,  82.0, 15.0),
+        ResourceSpec(ResourceKind.REGISTER,    190,  35.0,  12.0,  5.0),
+    ]
+    return {spec.kind: spec for spec in table}
+
+
+def cmos6_library() -> TechnologyLibrary:
+    """The default library used throughout the reproduction.
+
+    Self-consistency: an active ALU burns ``geq * activity * gate_switch``
+    = 1400 * 0.30 * 0.45 pJ ~= 189 pJ/cycle, matching its spec entry; the
+    gate-level estimator and the resource-level estimate therefore agree to
+    first order, as the paper's flow expects (estimate in Fig. 1 line 11,
+    gate-level check in line 15).
+    """
+    return TechnologyLibrary(
+        name="cmos6",
+        feature_um=0.8,
+        voltage_v=3.3,
+        resources=_cmos6_resources(),
+        gate_switch_energy_pj=0.45,
+        active_activity=0.30,
+        idle_activity=0.11,
+        up_clock_mhz=20.0,
+        up_cycle_energy_nj=14.0,
+        bus_read_energy_nj=4.2,
+        bus_write_energy_nj=5.1,
+        mem_read_energy_nj=24.0,
+        mem_write_energy_nj=28.0,
+        cache_bitline_energy_pj=1.8,
+        cache_wordline_energy_pj=0.9,
+        cache_senseamp_energy_pj=110.0,
+        cache_decode_energy_pj=160.0,
+        cache_tag_bit_energy_pj=2.1,
+        cache_output_energy_pj=190.0,
+        asic_local_buffer_words=1024,
+        asic_shared_mem_latency=16,
+    )
+
+
+def with_gated_asic(library: TechnologyLibrary,
+                    idle_factor: float = 0.05) -> TechnologyLibrary:
+    """A copy of ``library`` whose ASIC cores gate their clocks.
+
+    The paper's premise is that *purchased* cores lack gated clocks; a
+    newly synthesized ASIC core could well have them (section 3.1 discusses
+    the alternative).  ``idle_factor`` is the residual idle power fraction
+    (clock-gating cell overhead + leakage); 0.05 is a typical figure.
+    """
+    import dataclasses
+    if not 0.0 <= idle_factor <= 1.0:
+        raise ValueError(f"idle_factor must be in [0, 1], got {idle_factor}")
+    return dataclasses.replace(library, asic_idle_factor=idle_factor)

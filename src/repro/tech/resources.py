@@ -1,0 +1,189 @@
+"""Datapath resource types (ALU, multiplier, shifter, ...).
+
+These are the ``rs`` objects of the paper: each has an average power
+``P_av`` (Eq. 2 and Fig. 1 line 11), a minimum cycle time ``T_cyc``, and a
+hardware effort ``GEQ`` (Fig. 4 lines 16-18).  A designer-supplied
+:class:`ResourceSet` says how many instances of each kind the ASIC core may
+instantiate (paper Fig. 1 line 7: "the designer tells the partitioning
+algorithm how much hardware they are willing to spend").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.ir.ops import OpKind
+
+
+class ResourceKind(enum.Enum):
+    """Datapath resource type identifiers."""
+
+    ALU = "alu"
+    MULTIPLIER = "multiplier"
+    DIVIDER = "divider"
+    SHIFTER = "shifter"
+    COMPARATOR = "comparator"
+    MEMPORT = "memport"
+    REGISTER = "register"
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """Static properties of one resource kind in a technology library.
+
+    Attributes:
+        kind: resource type.
+        geq: hardware effort in gate equivalents for one instance.
+        energy_active_pj: energy per *actively used* cycle (pJ).
+        energy_idle_pj: energy per clocked-but-idle cycle (pJ) — the source
+            of the paper's "wasted energy" (Eq. 2) on non-gated designs.
+        t_cyc_ns: minimum cycle time the resource can run at (ns).
+    """
+
+    kind: ResourceKind
+    geq: int
+    energy_active_pj: float
+    energy_idle_pj: float
+    t_cyc_ns: float
+
+    @property
+    def p_av_mw(self) -> float:
+        """Average active power in mW (``P_av`` of the paper)."""
+        return self.energy_active_pj / self.t_cyc_ns
+
+
+#: Which resource kinds can execute each operation kind, ordered by
+#: increasing size — exactly the order of the paper's ``Sorted_RS_List``
+#: (Fig. 4 line 5, footnote 13: "the first resource means the smallest and
+#: therefore the most energy efficient one").
+_COMPATIBILITY: Dict[OpKind, Tuple[ResourceKind, ...]] = {
+    OpKind.ADD: (ResourceKind.ALU,),
+    OpKind.SUB: (ResourceKind.ALU,),
+    OpKind.NEG: (ResourceKind.ALU,),
+    OpKind.AND: (ResourceKind.ALU,),
+    OpKind.OR: (ResourceKind.ALU,),
+    OpKind.XOR: (ResourceKind.ALU,),
+    OpKind.NOT: (ResourceKind.ALU,),
+    OpKind.MOV: (ResourceKind.ALU,),
+    OpKind.CONST: (ResourceKind.ALU,),
+    OpKind.MUL: (ResourceKind.MULTIPLIER,),
+    OpKind.DIV: (ResourceKind.DIVIDER,),
+    OpKind.MOD: (ResourceKind.DIVIDER,),
+    OpKind.SHL: (ResourceKind.SHIFTER, ResourceKind.ALU),
+    OpKind.SHR: (ResourceKind.SHIFTER, ResourceKind.ALU),
+    OpKind.EQ: (ResourceKind.COMPARATOR, ResourceKind.ALU),
+    OpKind.NE: (ResourceKind.COMPARATOR, ResourceKind.ALU),
+    OpKind.LT: (ResourceKind.COMPARATOR, ResourceKind.ALU),
+    OpKind.LE: (ResourceKind.COMPARATOR, ResourceKind.ALU),
+    OpKind.GT: (ResourceKind.COMPARATOR, ResourceKind.ALU),
+    OpKind.GE: (ResourceKind.COMPARATOR, ResourceKind.ALU),
+    OpKind.LOAD: (ResourceKind.MEMPORT,),
+    OpKind.STORE: (ResourceKind.MEMPORT,),
+}
+
+#: Execution latency (cycles) per operation kind on its resource.
+_LATENCY: Dict[OpKind, int] = {
+    OpKind.MUL: 2,
+    OpKind.DIV: 8,
+    OpKind.MOD: 8,
+    OpKind.LOAD: 2,
+    OpKind.STORE: 1,
+}
+
+
+def compatible_resources(kind: OpKind) -> Tuple[ResourceKind, ...]:
+    """Resource kinds able to execute ``kind``, smallest first.
+
+    Control operations (branch/jump/call/return/nop) occupy no datapath
+    resource and return an empty tuple.
+    """
+    return _COMPATIBILITY.get(kind, ())
+
+
+def operation_latency(kind: OpKind) -> int:
+    """Cycles one execution of ``kind`` occupies its resource."""
+    return _LATENCY.get(kind, 1)
+
+
+class ResourceSet:
+    """A designer-specified allocation: max instances per resource kind.
+
+    This is one element of the set ``RS`` iterated in paper Fig. 1 line 7.
+    """
+
+    def __init__(self, name: str, counts: Mapping[ResourceKind, int]) -> None:
+        for kind, count in counts.items():
+            if count < 0:
+                raise ValueError(f"negative instance count for {kind}: {count}")
+        self.name = name
+        self._counts: Dict[ResourceKind, int] = {
+            kind: count for kind, count in counts.items() if count > 0
+        }
+
+    def count(self, kind: ResourceKind) -> int:
+        return self._counts.get(kind, 0)
+
+    def kinds(self) -> List[ResourceKind]:
+        return list(self._counts)
+
+    def items(self) -> Iterable[Tuple[ResourceKind, int]]:
+        return self._counts.items()
+
+    @property
+    def total_instances(self) -> int:
+        return sum(self._counts.values())
+
+    def can_execute(self, op_kind: OpKind) -> bool:
+        """True when at least one allocated resource can run ``op_kind``."""
+        return any(self.count(rk) > 0 for rk in compatible_resources(op_kind))
+
+    def __contains__(self, kind: ResourceKind) -> bool:
+        return self.count(kind) > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k.value}x{c}" for k, c in sorted(
+            self._counts.items(), key=lambda item: item[0].value))
+        return f"<ResourceSet {self.name}: {inner}>"
+
+
+def default_resource_sets() -> List[ResourceSet]:
+    """The 3-5 reference allocations the paper says designers supply
+    ("due to our design praxis 3 to 5 sets are given")."""
+    return [
+        ResourceSet("tiny", {
+            ResourceKind.ALU: 1,
+            ResourceKind.COMPARATOR: 1,
+            ResourceKind.MEMPORT: 1,
+        }),
+        ResourceSet("small", {
+            ResourceKind.ALU: 1,
+            ResourceKind.SHIFTER: 1,
+            ResourceKind.COMPARATOR: 1,
+            ResourceKind.MEMPORT: 1,
+        }),
+        ResourceSet("medium", {
+            ResourceKind.ALU: 2,
+            ResourceKind.MULTIPLIER: 1,
+            ResourceKind.SHIFTER: 1,
+            ResourceKind.COMPARATOR: 1,
+            ResourceKind.MEMPORT: 1,
+        }),
+        ResourceSet("large", {
+            ResourceKind.ALU: 2,
+            ResourceKind.MULTIPLIER: 1,
+            ResourceKind.SHIFTER: 1,
+            ResourceKind.COMPARATOR: 2,
+            ResourceKind.MEMPORT: 2,
+            ResourceKind.DIVIDER: 1,
+        }),
+        ResourceSet("xlarge", {
+            ResourceKind.ALU: 3,
+            ResourceKind.MULTIPLIER: 2,
+            ResourceKind.SHIFTER: 2,
+            ResourceKind.COMPARATOR: 2,
+            ResourceKind.MEMPORT: 2,
+            ResourceKind.DIVIDER: 1,
+        }),
+    ]

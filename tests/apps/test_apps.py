@@ -1,0 +1,116 @@
+"""Application-suite tests: every app compiles, runs on both execution
+engines with identical results, and exposes hardware-mappable clusters."""
+
+import pytest
+
+from repro.apps import ALL_APPS, app_by_name, make_all_apps
+from repro.cluster import decompose_into_clusters
+from repro.isa.image import link_program
+from repro.isa.simulator import Simulator
+from repro.lang import Interpreter
+from repro.tech import cmos6_library
+
+
+APP_NAMES = list(ALL_APPS)
+
+
+def test_registry_contains_the_six_paper_apps():
+    assert APP_NAMES == ["3d", "MPG", "ckey", "digs", "engine", "trick"]
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(KeyError):
+        app_by_name("quake")
+
+
+def test_make_all_apps_instantiates_each():
+    apps = make_all_apps()
+    assert [a.name for a in apps] == APP_NAMES
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_scale_must_be_positive(name):
+    with pytest.raises(ValueError):
+        ALL_APPS[name](0)
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_compiles(name):
+    program = app_by_name(name).compile()
+    assert "main" in program.cdfgs
+    for cdfg in program.cdfgs.values():
+        cdfg.verify()
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_globals_match_declared_sizes(name):
+    app = app_by_name(name)
+    program = app.compile()
+    for global_name, values in app.globals_init.items():
+        assert program.global_arrays[global_name] == len(values)
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_interpreter_and_simulator_agree(name):
+    app = app_by_name(name)
+    program = app.compile()
+
+    interp = Interpreter(program)
+    for gname, values in app.globals_init.items():
+        interp.set_global(gname, values)
+    expected = interp.run(*app.args)
+
+    sim = Simulator(link_program(program), cmos6_library())
+    for gname, values in app.globals_init.items():
+        sim.set_global(gname, values)
+    result = sim.run(*app.args)
+    assert result.result == expected
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_result_nonzero(name):
+    """Checksums must be non-trivial so functional mismatches are visible."""
+    app = app_by_name(name)
+    program = app.compile()
+    interp = Interpreter(program)
+    for gname, values in app.globals_init.items():
+        interp.set_global(gname, values)
+    assert interp.run(*app.args) != 0
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_has_loop_clusters(name):
+    program = app_by_name(name).compile()
+    clusters = decompose_into_clusters(program)
+    assert any(c.kind == "loop" for c in clusters)
+
+
+def test_ckey_models_no_caches():
+    assert app_by_name("ckey").model_caches is False
+
+
+def test_other_apps_model_caches():
+    for name in APP_NAMES:
+        if name != "ckey":
+            assert app_by_name(name).model_caches
+
+
+def test_trick_tables_exceed_local_buffers():
+    library = cmos6_library()
+    program = app_by_name("trick").compile()
+    big = [s for s, size in program.global_arrays.items()
+           if size > library.asic_local_buffer_words]
+    assert set(big) >= {"warp_map", "src", "dst"}
+
+
+def test_digs_image_fits_local_buffers():
+    library = cmos6_library()
+    program = app_by_name("digs").compile()
+    assert all(size <= library.asic_local_buffer_words
+               for size in program.global_arrays.values())
+
+
+def test_scaling_grows_workload():
+    small = app_by_name("engine", scale=1)
+    large = app_by_name("engine", scale=2)
+    assert len(large.globals_init["rpm"]) == 2 * len(small.globals_init["rpm"])

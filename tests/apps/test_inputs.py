@@ -1,0 +1,79 @@
+"""Input-generator tests."""
+
+import pytest
+
+from repro.apps.inputs import (
+    Lcg,
+    noise,
+    permutation,
+    sensor_trace,
+    smooth_image,
+    textured_image,
+    vertex_cloud,
+)
+
+
+def test_lcg_deterministic():
+    a = Lcg(42)
+    b = Lcg(42)
+    assert [a.next() for _ in range(10)] == [b.next() for _ in range(10)]
+
+
+def test_lcg_below_bound():
+    rng = Lcg(7)
+    values = [rng.below(13) for _ in range(200)]
+    assert all(0 <= v < 13 for v in values)
+    assert len(set(values)) > 5  # actually varies
+
+
+def test_lcg_below_invalid():
+    with pytest.raises(ValueError):
+        Lcg().below(0)
+
+
+def test_noise_range_and_length():
+    values = noise(100, 50, seed=3)
+    assert len(values) == 100
+    assert all(0 <= v < 50 for v in values)
+
+
+def test_smooth_image_is_8bit():
+    img = smooth_image(16, 16)
+    assert len(img) == 256
+    assert all(0 <= p < 256 for p in img)
+
+
+def test_smooth_image_locally_smooth():
+    img = smooth_image(32, 32)
+    jumps = [abs(img[i + 1] - img[i]) for i in range(30)]
+    assert sum(jumps) / len(jumps) < 64
+
+
+def test_textured_image_blocky():
+    img = textured_image(16, 16)
+    assert len(img) == 256
+    assert all(0 <= p < 256 for p in img)
+
+
+def test_vertex_cloud_centered():
+    verts = vertex_cloud(500, spread=400)
+    assert all(-200 <= v < 200 for v in verts)
+    mean = sum(verts) / len(verts)
+    assert abs(mean) < 40
+
+
+def test_sensor_trace_bounded():
+    trace = sensor_trace(256, base=1000, swing=500)
+    assert len(trace) == 256
+    assert all(900 <= v <= 1700 for v in trace)
+
+
+def test_permutation_is_a_permutation():
+    perm = permutation(128)
+    assert sorted(perm) == list(range(128))
+    assert perm != list(range(128))  # actually shuffled
+
+
+def test_seeds_decorrelate():
+    assert noise(50, 100, seed=1) != noise(50, 100, seed=2)
+    assert permutation(64, seed=1) != permutation(64, seed=2)

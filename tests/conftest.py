@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.tech import cmos6_library, default_resource_sets
+
+
+@pytest.fixture(scope="session")
+def library():
+    return cmos6_library()
+
+
+@pytest.fixture(scope="session")
+def resource_sets():
+    return default_resource_sets()
+
+
+DOT_SOURCE = """
+const N = 8;
+global out: int[N];
+
+func dot(a: int[N], b: int[N], n: int) -> int {
+    var s: int = 0;
+    for i in 0 .. n {
+        s = s + a[i] * b[i];
+    }
+    return s;
+}
+
+func main() -> int {
+    var a: int[N];
+    var b: int[N];
+    for i in 0 .. N {
+        a[i] = i;
+        b[i] = 2 * i + 1;
+    }
+    var r: int = dot(a, b, N);
+    for i in 0 .. N {
+        if a[i] % 2 == 0 {
+            out[i] = a[i];
+        } else {
+            out[i] = -a[i];
+        }
+    }
+    return r;
+}
+"""
+
+
+@pytest.fixture()
+def dot_source():
+    return DOT_SOURCE
+
+
+@pytest.fixture()
+def dot_program():
+    from repro.lang import compile_source
+    return compile_source(DOT_SOURCE, name="dot")

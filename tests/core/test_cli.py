@@ -1,0 +1,69 @@
+"""CLI tests (``python -m repro ...``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_apps_lists_all_six(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    for name in ("3d", "MPG", "ckey", "digs", "engine", "trick"):
+        assert name in out
+
+
+def test_run_prints_table_and_succeeds(capsys):
+    assert main(["run", "ckey"]) == 0
+    out = capsys.readouterr().out
+    assert "|I |" in out and "|P |" in out
+    assert "functional match: True" in out
+
+
+def test_run_with_optimizer(capsys):
+    assert main(["run", "ckey", "--optimize"]) == 0
+    out = capsys.readouterr().out
+    assert "saved" in out
+
+
+def test_clusters_command(capsys):
+    assert main(["clusters", "digs"]) == 0
+    out = capsys.readouterr().out
+    assert "pre-selected" in out
+    assert "smooth_engine/loop@for1" in out
+    assert "E_trans" in out
+
+
+def test_disasm_whole_image(capsys):
+    assert main(["disasm", "engine"]) == 0
+    out = capsys.readouterr().out
+    assert "ret" in out
+    assert "[main:" in out
+
+
+def test_disasm_single_function(capsys):
+    assert main(["disasm", "engine", "--function", "interp3"]) == 0
+    out = capsys.readouterr().out
+    assert "[interp3:" in out
+    assert "[main:" not in out
+
+
+def test_multicore_command(capsys):
+    assert main(["multicore", "ckey", "--max-cores", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ASIC core(s)" in out
+    assert "total savings" in out
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "doom"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,87 @@
+"""Flow-level configuration variants: gated ASIC clocks, chaining,
+optimizer — each must preserve functional correctness and behave in the
+documented direction."""
+
+import pytest
+
+from repro.core import AppSpec, LowPowerFlow, PartitionConfig
+from repro.tech import cmos6_library, with_gated_asic
+
+
+SRC = """
+global inp: int[128];
+global outp: int[128];
+
+func main() -> int {
+    for i in 0 .. 128 {
+        outp[i] = (inp[i] * 5 + (inp[i] >> 1) + i) & 2047;
+    }
+    var s: int = 0;
+    for k in 0 .. 8 { s = s + outp[k * 16]; }
+    return s;
+}
+"""
+
+
+def make_app(**kwargs):
+    return AppSpec(name="variant", source=SRC,
+                   globals_init={"inp": [(11 * i) % 509 for i in range(128)]},
+                   **kwargs)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return LowPowerFlow().run(make_app())
+
+
+# ---------------------------------------------------------------------------
+# Gated ASIC clocks
+# ---------------------------------------------------------------------------
+
+def test_with_gated_asic_reduces_idle_energy(baseline):
+    gated_flow = LowPowerFlow(library=with_gated_asic(cmos6_library()))
+    gated = gated_flow.run(make_app())
+    assert gated.functional_match
+    assert (gated.partitioned.energy.asic_core_nj
+            <= baseline.partitioned.energy.asic_core_nj)
+    assert gated.best.cluster.name == baseline.best.cluster.name
+
+
+def test_with_gated_asic_validates_factor():
+    with pytest.raises(ValueError):
+        with_gated_asic(cmos6_library(), idle_factor=1.5)
+    with pytest.raises(ValueError):
+        with_gated_asic(cmos6_library(), idle_factor=-0.1)
+
+
+def test_gated_library_is_a_copy():
+    library = cmos6_library()
+    gated = with_gated_asic(library)
+    assert library.asic_idle_factor == 1.0
+    assert gated.asic_idle_factor == pytest.approx(0.05)
+
+
+# ---------------------------------------------------------------------------
+# Chaining in the flow
+# ---------------------------------------------------------------------------
+
+def test_chaining_config_runs_and_never_slows_asic(baseline):
+    chained = LowPowerFlow(config=PartitionConfig(use_chaining=True)).run(
+        make_app())
+    assert chained.functional_match
+    assert chained.best is not None
+    if chained.best.cluster.name == baseline.best.cluster.name \
+            and chained.best.resource_set.name == baseline.best.resource_set.name:
+        assert (chained.best.metrics.total_cycles
+                <= baseline.best.metrics.total_cycles)
+
+
+# ---------------------------------------------------------------------------
+# Optimizer in the flow
+# ---------------------------------------------------------------------------
+
+def test_optimized_flow_matches_and_accelerates(baseline):
+    optimized = LowPowerFlow().run(make_app(optimize=True))
+    assert optimized.functional_match
+    assert optimized.initial.result == baseline.initial.result
+    assert optimized.initial.total_cycles <= baseline.initial.total_cycles

@@ -1,0 +1,67 @@
+"""Unit tests for the iterative partitioner's aggregation helpers."""
+
+import pytest
+
+from repro.core.iterative import _combine_metrics, _combine_stats
+from repro.sched.utilization import ClusterMetrics
+from repro.synth.rtl_sim import AsicRunStats
+
+
+def stats(compute=100, handshake=4, transfer=10, inv=1, win=5, wout=5):
+    return AsicRunStats(compute_cycles=compute, handshake_cycles=handshake,
+                        transfer_cycles=transfer, invocations=inv,
+                        transfer_words_in=win, transfer_words_out=wout)
+
+
+def metrics(cycles=100, util=0.5, geq=1000, est=50.0, det=80.0, clock=12.0):
+    return ClusterMetrics(total_cycles=cycles, utilization=util,
+                          utilization_size_weighted=util * 0.9, geq=geq,
+                          energy_estimate_nj=est, energy_detailed_nj=det,
+                          clock_ns=clock)
+
+
+class FakeCandidate:
+    def __init__(self, m):
+        self.metrics = m
+
+
+def test_combine_stats_sums_fields():
+    combined = _combine_stats([stats(), stats(compute=200, inv=3, win=7)])
+    assert combined.compute_cycles == 300
+    assert combined.handshake_cycles == 8
+    assert combined.transfer_cycles == 20
+    assert combined.invocations == 4
+    assert combined.transfer_words_in == 12
+    assert combined.transfer_words_out == 10
+    assert combined.asic_cycles == 300 + 8
+
+
+def test_combine_metrics_cycle_weighted_utilization():
+    a = FakeCandidate(metrics(cycles=100, util=0.8))
+    b = FakeCandidate(metrics(cycles=300, util=0.4))
+    combined = _combine_metrics([a, b])
+    assert combined.total_cycles == 400
+    assert combined.utilization == pytest.approx(
+        (0.8 * 100 + 0.4 * 300) / 400)
+
+
+def test_combine_metrics_sums_energy_and_geq():
+    a = FakeCandidate(metrics(geq=1000, est=10.0, det=20.0, clock=12.0))
+    b = FakeCandidate(metrics(geq=2500, est=5.0, det=7.0, clock=25.0))
+    combined = _combine_metrics([a, b])
+    assert combined.geq == 3500
+    assert combined.energy_estimate_nj == pytest.approx(15.0)
+    assert combined.energy_detailed_nj == pytest.approx(27.0)
+    assert combined.clock_ns == 25.0  # slowest core's clock
+
+
+def test_combine_metrics_empty():
+    combined = _combine_metrics([])
+    assert combined.total_cycles == 0
+    assert combined.utilization == 0.0
+    assert combined.clock_ns == 0.0
+
+
+def test_combine_stats_empty():
+    combined = _combine_stats([])
+    assert combined.asic_cycles == 0

@@ -1,0 +1,56 @@
+"""Objective function (Fig. 1 line 13) tests."""
+
+import pytest
+
+from repro.core.objective import ObjectiveConfig, objective_value
+
+
+def test_energy_term_normalized():
+    cfg = ObjectiveConfig(f_energy=1.0, g_hardware=0.0)
+    assert objective_value(500.0, e0_nj=1000.0, geq=0, config=cfg) == \
+        pytest.approx(0.5)
+
+
+def test_identity_partition_scores_f():
+    cfg = ObjectiveConfig(f_energy=2.0, g_hardware=0.0)
+    assert objective_value(1000.0, e0_nj=1000.0, geq=0, config=cfg) == \
+        pytest.approx(2.0)
+
+
+def test_hardware_term_normalized():
+    cfg = ObjectiveConfig(f_energy=1.0, g_hardware=0.5, geq_normalizer=16000)
+    value = objective_value(0.0, e0_nj=1.0, geq=8000, config=cfg)
+    assert value == pytest.approx(0.25)
+
+
+def test_f_balances_terms():
+    low_f = ObjectiveConfig(f_energy=0.5, g_hardware=0.1)
+    high_f = ObjectiveConfig(f_energy=2.0, g_hardware=0.1)
+    energy, e0, geq = 400.0, 1000.0, 8000
+    assert objective_value(energy, e0, geq, high_f) > \
+        objective_value(energy, e0, geq, low_f)
+
+
+def test_lower_energy_always_wins_with_equal_hardware():
+    cfg = ObjectiveConfig()
+    better = objective_value(300.0, 1000.0, 5000, cfg)
+    worse = objective_value(600.0, 1000.0, 5000, cfg)
+    assert better < worse
+
+
+def test_invalid_configs():
+    with pytest.raises(ValueError):
+        ObjectiveConfig(f_energy=0)
+    with pytest.raises(ValueError):
+        ObjectiveConfig(g_hardware=-0.1)
+    with pytest.raises(ValueError):
+        ObjectiveConfig(geq_normalizer=0)
+
+
+def test_invalid_e0():
+    with pytest.raises(ValueError):
+        objective_value(1.0, e0_nj=0.0, geq=0, config=ObjectiveConfig())
+
+
+def test_geq_cap_default_present():
+    assert ObjectiveConfig().geq_cap is not None

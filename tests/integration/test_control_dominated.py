@@ -1,0 +1,46 @@
+"""The paper's stated limit: a control-dominated system yields only
+marginal savings (conclusion: "further work will concentrate on ...
+control-dominated systems")."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.core import LowPowerFlow
+
+
+def _load_example():
+    path = (pathlib.Path(__file__).resolve().parents[2]
+            / "examples" / "control_dominated.py")
+    spec = importlib.util.spec_from_file_location("control_dominated", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def result():
+    module = _load_example()
+    return LowPowerFlow().run(module.make_app())
+
+
+def test_dispatch_loop_is_unmappable(result):
+    dispatch = [c for c in result.decision.all_clusters
+                if c.function == "main" and c.kind == "loop"]
+    assert dispatch
+    assert all(c.contains_call for c in dispatch)
+
+
+def test_savings_are_marginal(result):
+    # Either no partition, or clearly below the data-dominated suite's
+    # 29-92% band.
+    if result.best is None:
+        return
+    assert result.energy_savings_percent < 25.0
+    assert result.functional_match
+
+
+def test_parser_functionally_correct(result):
+    # Frames were actually found (non-degenerate workload).
+    assert result.initial.result >= 1000

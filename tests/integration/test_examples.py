@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run to completion.
+
+The heavyweight ones (reproduce_table1, multicore over all apps) are
+exercised by the integration/benchmark suites; here each example's module
+loads and its lighter entry points run.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_contents():
+    names = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart", "reproduce_table1", "design_space_exploration",
+            "inspect_synthesis", "multicore_partitioning",
+            "control_dominated"} <= names
+
+
+def test_quickstart_runs(capsys):
+    load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "Chosen cluster" in out
+    assert "Energy savings" in out
+
+
+def test_inspect_synthesis_runs(capsys):
+    load("inspect_synthesis").main()
+    out = capsys.readouterr().out
+    assert "hot cluster" in out
+    assert "synthesized core" in out
+    assert "gate-level energy" in out
+
+
+def test_design_space_exploration_runs(capsys):
+    load("design_space_exploration").main()
+    out = capsys.readouterr().out
+    assert "candidate landscape" in out
+    assert "hardware-budget sweep" in out
+
+
+def test_control_dominated_runs(capsys):
+    load("control_dominated").main()
+    out = capsys.readouterr().out
+    assert "protocol parser" in out
+
+
+def test_multicore_pipeline_part_runs(capsys):
+    load("multicore_partitioning").run_pipeline()
+    out = capsys.readouterr().out
+    assert "two-kernel pipeline" in out
+    assert "multi core" in out

@@ -1,0 +1,136 @@
+"""Failure injection: every layer must fail loudly on corrupted inputs,
+never silently produce wrong numbers."""
+
+import pytest
+
+from repro.ir.cdfg import CDFG, IRError
+from repro.ir.ops import Operation, OpKind, Value
+from repro.isa.image import LinkError, ProgramImage, link_program
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.simulator import SimError, Simulator
+from repro.lang import InterpError, Interpreter, compile_source
+from repro.lang.lexer import LexError
+from repro.lang.parser import ParseError
+from repro.lang.semantics import SemanticError
+from repro.sched.list_scheduler import ScheduleError, list_schedule
+from repro.tech import ResourceKind, ResourceSet, cmos6_library
+
+
+# ---------------------------------------------------------------------------
+# Frontend corruption
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("source,error", [
+    ("func f() -> int { return $; }", LexError),
+    ("func f( -> int { return 0; }", ParseError),
+    ("func f() -> int { return x; }", SemanticError),
+    ("func f() -> int { return g(); }", SemanticError),
+    ("const N = 1/0;", ZeroDivisionError),
+])
+def test_bad_source_raises(source, error):
+    with pytest.raises(error):
+        compile_source(source, entry="f" if "func f" in source else "main")
+
+
+def test_missing_entry_function():
+    with pytest.raises(KeyError):
+        compile_source("func helper() -> int { return 1; }")
+
+
+# ---------------------------------------------------------------------------
+# Simulator corruption
+# ---------------------------------------------------------------------------
+
+def _image(instructions):
+    return ProgramImage(name="bad", instructions=instructions, entry_pc=0,
+                        function_ranges={"bad": (0, len(instructions))},
+                        symbol_addresses={},
+                        attribution=[("bad", "b")] * len(instructions),
+                        frame_sizes={})
+
+
+def test_branch_to_negative_pc():
+    image = _image([Instruction(Opcode.LI, rd=2, imm=1),
+                    Instruction(Opcode.BNZ, rs1=2, target=-5)])
+    with pytest.raises(SimError):
+        Simulator(image, cmos6_library()).run()
+
+
+def test_runaway_pc_past_end():
+    # No HALT: execution falls off the end of the image.
+    image = _image([Instruction(Opcode.NOP)])
+    with pytest.raises(SimError):
+        Simulator(image, cmos6_library()).run()
+
+
+def test_store_beyond_memory():
+    image = _image([
+        Instruction(Opcode.LI, rd=2, imm=0x7FFFFFF0),
+        Instruction(Opcode.SW, rs1=2, rs2=2, imm=0),
+        Instruction(Opcode.HALT),
+    ])
+    with pytest.raises(SimError):
+        Simulator(image, cmos6_library()).run()
+
+
+def test_unknown_global_lookup():
+    program = compile_source("func main() -> int { return 0; }")
+    sim = Simulator(link_program(program), cmos6_library())
+    with pytest.raises(KeyError):
+        sim.set_global("ghost", [1, 2, 3])
+
+
+def test_infinite_loop_bounded_by_fuel():
+    image = _image([Instruction(Opcode.JMP, target=0)])
+    sim = Simulator(image, cmos6_library(), max_instructions=10_000)
+    with pytest.raises(SimError) as err:
+        sim.run()
+    assert "fuel" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# IR corruption
+# ---------------------------------------------------------------------------
+
+def test_cdfg_with_dangling_branch_rejected():
+    cdfg = CDFG("f")
+    block = cdfg.add_block("entry")
+    block.append(Operation(OpKind.CONST, result=Value("c"), const=1))
+    block.append(Operation(OpKind.BRANCH, operands=(Value("c"),)))
+    with pytest.raises(IRError):
+        cdfg.verify()
+
+
+def test_interpreter_entry_with_array_params_rejected():
+    program = compile_source(
+        "func main(a: int[4]) -> int { return a[0]; }")
+    with pytest.raises(InterpError):
+        Interpreter(program).run()
+
+
+def test_interpreter_wrong_arity():
+    program = compile_source("func main(x: int) -> int { return x; }")
+    with pytest.raises(InterpError):
+        Interpreter(program).run()           # missing argument
+    with pytest.raises(InterpError):
+        Interpreter(program).run(1, 2)       # extra argument
+
+
+# ---------------------------------------------------------------------------
+# Scheduler corruption
+# ---------------------------------------------------------------------------
+
+def test_empty_resource_set_cannot_schedule():
+    empty = ResourceSet("void", {})
+    ops = [Operation(OpKind.CONST, result=Value("c"), const=1),
+           Operation(OpKind.ADD, result=Value("a"),
+                     operands=(Value("c"), Value("c")))]
+    with pytest.raises(ScheduleError):
+        list_schedule(ops, empty)
+
+
+def test_link_error_on_overflowing_globals():
+    source = "global huge: int[300000];\nfunc main() -> int { return 0; }"
+    program = compile_source(source)
+    with pytest.raises(LinkError):
+        link_program(program)

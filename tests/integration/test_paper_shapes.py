@@ -1,0 +1,115 @@
+"""Integration tests: the paper's headline shapes on the six applications.
+
+These run the complete flow end-to-end and check the *qualitative* claims
+of the evaluation section (section 4), not absolute numbers:
+
+* every application partitions with energy savings in the paper's band;
+* the partitioned system always computes the same result;
+* all applications except ``trick`` get faster; ``trick`` gets slower;
+* ``digs`` is the best case; ``engine`` the weakest;
+* hardware effort stays in the tens-of-k-cells regime.
+"""
+
+import pytest
+
+from repro.apps import app_by_name, ALL_APPS
+from repro.core import LowPowerFlow
+
+
+@pytest.fixture(scope="module")
+def results():
+    flow = LowPowerFlow()
+    return {name: flow.run(app_by_name(name)) for name in ALL_APPS}
+
+
+def test_all_apps_partition_and_accept(results):
+    for name, res in results.items():
+        assert res.best is not None, f"{name} found no partition"
+        assert res.accepted, f"{name} partition not energy-positive"
+
+
+def test_functional_equivalence_everywhere(results):
+    for name, res in results.items():
+        assert res.functional_match, f"{name} result mismatch"
+
+
+def test_savings_in_paper_band(results):
+    for name, res in results.items():
+        assert 15.0 <= res.energy_savings_percent <= 97.0, (
+            f"{name}: {res.energy_savings_percent:.1f}% outside band")
+
+
+def test_all_faster_except_trick(results):
+    for name, res in results.items():
+        if name == "trick":
+            assert res.time_change_percent > 0, \
+                "trick must trade time for energy (the paper's key negative)"
+        else:
+            assert res.time_change_percent < 0, f"{name} must speed up"
+
+
+def test_digs_is_best_case(results):
+    digs = results["digs"].energy_savings_percent
+    assert digs == max(r.energy_savings_percent for r in results.values())
+    assert digs > 85.0
+
+
+def test_engine_is_weakest_case(results):
+    engine = results["engine"].energy_savings_percent
+    assert engine == min(r.energy_savings_percent for r in results.values())
+
+
+def test_asic_utilization_beats_up(results):
+    for name, res in results.items():
+        assert res.best.utilization > res.decision.up_utilization, name
+
+
+def test_hardware_effort_small(results):
+    for name, res in results.items():
+        assert res.asic_cells < 30_000, f"{name}: {res.asic_cells} cells"
+    # The largest cores stay in the ~10-20k band the paper reports.
+    assert max(r.asic_cells for r in results.values()) < 25_000
+
+
+def test_ckey_has_zero_memory_system_energy(results):
+    energy = results["ckey"].partitioned.energy
+    assert energy.icache_nj == 0.0
+    assert energy.dcache_nj == 0.0
+    assert energy.mem_nj == 0.0
+
+
+def test_icache_energy_collapses_when_kernel_moves(results):
+    # digs/trick: nearly all instruction fetches move to the ASIC.
+    for name in ("digs", "trick"):
+        res = results[name]
+        ratio = (res.partitioned.energy.icache_nj
+                 / res.initial.energy.icache_nj)
+        assert ratio < 0.05, f"{name} i-cache only dropped to {ratio:.3f}"
+
+
+def test_trick_asic_slower_than_up_core_was(results):
+    res = results["trick"]
+    # The cluster's shared-memory latency makes the ASIC need more cycles
+    # than the whole initial software run.
+    assert res.partitioned.asic_cycles > 0.8 * res.initial.up_cycles
+
+
+def test_gate_level_checks_resource_estimate(results):
+    """Fig. 1 line 15: the gate-level energy lands within a small factor of
+    the line-11 utilization-based estimate for every chosen core."""
+    for name, res in results.items():
+        gate = res.gate_energy.total_nj
+        estimate = res.best.metrics.energy_detailed_nj
+        assert 0.2 <= gate / estimate <= 5.0, (
+            f"{name}: gate {gate:.0f} vs estimate {estimate:.0f}")
+
+
+def test_report_renders_for_all_apps(results):
+    from repro import format_savings, format_table1
+    rows = [(name, res.initial, res.partitioned)
+            for name, res in results.items()]
+    table = format_table1(rows)
+    assert table.count("|I |") == 6
+    assert table.count("|P |") == 6
+    chart = format_savings(rows)
+    assert len(chart.splitlines()) == 7

@@ -1,0 +1,69 @@
+"""Public API surface tests: what README documents must work."""
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_sequence():
+    """The exact shape of the README quickstart."""
+    source = """
+    global data: int[128];
+    func main() -> int {
+        for i in 0 .. 128 { data[i] = (data[i] * 3 + 7) & 255; }
+        var s: int = 0;
+        for k in 0 .. 8 { s = s + data[k * 16]; }
+        return s;
+    }
+    """
+    app = repro.AppSpec(name="quick", source=source,
+                        globals_init={"data": list(range(128))})
+    result = repro.LowPowerFlow().run(app)
+    assert result.functional_match
+    assert isinstance(result.energy_savings_percent, float)
+
+
+def test_compile_and_interpret_directly():
+    program = repro.compile_source(
+        "func main(x: int) -> int { return x * x; }")
+    interp = repro.Interpreter(program)
+    assert interp.run(12) == 144
+
+
+def test_custom_resource_sets_and_objective():
+    config = repro.PartitionConfig(
+        resource_sets=[repro.ResourceSet(
+            "custom", {repro.ResourceKind.ALU: 1,
+                       repro.ResourceKind.MEMPORT: 1})],
+        objective=repro.ObjectiveConfig(f_energy=2.0, g_hardware=0.1),
+    )
+    source = """
+    global v: int[128];
+    func main() -> int {
+        var s: int = 0;
+        for i in 0 .. 128 { s = s + ((v[i] + i) & 63); }
+        return s;
+    }
+    """
+    app = repro.AppSpec(name="cfg", source=source, config=config,
+                        globals_init={"v": [i % 7 for i in range(128)]})
+    result = repro.LowPowerFlow().run(app)
+    assert result.functional_match
+    if result.best is not None:
+        assert result.best.resource_set.name == "custom"
+
+
+def test_library_customization():
+    library = repro.cmos6_library()
+    assert library.name == "cmos6"
+    flow = repro.LowPowerFlow(library=library)
+    assert flow.library is library

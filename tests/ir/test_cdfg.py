@@ -1,0 +1,242 @@
+"""CDFG structure and dependence-graph tests."""
+
+import pytest
+
+from repro.ir.cdfg import BasicBlock, CDFG, IRError, build_data_dependence_graph
+from repro.ir.ops import Operation, OpKind, Value
+
+
+def v(name):
+    return Value(name)
+
+
+def make_diamond():
+    """entry -> (then|else) -> merge"""
+    cdfg = CDFG("f")
+    entry = cdfg.add_block("entry")
+    then = cdfg.add_block("then")
+    other = cdfg.add_block("else")
+    merge = cdfg.add_block("merge")
+    entry.append(Operation(OpKind.CONST, result=v("c"), const=1))
+    entry.append(Operation(OpKind.BRANCH, operands=(v("c"),)))
+    then.append(Operation(OpKind.JUMP))
+    other.append(Operation(OpKind.JUMP))
+    merge.append(Operation(OpKind.RETURN))
+    cdfg.add_edge("entry", "then", "true")
+    cdfg.add_edge("entry", "else", "false")
+    cdfg.add_edge("then", "merge", "jump")
+    cdfg.add_edge("else", "merge", "jump")
+    return cdfg
+
+
+# ---------------------------------------------------------------------------
+# BasicBlock
+# ---------------------------------------------------------------------------
+
+def test_block_append_after_terminator_rejected():
+    block = BasicBlock("b")
+    block.append(Operation(OpKind.RETURN))
+    with pytest.raises(IRError):
+        block.append(Operation(OpKind.NOP))
+
+
+def test_block_body_excludes_terminator():
+    block = BasicBlock("b")
+    block.append(Operation(OpKind.NOP))
+    block.append(Operation(OpKind.JUMP))
+    assert len(block.body) == 1
+    assert block.terminator.kind is OpKind.JUMP
+
+
+# ---------------------------------------------------------------------------
+# CDFG structure
+# ---------------------------------------------------------------------------
+
+def test_first_block_is_entry():
+    cdfg = CDFG("f")
+    cdfg.add_block("b0")
+    assert cdfg.entry == "b0"
+
+
+def test_duplicate_block_rejected():
+    cdfg = CDFG("f")
+    cdfg.add_block("b")
+    with pytest.raises(IRError):
+        cdfg.add_block("b")
+
+
+def test_edge_to_unknown_block_rejected():
+    cdfg = CDFG("f")
+    cdfg.add_block("b")
+    with pytest.raises(IRError):
+        cdfg.add_edge("b", "nope")
+
+
+def test_bad_edge_kind_rejected():
+    cdfg = make_diamond()
+    with pytest.raises(IRError):
+        cdfg.add_edge("then", "else", "sideways")
+
+
+def test_diamond_verifies():
+    make_diamond().verify()
+
+
+def test_branch_targets():
+    cdfg = make_diamond()
+    taken, fall = cdfg.branch_targets("entry")
+    assert (taken, fall) == ("then", "else")
+
+
+def test_verify_rejects_branch_with_one_successor():
+    cdfg = CDFG("f")
+    a = cdfg.add_block("a")
+    b = cdfg.add_block("b")
+    a.append(Operation(OpKind.CONST, result=v("c"), const=0))
+    a.append(Operation(OpKind.BRANCH, operands=(v("c"),)))
+    b.append(Operation(OpKind.RETURN))
+    cdfg.add_edge("a", "b", "true")
+    with pytest.raises(IRError):
+        cdfg.verify()
+
+
+def test_verify_rejects_return_with_successor():
+    cdfg = CDFG("f")
+    a = cdfg.add_block("a")
+    b = cdfg.add_block("b")
+    a.append(Operation(OpKind.RETURN))
+    b.append(Operation(OpKind.RETURN))
+    cdfg.add_edge("a", "b", "fall")
+    with pytest.raises(IRError):
+        cdfg.verify()
+
+
+def test_verify_rejects_unreachable_block():
+    cdfg = CDFG("f")
+    a = cdfg.add_block("a")
+    cdfg.add_block("island")
+    a.append(Operation(OpKind.RETURN))
+    cdfg.blocks["island"].append(Operation(OpKind.RETURN))
+    with pytest.raises(IRError):
+        cdfg.verify()
+
+
+def test_verify_rejects_undeclared_array():
+    cdfg = CDFG("f")
+    a = cdfg.add_block("a")
+    idx = v("i")
+    a.append(Operation(OpKind.CONST, result=idx, const=0))
+    a.append(Operation(OpKind.LOAD, result=v("x"), operands=(idx,), symbol="arr"))
+    a.append(Operation(OpKind.RETURN))
+    with pytest.raises(IRError):
+        cdfg.verify()
+
+
+def test_declare_array_rejects_nonpositive():
+    cdfg = CDFG("f")
+    with pytest.raises(IRError):
+        cdfg.declare_array("a", 0)
+
+
+def test_reverse_postorder_starts_at_entry():
+    cdfg = make_diamond()
+    order = cdfg.reverse_postorder()
+    assert order[0] == "entry"
+    assert order[-1] == "merge"
+    assert set(order) == set(cdfg.blocks)
+
+
+def test_natural_loop_detection():
+    cdfg = CDFG("f")
+    entry = cdfg.add_block("entry")
+    header = cdfg.add_block("header")
+    body = cdfg.add_block("body")
+    exit_ = cdfg.add_block("exit")
+    entry.append(Operation(OpKind.JUMP))
+    header.append(Operation(OpKind.CONST, result=v("c"), const=1))
+    header.append(Operation(OpKind.BRANCH, operands=(v("c"),)))
+    body.append(Operation(OpKind.JUMP))
+    exit_.append(Operation(OpKind.RETURN))
+    cdfg.add_edge("entry", "header", "jump")
+    cdfg.add_edge("header", "body", "true")
+    cdfg.add_edge("header", "exit", "false")
+    cdfg.add_edge("body", "header", "jump")
+    loops = cdfg.natural_loops()
+    assert loops == [("header", frozenset({"header", "body"}))]
+
+
+def test_op_count():
+    assert make_diamond().op_count == 5
+
+
+# ---------------------------------------------------------------------------
+# Data-dependence graph
+# ---------------------------------------------------------------------------
+
+def test_flow_dependence():
+    a = Operation(OpKind.CONST, result=v("a"), const=1)
+    b = Operation(OpKind.ADD, result=v("b"), operands=(v("a"), v("a")))
+    ddg = build_data_dependence_graph([a, b])
+    assert ddg.has_edge(a, b)
+    assert ddg.edges[a, b]["dep"] == "flow"
+
+
+def test_output_dependence():
+    a = Operation(OpKind.CONST, result=v("x"), const=1)
+    b = Operation(OpKind.CONST, result=v("x"), const=2)
+    ddg = build_data_dependence_graph([a, b])
+    assert ddg.edges[a, b]["dep"] == "output"
+
+
+def test_anti_dependence():
+    a = Operation(OpKind.CONST, result=v("x"), const=1)
+    read = Operation(OpKind.ADD, result=v("y"), operands=(v("x"), v("x")))
+    redefine = Operation(OpKind.CONST, result=v("x"), const=2)
+    ddg = build_data_dependence_graph([a, read, redefine])
+    assert ddg.has_edge(read, redefine)
+    assert ddg.edges[read, redefine]["dep"] == "anti"
+
+
+def test_store_load_dependence_same_symbol():
+    i = Operation(OpKind.CONST, result=v("i"), const=0)
+    store = Operation(OpKind.STORE, operands=(v("i"), v("i")), symbol="a")
+    load = Operation(OpKind.LOAD, result=v("x"), operands=(v("i"),), symbol="a")
+    ddg = build_data_dependence_graph([i, store, load])
+    assert ddg.has_edge(store, load)
+    assert ddg.edges[store, load]["dep"] == "mem"
+
+
+def test_no_dependence_between_different_symbols():
+    i = Operation(OpKind.CONST, result=v("i"), const=0)
+    store = Operation(OpKind.STORE, operands=(v("i"), v("i")), symbol="a")
+    load = Operation(OpKind.LOAD, result=v("x"), operands=(v("i"),), symbol="b")
+    ddg = build_data_dependence_graph([i, store, load])
+    assert not ddg.has_edge(store, load)
+
+
+def test_load_store_war_on_memory():
+    i = Operation(OpKind.CONST, result=v("i"), const=0)
+    load = Operation(OpKind.LOAD, result=v("x"), operands=(v("i"),), symbol="a")
+    store = Operation(OpKind.STORE, operands=(v("i"), v("x")), symbol="a")
+    ddg = build_data_dependence_graph([i, load, store])
+    assert ddg.has_edge(load, store)
+
+
+def test_store_store_ordering():
+    i = Operation(OpKind.CONST, result=v("i"), const=0)
+    s1 = Operation(OpKind.STORE, operands=(v("i"), v("i")), symbol="a")
+    s2 = Operation(OpKind.STORE, operands=(v("i"), v("i")), symbol="a")
+    ddg = build_data_dependence_graph([i, s1, s2])
+    assert ddg.has_edge(s1, s2)
+
+
+def test_ddg_is_acyclic():
+    import networkx as nx
+    ops = [
+        Operation(OpKind.CONST, result=v("a"), const=1),
+        Operation(OpKind.ADD, result=v("b"), operands=(v("a"), v("a"))),
+        Operation(OpKind.ADD, result=v("a"), operands=(v("b"), v("b"))),
+        Operation(OpKind.MUL, result=v("c"), operands=(v("a"), v("b"))),
+    ]
+    ddg = build_data_dependence_graph(ops)
+    assert nx.is_directed_acyclic_graph(ddg)

@@ -1,0 +1,150 @@
+"""Dataflow analysis tests (gen/use, liveness, reaching definitions)."""
+
+from repro.ir.dataflow import (
+    block_gen_use,
+    gen_set,
+    live_variables,
+    reaching_definitions,
+    use_set,
+)
+from repro.ir.ops import Operation, OpKind, Value
+from repro.lang import compile_source
+
+
+def v(name):
+    return Value(name)
+
+
+# ---------------------------------------------------------------------------
+# gen/use on op lists
+# ---------------------------------------------------------------------------
+
+def test_gen_includes_results_and_stored_arrays():
+    ops = [
+        Operation(OpKind.CONST, result=v("i"), const=0),
+        Operation(OpKind.STORE, operands=(v("i"), v("i")), symbol="arr"),
+    ]
+    assert gen_set(ops) == {"i", "arr"}
+
+
+def test_use_upward_exposed_only():
+    ops = [
+        Operation(OpKind.CONST, result=v("x"), const=1),
+        Operation(OpKind.ADD, result=v("y"), operands=(v("x"), v("z"))),
+    ]
+    # x defined locally before use; z is upward-exposed.
+    assert use_set(ops) == {"z"}
+
+
+def test_use_includes_loaded_arrays_conservatively():
+    ops = [
+        Operation(OpKind.CONST, result=v("i"), const=0),
+        Operation(OpKind.STORE, operands=(v("i"), v("i")), symbol="a"),
+        Operation(OpKind.LOAD, result=v("x"), operands=(v("i"),), symbol="a"),
+    ]
+    # The prior store may not cover the loaded element.
+    assert "a" in use_set(ops)
+
+
+def test_empty_ops():
+    assert gen_set([]) == frozenset()
+    assert use_set([]) == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Block-level analyses on real CDFGs
+# ---------------------------------------------------------------------------
+
+def _loop_cdfg():
+    src = """
+    func f(n: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n { s = s + i; }
+        return s;
+    }
+    """
+    return compile_source(src, entry="f").cdfgs["f"]
+
+
+def test_block_gen_use_covers_all_blocks():
+    cdfg = _loop_cdfg()
+    table = block_gen_use(cdfg)
+    assert set(table) == set(cdfg.blocks)
+
+
+def test_liveness_loop_variable_live_around_backedge():
+    cdfg = _loop_cdfg()
+    live_in, live_out = live_variables(cdfg)
+    header, body = cdfg.natural_loops()[0]
+    # The accumulator and induction variable are live into the header.
+    assert "s" in live_in[header]
+    assert "i" in live_in[header]
+
+
+def test_liveness_dead_after_last_use():
+    src = """
+    func f(a: int, b: int) -> int {
+        var t: int = a * b;
+        var u: int = t + 1;
+        return u;
+    }
+    """
+    cdfg = compile_source(src, entry="f").cdfgs["f"]
+    live_in, live_out = live_variables(cdfg)
+    # single block: nothing live out of the exit
+    assert live_out[cdfg.entry] == frozenset()
+
+
+def test_liveness_branch_joins_union():
+    src = """
+    func f(c: int, x: int, y: int) -> int {
+        var r: int = 0;
+        if c { r = x; } else { r = y; }
+        return r;
+    }
+    """
+    cdfg = compile_source(src, entry="f").cdfgs["f"]
+    live_in, _ = live_variables(cdfg)
+    entry_live = live_in[cdfg.entry]
+    assert {"c", "x", "y"} <= set(entry_live)
+
+
+def test_reaching_definitions_flow_into_loop():
+    cdfg = _loop_cdfg()
+    reach_in = reaching_definitions(cdfg)
+    header, _ = cdfg.natural_loops()[0]
+    # Definitions of both s (init + loop update) reach the header.
+    defining_ids = reach_in[header]
+    s_defs = [op.op_id for op in cdfg.all_ops()
+              if op.result is not None and op.result.name == "s"]
+    assert set(s_defs) <= set(defining_ids)
+
+
+def test_reaching_definitions_killed_by_redefinition():
+    src = """
+    func f(c: int) -> int {
+        var x: int = 1;
+        x = 2;
+        return x;
+    }
+    """
+    cdfg = compile_source(src, entry="f").cdfgs["f"]
+    # Straight-line: reach_in of the entry block is empty.
+    reach_in = reaching_definitions(cdfg)
+    assert reach_in[cdfg.entry] == frozenset()
+
+
+def test_array_stores_do_not_kill_each_other():
+    src = """
+    global g: int[8];
+    func f(c: int) -> int {
+        if c { g[0] = 1; } else { g[1] = 2; }
+        return g[0];
+    }
+    """
+    cdfg = compile_source(src, entry="f").cdfgs["f"]
+    reach_in = reaching_definitions(cdfg)
+    stores = [op.op_id for op in cdfg.all_ops() if op.kind is OpKind.STORE]
+    # Both stores reach the merge block.
+    merge = [name for name in cdfg.blocks if name.startswith("endif")][0]
+    assert set(stores) <= set(reach_in[merge])

@@ -1,0 +1,87 @@
+"""Operation IR node tests."""
+
+import pytest
+
+from repro.ir.ops import (
+    COMPARE_KINDS,
+    CONTROL_KINDS,
+    Operation,
+    OpKind,
+    TERMINATOR_KINDS,
+    Value,
+    is_commutative,
+)
+
+
+def test_value_equality_by_name():
+    assert Value("x") == Value("x")
+    assert Value("x") != Value("y")
+
+
+def test_operation_identity_by_op_id():
+    a = Operation(OpKind.ADD, result=Value("a"), operands=(Value("x"), Value("y")))
+    b = Operation(OpKind.ADD, result=Value("a"), operands=(Value("x"), Value("y")))
+    assert a != b
+    assert a.op_id != b.op_id
+    assert hash(a) != hash(b)
+
+
+def test_operation_usable_as_dict_key():
+    op = Operation(OpKind.NOP)
+    d = {op: 1}
+    assert d[op] == 1
+
+
+def test_const_requires_payload():
+    with pytest.raises(ValueError):
+        Operation(OpKind.CONST, result=Value("c"))
+
+
+def test_memory_ops_require_symbol():
+    with pytest.raises(ValueError):
+        Operation(OpKind.LOAD, result=Value("v"), operands=(Value("i"),))
+    with pytest.raises(ValueError):
+        Operation(OpKind.STORE, operands=(Value("i"), Value("v")))
+
+
+def test_defines_and_uses():
+    op = Operation(OpKind.SUB, result=Value("d"),
+                   operands=(Value("a"), Value("b")))
+    assert op.defines == Value("d")
+    assert op.uses == (Value("a"), Value("b"))
+
+
+def test_terminator_classification():
+    assert TERMINATOR_KINDS == {OpKind.BRANCH, OpKind.JUMP, OpKind.RETURN}
+    assert Operation(OpKind.RETURN).is_terminator
+    assert not Operation(OpKind.NOP).is_terminator
+
+
+def test_control_kinds_superset_of_terminators():
+    assert TERMINATOR_KINDS < CONTROL_KINDS
+    assert OpKind.CALL in CONTROL_KINDS
+
+
+def test_compare_kinds():
+    op = Operation(OpKind.LT, result=Value("c"),
+                   operands=(Value("a"), Value("b")))
+    assert op.is_compare
+    assert COMPARE_KINDS == {OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE,
+                             OpKind.GT, OpKind.GE}
+
+
+def test_memory_classification():
+    load = Operation(OpKind.LOAD, result=Value("v"), operands=(Value("i"),),
+                     symbol="a")
+    assert load.is_memory
+    assert not Operation(OpKind.ADD, result=Value("x")).is_memory
+
+
+@pytest.mark.parametrize("kind,expected", [
+    (OpKind.ADD, True), (OpKind.MUL, True), (OpKind.AND, True),
+    (OpKind.OR, True), (OpKind.XOR, True), (OpKind.EQ, True),
+    (OpKind.NE, True), (OpKind.SUB, False), (OpKind.DIV, False),
+    (OpKind.SHL, False), (OpKind.LT, False),
+])
+def test_commutativity(kind, expected):
+    assert is_commutative(kind) is expected

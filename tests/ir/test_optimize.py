@@ -1,0 +1,373 @@
+"""IR optimizer tests: each pass's effect plus semantics preservation."""
+
+import pytest
+
+from repro.ir.ops import OpKind
+from repro.ir.optimize import optimize_cdfg, optimize_program
+from repro.lang import Interpreter, compile_source
+
+
+def run_both(source, *args, entry="main"):
+    """(reference result, optimized result, optimized program)."""
+    ref = compile_source(source, entry=entry)
+    expected = Interpreter(ref).run(*args)
+    opt = compile_source(source, entry=entry)
+    optimize_program(opt)
+    got = Interpreter(opt).run(*args)
+    return expected, got, opt
+
+
+def kinds_of(program, func="main"):
+    return [op.kind for op in program.cdfgs[func].all_ops()]
+
+
+# ---------------------------------------------------------------------------
+# Individual transformations
+# ---------------------------------------------------------------------------
+
+def test_constant_folding():
+    expected, got, opt = run_both(
+        "func main() -> int { return 3 * 4 + (10 / 3); }")
+    assert got == expected == 15
+    kinds = kinds_of(opt)
+    assert OpKind.MUL not in kinds
+    assert OpKind.DIV not in kinds
+
+
+def test_copy_propagation_removes_movs():
+    src = """
+    func main(a: int) -> int {
+        var x: int = a;
+        var y: int = x;
+        var z: int = y;
+        return z + z;
+    }
+    """
+    expected, got, opt = run_both(src, 21)
+    assert got == expected == 42
+    assert OpKind.MOV not in kinds_of(opt)
+
+
+def test_mul_by_power_of_two_becomes_shift():
+    expected, got, opt = run_both(
+        "func main(a: int) -> int { return a * 16; }", 5)
+    assert got == expected == 80
+    kinds = kinds_of(opt)
+    assert OpKind.MUL not in kinds
+    assert OpKind.SHL in kinds
+
+
+def test_mul_by_one_and_zero():
+    expected, got, opt = run_both(
+        "func main(a: int) -> int { return a * 1 + a * 0; }", 7)
+    assert got == expected == 7
+    assert OpKind.MUL not in kinds_of(opt)
+
+
+def test_add_zero_identity():
+    expected, got, opt = run_both(
+        "func main(a: int) -> int { return (a + 0) - 0; }", 9)
+    assert got == expected == 9
+    kinds = kinds_of(opt)
+    assert OpKind.ADD not in kinds
+    assert OpKind.SUB not in kinds
+
+
+def test_and_with_zero_is_zero():
+    expected, got, opt = run_both(
+        "func main(a: int) -> int { return a & 0; }", 0x55)
+    assert got == expected == 0
+    assert OpKind.AND not in kinds_of(opt)
+
+
+def test_dead_code_removed():
+    src = """
+    func main(a: int) -> int {
+        var dead1: int = a * 977;
+        var dead2: int = dead1 + dead1;
+        return a + 1;
+    }
+    """
+    expected, got, opt = run_both(src, 3)
+    assert got == expected == 4
+    assert OpKind.MUL not in kinds_of(opt)
+
+
+def test_unused_load_removed():
+    src = """
+    global g: int[4];
+    func main() -> int {
+        var dead: int = g[2];
+        return 5;
+    }
+    """
+    expected, got, opt = run_both(src)
+    assert got == expected == 5
+    assert OpKind.LOAD not in kinds_of(opt)
+
+
+def test_stores_never_removed():
+    src = """
+    global g: int[4];
+    func main() -> int {
+        g[1] = 42;
+        return g[1];
+    }
+    """
+    expected, got, opt = run_both(src)
+    assert got == expected == 42
+    assert OpKind.STORE in kinds_of(opt)
+
+
+def test_calls_never_removed():
+    src = """
+    global counter: int;
+    func tick() -> int { counter = counter + 1; return 0; }
+    func main() -> int {
+        var unused: int = tick();
+        return counter;
+    }
+    """
+    expected, got, opt = run_both(src)
+    assert got == expected == 1
+
+
+def test_division_by_zero_not_folded():
+    # 1/0 must stay a runtime fault, not crash the optimizer.
+    src = "func main(x: int) -> int { if x { return 1; } return 1 / 0; }"
+    opt = compile_source(src)
+    optimize_program(opt)
+    assert Interpreter(opt).run(1) == 1  # fault path not taken
+    from repro.lang import InterpError
+    with pytest.raises(InterpError):
+        Interpreter(opt).run(0)
+
+
+def test_folding_respects_wrapping():
+    expected, got, _ = run_both(
+        "func main() -> int { return 0x7FFFFFFF + 1; }")
+    assert got == expected == -2**31
+
+
+def test_copies_killed_by_redefinition():
+    src = """
+    func main(a: int) -> int {
+        var x: int = a;
+        var y: int = x;   # y copies x (== a)
+        x = 100;          # must NOT retroactively change y
+        return y + x;
+    }
+    """
+    expected, got, _ = run_both(src, 7)
+    assert got == expected == 107
+
+
+def test_constants_killed_by_redefinition():
+    src = """
+    func main(a: int) -> int {
+        var k: int = 5;
+        var u: int = k * k;  # folds to 25
+        k = a;
+        return u + k;        # k here is a, not 5
+    }
+    """
+    expected, got, _ = run_both(src, 3)
+    assert got == expected == 28
+
+
+def test_optimizer_idempotent():
+    src = """
+    func main(a: int) -> int {
+        var x: int = a * 4 + 0;
+        return x * 1;
+    }
+    """
+    program = compile_source(src)
+    optimize_program(program)
+    once = [repr(op) for op in program.cdfgs["main"].all_ops()]
+    changed = optimize_cdfg(program.cdfgs["main"])
+    assert not changed
+    twice = [repr(op) for op in program.cdfgs["main"].all_ops()]
+    assert once == twice
+
+
+def test_cdfg_still_verifies_after_optimization():
+    src = """
+    func main(n: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n {
+            if i % 2 == 0 { s = s + i * 2; } else { s = s - i * 1; }
+        }
+        return s;
+    }
+    """
+    _, _, opt = run_both(src, 10)
+    for cdfg in opt.cdfgs.values():
+        cdfg.verify()
+
+
+def test_loop_semantics_preserved():
+    src = """
+    global out: int[32];
+    func main(n: int) -> int {
+        var acc: int = 0;
+        for i in 0 .. n {
+            out[i] = i * 8 + 0;
+            acc = acc + out[i] * 1;
+        }
+        return acc;
+    }
+    """
+    ref = compile_source(src)
+    ri = Interpreter(ref)
+    expected = ri.run(32)
+    opt = compile_source(src)
+    optimize_program(opt)
+    oi = Interpreter(opt)
+    got = oi.run(32)
+    assert got == expected
+    assert oi.get_global("out") == ri.get_global("out")
+
+
+def test_optimization_reduces_op_count_on_real_app():
+    from repro.apps import app_by_name
+    app = app_by_name("digs")
+    plain = app.compile()
+    optimized = compile_source(app.source, name="digs")
+    optimize_program(optimized)
+    assert optimized.op_count < plain.op_count
+
+
+# ---------------------------------------------------------------------------
+# Loop-invariant code motion
+# ---------------------------------------------------------------------------
+
+def _loop_body_kinds(program, func="main"):
+    cdfg = program.cdfgs[func]
+    header, body = cdfg.natural_loops()[0]
+    return [op.kind for b in body for op in cdfg.blocks[b].ops]
+
+
+def test_licm_hoists_invariant_arithmetic():
+    src = """
+    func main(n: int, k: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n {
+            var inv: int = (k << 3) ^ (k + 5);
+            s = s + inv + i;
+        }
+        return s;
+    }
+    """
+    expected, got, opt = run_both(src, 12, 7)
+    assert got == expected
+    kinds = _loop_body_kinds(opt)
+    assert OpKind.SHL not in kinds
+    assert OpKind.XOR not in kinds
+
+
+def test_licm_hoists_safe_constant_index_load():
+    src = """
+    global lut: int[4];
+    func main(n: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n {
+            s = s + lut[2] * 3;
+        }
+        return s;
+    }
+    """
+    ref = compile_source(src)
+    ri = Interpreter(ref)
+    ri.set_global("lut", [5, 6, 7, 8])
+    expected = ri.run(9)
+    opt = compile_source(src)
+    optimize_program(opt)
+    oi = Interpreter(opt)
+    oi.set_global("lut", [5, 6, 7, 8])
+    assert oi.run(9) == expected
+    assert OpKind.LOAD not in _loop_body_kinds(opt)
+
+
+def test_licm_keeps_load_with_variant_index():
+    src = """
+    global lut: int[16];
+    func main(n: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n { s = s + lut[i]; }
+        return s;
+    }
+    """
+    _, _, opt = run_both(src, 8)
+    assert OpKind.LOAD in _loop_body_kinds(opt)
+
+
+def test_licm_keeps_load_when_loop_stores_symbol():
+    src = """
+    global buf: int[8];
+    func main(n: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n {
+            buf[0] = i;
+            s = s + buf[0];
+        }
+        return s;
+    }
+    """
+    expected, got, opt = run_both(src, 6)
+    assert got == expected
+    assert OpKind.LOAD in _loop_body_kinds(opt)
+
+
+def test_licm_never_hoists_division():
+    src = """
+    func main(n: int, d: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n {
+            s = s + 100 / d;
+        }
+        return s;
+    }
+    """
+    _, _, opt = run_both(src, 4, 5)
+    assert OpKind.DIV in _loop_body_kinds(opt)
+    # Zero-trip loop with a zero divisor must not fault after optimization.
+    from repro.lang import Interpreter as I
+    assert I(opt).run(0, 0) == 0
+
+
+def test_licm_zero_trip_semantics_preserved():
+    src = """
+    func main(n: int, k: int) -> int {
+        var s: int = 1;
+        for i in 0 .. n {
+            var inv: int = k * k;
+            s = s + inv;
+        }
+        return s;
+    }
+    """
+    expected, got, _ = run_both(src, 0, 999)
+    assert got == expected == 1
+
+
+def test_licm_nested_loops_hoist_through_levels():
+    src = """
+    func main(n: int, k: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n {
+            for j in 0 .. n {
+                var inv: int = (k << 2) + 1;
+                s = s + inv;
+            }
+        }
+        return s;
+    }
+    """
+    expected, got, opt = run_both(src, 5, 3)
+    assert got == expected
+    cdfg = opt.cdfgs["main"]
+    # The invariant shift left both loops: no SHL inside any loop body.
+    for header, body in cdfg.natural_loops():
+        kinds = [op.kind for b in body for op in cdfg.blocks[b].ops]
+        assert OpKind.SHL not in kinds

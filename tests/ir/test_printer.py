@@ -1,0 +1,66 @@
+"""CDFG pretty-printer tests."""
+
+from repro.ir.printer import format_cdfg, format_program
+from repro.lang import Interpreter, compile_source
+
+
+SRC = """
+global buf: int[8];
+func helper(a: int[8]) -> int {
+    var s: int = 0;
+    for i in 0 .. 8 { s = s + a[i]; }
+    return s;
+}
+func main() -> int {
+    for i in 0 .. 8 { buf[i] = i * 2; }
+    return helper(buf);
+}
+"""
+
+
+def test_format_cdfg_structure():
+    program = compile_source(SRC)
+    text = format_cdfg(program.cdfgs["main"])
+    assert text.startswith("func main()")
+    assert "entry" in text
+    assert "-> true:" in text          # branch edges rendered
+    assert "call @helper" in text
+    assert "[buf]" in text             # array argument shown
+    assert "store @buf" in text
+
+
+def test_format_cdfg_arrays_line():
+    program = compile_source(SRC)
+    text = format_cdfg(program.cdfgs["helper"])
+    assert "arrays:" in text
+    assert "a[8]" in text or "buf[8]" in text
+
+
+def test_execution_count_annotations():
+    program = compile_source(SRC)
+    interp = Interpreter(program)
+    interp.run()
+    ex = {b: interp.profile.block_count("main", b)
+          for b in program.cdfgs["main"].blocks}
+    text = format_cdfg(program.cdfgs["main"], ex)
+    assert "; x9" in text   # loop header entered 9 times
+    assert "; x8" in text   # body 8 times
+
+
+def test_format_program_covers_all_functions():
+    program = compile_source(SRC)
+    text = format_program(program)
+    assert "func main" in text and "func helper" in text
+
+
+def test_cli_ir_command(capsys):
+    from repro.cli import main
+    assert main(["ir", "ckey", "--function", "main", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "func main" in out
+    assert "; x" in out
+
+
+def test_cli_ir_unknown_function(capsys):
+    from repro.cli import main
+    assert main(["ir", "ckey", "--function", "nope"]) == 1

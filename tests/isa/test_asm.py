@@ -1,0 +1,127 @@
+"""SL32 assembler tests."""
+
+import pytest
+
+from repro.isa.asm import AsmError, assemble, assemble_image
+from repro.isa.instructions import Opcode
+from repro.isa.simulator import Simulator
+from repro.tech import cmos6_library
+
+
+def run_asm(source):
+    sim = Simulator(assemble_image(source), cmos6_library())
+    return sim.run()
+
+
+def test_loop_program_runs():
+    result = run_asm("""
+    # sum 10 + 9 + ... + 1
+        li   r2, 10
+        li   r3, 0
+    loop:
+        add  r3, r3, r2
+        addi r2, r2, -1
+        bnz  r2, loop
+        mov  r1, r3
+        halt
+    """)
+    assert result.result == 55
+
+
+def test_memory_operands():
+    result = run_asm("""
+        li  r2, 777
+        sw  r2, [sp-8]
+        lw  r1, [sp + -8]
+        halt
+    """)
+    assert result.result == 777
+
+
+def test_register_aliases():
+    code = assemble("mov r1, zero\nmov r2, sp\nmov r3, ra\n")
+    assert [(i.rd, i.rs1) for i in code] == [(1, 0), (2, 29), (3, 31)]
+
+
+def test_call_and_ret():
+    result = run_asm("""
+        call f
+        halt
+    f:
+        li  r1, 9
+        ret
+    """)
+    assert result.result == 9
+
+
+def test_bez_and_labels_on_same_line():
+    result = run_asm("""
+        li r2, 0
+        bez r2, skip
+        li r1, 111
+        halt
+    skip: li r1, 222
+        halt
+    """)
+    assert result.result == 222
+
+
+def test_mul_div_rem():
+    result = run_asm("""
+        li  r2, -17
+        li  r3, 5
+        div r4, r2, r3
+        rem r5, r2, r3
+        mul r6, r4, r3
+        add r1, r6, r5
+        halt
+    """)
+    assert result.result == -17  # (a/b)*b + a%b == a
+
+
+def test_shift_variants():
+    result = run_asm("""
+        li   r2, 3
+        slli r3, r2, 4
+        li   r4, 2
+        srl  r1, r3, r4
+        halt
+    """)
+    assert result.result == 12
+
+
+def test_opcode_mapping_complete():
+    # Every documented mnemonic assembles to the matching opcode.
+    for mnemonic in ("add", "sub", "and", "or", "xor", "mul", "div", "rem",
+                     "seq", "sne", "slt", "sle", "sgt", "sge", "sll", "srl"):
+        instr = assemble(f"{mnemonic} r1, r2, r3")[0]
+        assert instr.opcode is Opcode(mnemonic)
+
+
+def test_errors():
+    with pytest.raises(AsmError):
+        assemble("frobnicate r1, r2")
+    with pytest.raises(AsmError):
+        assemble("add r1, r2")          # arity
+    with pytest.raises(AsmError):
+        assemble("li r99, 1")           # bad register
+    with pytest.raises(AsmError):
+        assemble("li r1, banana")       # bad immediate
+    with pytest.raises(AsmError):
+        assemble("jmp nowhere")         # unknown label
+    with pytest.raises(AsmError):
+        assemble("x: nop\nx: nop")      # duplicate label
+    with pytest.raises(AsmError):
+        assemble("lw r1, sp")           # bad memory operand
+    with pytest.raises(AsmError):
+        assemble_image("# nothing\n")   # empty program
+
+
+def test_comments_and_blank_lines_ignored():
+    code = assemble("""
+    # full-line comment
+
+        nop   # trailing comment
+    """)
+    assert len(code) == 1
+    assert code[0].opcode is Opcode.NOP

@@ -1,0 +1,139 @@
+"""Explicit tests of the SL32 calling convention and frame layout
+(documented in docs/ISA.md and repro/isa/codegen.py)."""
+
+import pytest
+
+from repro.isa.image import link_program
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    RA_REG,
+    RETVAL_REG,
+    SP_REG,
+    WORD_BYTES,
+)
+from repro.lang import compile_source
+
+
+def function_code(source, name):
+    image = link_program(compile_source(source, entry="main"))
+    start, end = image.function_ranges[name]
+    return image.instructions[start:end], image
+
+
+CALLER_SRC = """
+func callee(a: int, b: int, c: int) -> int { return a + b * c; }
+func main() -> int { return callee(10, 20, 30); }
+"""
+
+
+def test_prologue_allocates_frame_and_saves_ra():
+    code, _ = function_code(CALLER_SRC, "callee")
+    # First instruction: sp -= frame.
+    assert code[0].opcode is Opcode.ADDI
+    assert code[0].rd == SP_REG and code[0].rs1 == SP_REG
+    assert code[0].imm < 0
+    # Second: save ra into the frame.
+    assert code[1].opcode is Opcode.SW
+    assert code[1].rs2 == RA_REG and code[1].rs1 == SP_REG
+
+
+def test_epilogue_restores_ra_pops_frame_returns():
+    code, _ = function_code(CALLER_SRC, "callee")
+    assert code[-1].opcode is Opcode.RET
+    assert code[-2].opcode is Opcode.ADDI
+    assert code[-2].imm == -code[0].imm  # pop matches push
+    restore_ra = code[-3]
+    assert restore_ra.opcode is Opcode.LW and restore_ra.rd == RA_REG
+
+
+def test_incoming_args_loaded_from_frame_top():
+    code, _ = function_code(CALLER_SRC, "callee")
+    frame = -code[0].imm
+    arg_loads = [i for i in code
+                 if i.opcode is Opcode.LW and i.rs1 == SP_REG
+                 and i.comment.startswith("param")]
+    assert len(arg_loads) == 3
+    offsets = sorted(frame - load.imm for load in arg_loads)
+    # arg i lives at sp_caller - 4*(i+1), i.e. offset-from-top 4*(i+1).
+    assert offsets == [WORD_BYTES, 2 * WORD_BYTES, 3 * WORD_BYTES]
+
+
+def test_outgoing_args_stored_below_sp():
+    code, _ = function_code(CALLER_SRC, "main")
+    arg_stores = [i for i in code
+                  if i.opcode is Opcode.SW and i.rs1 == SP_REG and i.imm < 0]
+    offsets = sorted(store.imm for store in arg_stores)
+    assert offsets == [-3 * WORD_BYTES, -2 * WORD_BYTES, -WORD_BYTES]
+
+
+def test_return_value_travels_in_r1():
+    code, _ = function_code(CALLER_SRC, "callee")
+    # Before jumping to the epilogue, the result is moved into r1.
+    movs = [i for i in code if i.opcode is Opcode.MOV and i.rd == RETVAL_REG]
+    assert movs
+    # And the epilogue never clobbers r1.
+    epilogue_writes = [i for i in code[-4:] if i.rd == RETVAL_REG
+                       and i.opcode is not Opcode.RET]
+    assert not epilogue_writes
+
+
+def test_callee_saves_registers_it_uses():
+    src = """
+    func busy(a: int) -> int {
+        var x: int = a * 2;
+        var y: int = x + 3;
+        var z: int = y ^ x;
+        return z - a;
+    }
+    func main() -> int { return busy(5); }
+    """
+    code, _ = function_code(src, "busy")
+    import re
+    saves = [i for i in code[:10]
+             if i.opcode is Opcode.SW
+             and re.match(r"save r\d", i.comment)]
+    restores = [i for i in code[-10:]
+                if i.opcode is Opcode.LW
+                and re.match(r"restore r\d", i.comment)]
+    saved_regs = sorted(i.rs2 for i in saves)
+    restored_regs = sorted(i.rd for i in restores)
+    assert saved_regs == restored_regs
+    assert all(2 <= r <= 23 for r in saved_regs)
+
+
+def test_local_arrays_at_frame_bottom():
+    src = """
+    func f() -> int {
+        var buf: int[8];
+        buf[0] = 7;
+        return buf[0];
+    }
+    func main() -> int { return f(); }
+    """
+    code, image = function_code(src, "f")
+    # The array base is sp + fixed offset with offset < array region size.
+    bases = [i for i in code if i.opcode is Opcode.ADDI
+             and i.rs1 == SP_REG and "&buf" in i.comment]
+    assert bases
+    assert 0 <= bases[0].imm < image.frame_sizes["f"]
+
+
+def test_values_survive_across_calls():
+    # A caller-held value must survive the callee (callee-saved scheme).
+    src = """
+    func clobber() -> int {
+        var a: int = 1; var b: int = 2; var c: int = 3;
+        var d: int = 4; var e: int = 5;
+        return a + b + c + d + e;
+    }
+    func main() -> int {
+        var keep: int = 777;
+        var x: int = clobber();
+        return keep + x;
+    }
+    """
+    from repro.isa.simulator import Simulator
+    from repro.tech import cmos6_library
+    image = link_program(compile_source(src))
+    assert Simulator(image, cmos6_library()).run().result == 777 + 15

@@ -1,0 +1,354 @@
+"""Code generator + simulator tests.
+
+The central property: for any program, the SL32 simulation must compute the
+same result and the same global-memory effects as the reference CDFG
+interpreter (differential testing).
+"""
+
+import pytest
+
+from repro.isa.image import (
+    GLOBALS_BASE,
+    LinkError,
+    ProgramImage,
+    STACK_TOP,
+    layout_globals,
+    link_program,
+)
+from repro.isa.instructions import Opcode
+from repro.isa.simulator import SimError, Simulator
+from repro.lang import Interpreter, compile_source
+from repro.tech import cmos6_library
+
+
+def run_both(source, *args, globals_init=None, entry="main"):
+    """Run interpreter and simulator; return (ref_result, sim_result, sim)."""
+    program = compile_source(source, entry=entry)
+    interp = Interpreter(program)
+    for name, values in (globals_init or {}).items():
+        interp.set_global(name, values)
+    expected = interp.run(*args)
+
+    image = link_program(program)
+    sim = Simulator(image, cmos6_library())
+    for name, values in (globals_init or {}).items():
+        sim.set_global(name, values)
+    result = sim.run(*args)
+    return expected, result, sim
+
+
+def assert_equivalent(source, *args, globals_init=None, check=None):
+    expected, result, sim = run_both(source, *args, globals_init=globals_init)
+    assert result.result == expected
+    if check:
+        check(sim)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Differential correctness
+# ---------------------------------------------------------------------------
+
+def test_constant_return():
+    assert_equivalent("func main() -> int { return 42; }")
+
+
+def test_arguments_arrive():
+    assert_equivalent("func main(a: int, b: int) -> int { return a * 10 + b; }",
+                      7, 3)
+
+
+def test_arithmetic_mix():
+    src = """
+    func main(a: int, b: int) -> int {
+        return ((a + b) * (a - b)) ^ (a << 2) | (b >> 1) & 0xFF;
+    }
+    """
+    assert_equivalent(src, 123, 45)
+
+
+def test_division_and_modulo():
+    assert_equivalent(
+        "func main(a: int, b: int) -> int { return a / b * 1000 + a % b; }",
+        -17, 5)
+
+
+def test_loop_accumulation():
+    assert_equivalent(
+        "func main(n: int) -> int { var s: int = 0;"
+        " for i in 0 .. n { s = s + i * i; } return s; }", 50)
+
+
+def test_nested_control_flow():
+    src = """
+    func main(n: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n {
+            if i % 3 == 0 { s = s + i; }
+            else { if i % 3 == 1 { s = s - i; } else { s = s ^ i; } }
+        }
+        return s;
+    }
+    """
+    assert_equivalent(src, 30)
+
+
+def test_while_with_break_continue():
+    src = """
+    func main() -> int {
+        var i: int = 0;
+        var s: int = 0;
+        while 1 {
+            i = i + 1;
+            if i > 20 { break; }
+            if i % 2 { continue; }
+            s = s + i;
+        }
+        return s;
+    }
+    """
+    assert_equivalent(src)
+
+
+def test_function_calls_and_reference_arrays():
+    src = """
+    func scale(a: int[8], k: int) -> void {
+        for i in 0 .. 8 { a[i] = a[i] * k; }
+    }
+    func total(a: int[8]) -> int {
+        var s: int = 0;
+        for i in 0 .. 8 { s = s + a[i]; }
+        return s;
+    }
+    func main() -> int {
+        var buf: int[8];
+        for i in 0 .. 8 { buf[i] = i + 1; }
+        scale(buf, 3);
+        return total(buf);
+    }
+    """
+    assert_equivalent(src)
+
+
+def test_recursion_deep_enough_to_stress_stack():
+    src = """
+    func sum(n: int) -> int {
+        if n == 0 { return 0; }
+        return n + sum(n - 1);
+    }
+    func main(n: int) -> int { return sum(n); }
+    """
+    assert_equivalent(src, 60)
+
+
+def test_global_arrays_roundtrip():
+    src = """
+    global inp: int[16];
+    global outp: int[16];
+    func main() -> int {
+        var s: int = 0;
+        for i in 0 .. 16 { outp[i] = inp[i] * 2 + 1; s = s + outp[i]; }
+        return s;
+    }
+    """
+    init = {"inp": list(range(16))}
+    expected, result, sim = run_both(src, globals_init=init)
+    assert result.result == expected
+    assert sim.get_global("outp", 16) == [2 * i + 1 for i in range(16)]
+
+
+def test_scalar_globals_shared_across_functions():
+    src = """
+    global acc: int;
+    func add(x: int) -> void { acc = acc + x; }
+    func main() -> int { add(5); add(7); add(30); return acc; }
+    """
+    assert_equivalent(src)
+
+
+def test_register_pressure_spills_are_correct():
+    # 30 simultaneously live values force spilling (22 allocatable regs).
+    decls = "\n".join(f"var v{i}: int = {i} * 3 + 1;" for i in range(30))
+    uses = " + ".join(f"v{i}" for i in range(30))
+    src = f"func main() -> int {{ {decls} return {uses}; }}"
+    assert_equivalent(src)
+
+
+def test_overflow_wraps_identically():
+    src = """
+    func main() -> int {
+        var x: int = 0x7FFFFFFF;
+        return x + 1;
+    }
+    """
+    result = assert_equivalent(src)
+    assert result.result == -2**31
+
+
+def test_large_local_array_in_frame():
+    src = """
+    func main() -> int {
+        var buf: int[256];
+        for i in 0 .. 256 { buf[i] = i; }
+        var s: int = 0;
+        for i in 0 .. 256 { s = s + buf[i]; }
+        return s;
+    }
+    """
+    result = assert_equivalent(src)
+    assert result.result == 255 * 256 // 2
+
+
+# ---------------------------------------------------------------------------
+# Cycle/energy accounting sanity
+# ---------------------------------------------------------------------------
+
+def test_cycles_and_instructions_positive():
+    _, result, _ = run_both("func main() -> int { return 1; }")
+    assert result.cycles >= result.instructions >= 3  # stub + body
+
+
+def test_block_cycles_sum_to_total():
+    src = """
+    func main(n: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n { s = s + i; }
+        return s;
+    }
+    """
+    _, result, _ = run_both(src, 20)
+    assert sum(result.block_cycles.values()) == result.cycles
+
+
+def test_block_energy_sums_to_total():
+    _, result, _ = run_both(
+        "func main(n: int) -> int { return n * n; }", 5)
+    assert sum(result.block_energy_nj.values()) == pytest.approx(
+        result.energy_nj)
+
+
+def test_energy_per_cycle_near_anchor():
+    src = """
+    func main(n: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n { s = s + i * 3; }
+        return s;
+    }
+    """
+    _, result, _ = run_both(src, 200)
+    per_cycle = result.energy_nj / result.cycles
+    assert 8.0 <= per_cycle <= 20.0  # around the 14 nJ/cycle anchor
+
+
+def test_utilization_between_zero_and_one():
+    _, result, _ = run_both(
+        "func main(n: int) -> int { var s: int = 0;"
+        " for i in 0 .. n { s = s + i; } return s; }", 50)
+    assert 0.0 < result.utilization < 1.0
+
+
+def test_multiplier_idle_without_multiplies():
+    from repro.isa.instructions import UPResource
+    _, result, _ = run_both(
+        "func main(n: int) -> int { var s: int = 0;"
+        " for i in 0 .. n { s = s + i; } return s; }", 50)
+    assert result.resource_active_cycles[UPResource.MULTIPLIER] == 0
+
+
+def test_function_attribution():
+    src = """
+    func leaf(x: int) -> int { return x * 2; }
+    func main() -> int {
+        var s: int = 0;
+        for i in 0 .. 10 { s = s + leaf(i); }
+        return s;
+    }
+    """
+    _, result, _ = run_both(src)
+    assert result.function_cycles("leaf") > 0
+    assert result.function_cycles("main") > result.function_cycles("leaf") / 10
+
+
+def test_taken_branches_counted():
+    _, result, _ = run_both(
+        "func main(n: int) -> int { var s: int = 0;"
+        " for i in 0 .. n { s = s + 1; } return s; }", 10)
+    assert result.taken_branches >= 10
+
+
+# ---------------------------------------------------------------------------
+# Faults
+# ---------------------------------------------------------------------------
+
+def test_division_by_zero_faults():
+    program = compile_source("func main(x: int) -> int { return 1 / x; }")
+    sim = Simulator(link_program(program), cmos6_library())
+    with pytest.raises(SimError):
+        sim.run(0)
+
+
+def test_fuel_exhaustion():
+    program = compile_source("func main() -> int { while 1 { } return 0; }")
+    sim = Simulator(link_program(program), cmos6_library(),
+                    max_instructions=500)
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_out_of_bounds_store_faults():
+    program = compile_source(
+        "global g: int[4];"
+        "func main(i: int) -> int { g[i] = 1; return 0; }")
+    sim = Simulator(link_program(program), cmos6_library())
+    with pytest.raises(SimError):
+        sim.run(10_000_000)
+
+
+# ---------------------------------------------------------------------------
+# Linking
+# ---------------------------------------------------------------------------
+
+def test_global_layout_disjoint_and_above_base():
+    program = compile_source(
+        "global a: int[10]; global b: int[20];"
+        "func main() -> int { return a[0] + b[0]; }")
+    layout = layout_globals(program)
+    assert all(addr >= GLOBALS_BASE for addr in layout.values())
+    spans = sorted((addr, addr + program.global_arrays[s] * 4)
+                   for s, addr in layout.items())
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+def test_attribution_covers_every_instruction():
+    program = compile_source("func main() -> int { return 1; }")
+    image = link_program(program)
+    assert len(image.attribution) == len(image.instructions)
+
+
+def test_branch_targets_resolved_to_ints():
+    program = compile_source(
+        "func main(n: int) -> int { var s: int = 0;"
+        " for i in 0 .. n { s = s + 1; } return s; }")
+    image = link_program(program)
+    for instr in image.instructions:
+        if instr.opcode in (Opcode.BEZ, Opcode.BNZ, Opcode.JMP, Opcode.CALL):
+            assert isinstance(instr.target, int)
+            assert 0 <= instr.target < len(image.instructions)
+
+
+def test_function_of():
+    program = compile_source(
+        "func helper() -> int { return 1; }"
+        "func main() -> int { return helper(); }")
+    image = link_program(program)
+    start, end = image.function_ranges["helper"]
+    assert image.function_of(start) == "helper"
+    assert image.function_of(end - 1) == "helper"
+
+
+def test_disassembly_smoke():
+    program = compile_source("func main() -> int { return 7; }")
+    image = link_program(program)
+    text = image.disassemble("main")
+    assert "main" in text and "ret" in text

@@ -1,0 +1,57 @@
+"""Instruction-level (Tiwari-style) energy model tests."""
+
+import pytest
+
+from repro.isa.energy import InstructionEnergyModel
+
+
+@pytest.fixture()
+def model(library):
+    return InstructionEnergyModel(library)
+
+
+def test_alu_base_anchored_to_library(model, library):
+    assert model.base_nj("alu") == pytest.approx(library.up_cycle_energy_nj)
+
+
+def test_class_ordering(model):
+    # div > mul > mem > ctrl > alu ~ shift > nop
+    assert model.base_nj("div") > model.base_nj("mul") > model.base_nj("mem")
+    assert model.base_nj("mem") > model.base_nj("ctrl") > model.base_nj("nop")
+
+
+def test_multicycle_classes_cheaper_per_cycle(model):
+    # mul takes 3 cycles but costs < 3x an alu instruction.
+    assert model.base_nj("mul") < 3 * model.base_nj("alu")
+    assert model.base_nj("div") < 12 * model.base_nj("alu")
+
+
+def test_overhead_zero_within_class(model):
+    assert model.overhead_nj("alu", "alu") == 0.0
+
+
+def test_overhead_positive_across_classes(model):
+    overhead = model.overhead_nj("alu", "mul")
+    assert overhead > 0
+    # circuit-state overhead ~10-20% of a base instruction (Tiwari)
+    assert overhead < 0.3 * model.base_nj("alu")
+
+
+def test_overhead_symmetric(model):
+    assert model.overhead_nj("alu", "mem") == model.overhead_nj("mem", "alu")
+
+
+def test_stall_energy_below_active(model):
+    assert 0 < model.stall_nj < model.base_nj("alu")
+
+
+def test_instruction_nj_composition(model):
+    total = model.instruction_nj("alu", "mem", stall_cycles=2)
+    expected = (model.base_nj("mem") + model.overhead_nj("alu", "mem")
+                + 2 * model.stall_nj)
+    assert total == pytest.approx(expected)
+
+
+def test_unknown_class_raises(model):
+    with pytest.raises(KeyError):
+        model.base_nj("quantum")

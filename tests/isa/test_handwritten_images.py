@@ -1,0 +1,165 @@
+"""Simulator tests on hand-assembled images.
+
+The code generator only emits a subset of SL32 (e.g. it never produces
+BEZ or NOP); these tests exercise the remaining simulator paths with
+hand-built program images.
+"""
+
+import pytest
+
+from repro.isa.image import ProgramImage, STACK_TOP
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.simulator import SimError, Simulator
+from repro.tech import cmos6_library
+
+
+def make_image(instructions, name="hand"):
+    attribution = [(name, "body")] * len(instructions)
+    return ProgramImage(
+        name=name,
+        instructions=instructions,
+        entry_pc=0,
+        function_ranges={name: (0, len(instructions))},
+        symbol_addresses={},
+        attribution=attribution,
+        frame_sizes={},
+    )
+
+
+def run(instructions, **kwargs):
+    sim = Simulator(make_image(instructions), cmos6_library(), **kwargs)
+    return sim.run()
+
+
+def test_bez_taken_and_not_taken():
+    # r2 = 0 -> bez taken, skip the poison; r1 = 7.
+    code = [
+        Instruction(Opcode.LI, rd=2, imm=0),
+        Instruction(Opcode.BEZ, rs1=2, target=3),
+        Instruction(Opcode.LI, rd=1, imm=999),   # skipped
+        Instruction(Opcode.LI, rd=1, imm=7),
+        Instruction(Opcode.HALT),
+    ]
+    result = run(code)
+    assert result.result == 7
+    assert result.taken_branches == 1
+
+    # r2 = 5 -> bez not taken; poison executes, then overwritten path halts.
+    code[0] = Instruction(Opcode.LI, rd=2, imm=5)
+    result = run(code)
+    assert result.result == 7  # falls through 999 then 7
+    assert result.taken_branches == 0
+
+
+def test_nop_advances():
+    code = [
+        Instruction(Opcode.NOP),
+        Instruction(Opcode.LI, rd=1, imm=3),
+        Instruction(Opcode.HALT),
+    ]
+    assert run(code).result == 3
+
+
+def test_zero_register_immutable():
+    code = [
+        Instruction(Opcode.LI, rd=0, imm=1234),   # write to r0 ignored
+        Instruction(Opcode.MOV, rd=1, rs1=0),
+        Instruction(Opcode.HALT),
+    ]
+    assert run(code).result == 0
+
+
+def test_sll_srl_register_forms():
+    code = [
+        Instruction(Opcode.LI, rd=2, imm=3),
+        Instruction(Opcode.LI, rd=3, imm=4),
+        Instruction(Opcode.SLL, rd=4, rs1=2, rs2=3),   # 3 << 4 = 48
+        Instruction(Opcode.LI, rd=5, imm=-16),
+        Instruction(Opcode.SRL, rd=6, rs1=5, rs2=3),   # logical shift
+        Instruction(Opcode.ADD, rd=1, rs1=4, rs2=6),
+        Instruction(Opcode.HALT),
+    ]
+    expected = 48 + ((-16) & 0xFFFFFFFF) >> 4
+    assert run(code).result == 48 + (((-16) & 0xFFFFFFFF) >> 4)
+
+
+def test_rem_signs():
+    code = [
+        Instruction(Opcode.LI, rd=2, imm=-17),
+        Instruction(Opcode.LI, rd=3, imm=5),
+        Instruction(Opcode.REM, rd=1, rs1=2, rs2=3),
+        Instruction(Opcode.HALT),
+    ]
+    assert run(code).result == -2
+
+
+def test_rem_by_zero_faults():
+    code = [
+        Instruction(Opcode.LI, rd=2, imm=1),
+        Instruction(Opcode.LI, rd=3, imm=0),
+        Instruction(Opcode.REM, rd=1, rs1=2, rs2=3),
+        Instruction(Opcode.HALT),
+    ]
+    with pytest.raises(SimError):
+        run(code)
+
+
+def test_memory_roundtrip_via_sp():
+    # Store through sp-relative addressing, load back.
+    code = [
+        Instruction(Opcode.LI, rd=2, imm=4242),
+        Instruction(Opcode.SW, rs1=29, rs2=2, imm=-8),
+        Instruction(Opcode.LW, rd=1, rs1=29, imm=-8),
+        Instruction(Opcode.HALT),
+    ]
+    assert run(code).result == 4242
+    # sp starts at the stack top
+    assert STACK_TOP > 0
+
+
+def test_pc_out_of_range_faults():
+    code = [Instruction(Opcode.JMP, target=99)]
+    with pytest.raises(SimError):
+        run(code)
+
+
+def test_load_fault_on_bad_address():
+    code = [
+        Instruction(Opcode.LI, rd=2, imm=-4),
+        Instruction(Opcode.LW, rd=1, rs1=2, imm=0),
+        Instruction(Opcode.HALT),
+    ]
+    with pytest.raises(SimError):
+        run(code)
+
+
+def test_call_ret_roundtrip():
+    code = [
+        Instruction(Opcode.CALL, target=3),
+        Instruction(Opcode.MOV, rd=1, rs1=2),
+        Instruction(Opcode.HALT),
+        Instruction(Opcode.LI, rd=2, imm=55),  # callee
+        Instruction(Opcode.RET),
+    ]
+    assert run(code).result == 55
+
+
+def test_energy_class_overhead_counted():
+    # alu -> mul -> alu transitions incur circuit-state overhead twice.
+    code = [
+        Instruction(Opcode.LI, rd=2, imm=3),
+        Instruction(Opcode.MUL, rd=3, rs1=2, rs2=2),
+        Instruction(Opcode.ADD, rd=1, rs1=3, rs2=2),
+        Instruction(Opcode.HALT),
+    ]
+    with_mul = run(code)
+    code_no_mul = [
+        Instruction(Opcode.LI, rd=2, imm=3),
+        Instruction(Opcode.LI, rd=3, imm=9),
+        Instruction(Opcode.ADD, rd=1, rs1=3, rs2=2),
+        Instruction(Opcode.HALT),
+    ]
+    without_mul = run(code_no_mul)
+    assert with_mul.result == without_mul.result == 12
+    assert with_mul.energy_nj > without_mul.energy_nj
+    assert with_mul.cycles > without_mul.cycles  # 3-cycle multiply

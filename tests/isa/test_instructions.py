@@ -1,0 +1,95 @@
+"""SL32 instruction-definition tests."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ALLOC_FIRST,
+    ALLOC_LAST,
+    ARG_REGS,
+    INSTRUCTION_INFO,
+    Instruction,
+    Opcode,
+    RA_REG,
+    RETVAL_REG,
+    SCRATCH0,
+    SCRATCH1,
+    SCRATCH2,
+    SP_REG,
+    TAKEN_BRANCH_PENALTY,
+    UPResource,
+    ZERO_REG,
+)
+
+
+def test_every_opcode_has_info():
+    for opcode in Opcode:
+        assert opcode in INSTRUCTION_INFO
+
+
+def test_cycle_counts_positive():
+    for info in INSTRUCTION_INFO.values():
+        assert info.cycles >= 1
+
+
+def test_multiplier_and_divider_multicycle():
+    assert INSTRUCTION_INFO[Opcode.MUL].cycles > 1
+    assert INSTRUCTION_INFO[Opcode.DIV].cycles > INSTRUCTION_INFO[Opcode.MUL].cycles
+
+
+def test_resource_activation_alu():
+    info = INSTRUCTION_INFO[Opcode.ADD]
+    assert UPResource.ALU in info.resources
+    assert UPResource.MULTIPLIER not in info.resources
+
+
+def test_resource_activation_mul_excludes_alu():
+    # The paper's premise: during a multiply the ALU is not actively used.
+    info = INSTRUCTION_INFO[Opcode.MUL]
+    assert UPResource.MULTIPLIER in info.resources
+    assert UPResource.ALU not in info.resources
+
+
+def test_memory_ops_use_lsu_and_alu():
+    for opcode in (Opcode.LW, Opcode.SW):
+        resources = INSTRUCTION_INFO[opcode].resources
+        assert UPResource.LSU in resources
+        assert UPResource.ALU in resources  # address generation
+
+
+def test_every_instruction_fetches():
+    for info in INSTRUCTION_INFO.values():
+        assert UPResource.IFU in info.resources
+
+
+def test_energy_classes_known():
+    classes = {info.energy_class for info in INSTRUCTION_INFO.values()}
+    assert classes <= {"alu", "shift", "mul", "div", "mem", "ctrl", "nop"}
+
+
+def test_register_conventions_disjoint():
+    special = {ZERO_REG, RETVAL_REG, SP_REG, RA_REG,
+               SCRATCH0, SCRATCH1, SCRATCH2}
+    assert len(special) == 7
+    allocatable = set(range(2, 24))
+    assert special & allocatable == set()
+    assert ALLOC_FIRST == 1 and ALLOC_LAST == 23
+    assert RETVAL_REG in ARG_REGS
+
+
+def test_taken_branch_penalty():
+    assert TAKEN_BRANCH_PENALTY == 1
+
+
+def test_instruction_repr_smoke():
+    forms = [
+        Instruction(Opcode.LI, rd=3, imm=42),
+        Instruction(Opcode.LW, rd=2, rs1=29, imm=8),
+        Instruction(Opcode.SW, rs1=29, rs2=4, imm=-4),
+        Instruction(Opcode.BNZ, rs1=5, target="loop"),
+        Instruction(Opcode.JMP, target=10),
+        Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3),
+        Instruction(Opcode.MOV, rd=1, rs1=2),
+        Instruction(Opcode.RET),
+    ]
+    for instr in forms:
+        assert instr.opcode.value in repr(instr)

@@ -1,0 +1,141 @@
+"""Linear-scan register-allocator tests."""
+
+from repro.isa.instructions import Instruction, Opcode, SP_REG
+from repro.isa.regalloc import (
+    ALLOCATABLE,
+    Allocation,
+    Label,
+    LinearScanAllocator,
+    VREG_BASE,
+)
+
+
+def vr(index):
+    return VREG_BASE + index
+
+
+def alloc(items):
+    return LinearScanAllocator(items).allocate()
+
+
+def physical_code(allocation):
+    return [item for item in allocation.items if isinstance(item, Instruction)]
+
+
+def test_simple_chain_no_spill():
+    items = [
+        Instruction(Opcode.LI, rd=vr(0), imm=1),
+        Instruction(Opcode.LI, rd=vr(1), imm=2),
+        Instruction(Opcode.ADD, rd=vr(2), rs1=vr(0), rs2=vr(1)),
+        Instruction(Opcode.MOV, rd=1, rs1=vr(2)),
+    ]
+    result = alloc(items)
+    assert result.spill_slots == 0
+    for instr in physical_code(result):
+        for field in ("rd", "rs1", "rs2"):
+            assert getattr(instr, field) < VREG_BASE
+
+
+def test_disjoint_lifetimes_share_register():
+    items = [
+        Instruction(Opcode.LI, rd=vr(0), imm=1),
+        Instruction(Opcode.MOV, rd=1, rs1=vr(0)),   # last use of v0
+        Instruction(Opcode.LI, rd=vr(1), imm=2),
+        Instruction(Opcode.MOV, rd=1, rs1=vr(1)),
+    ]
+    result = alloc(items)
+    assert result.vreg_map[vr(0)] == result.vreg_map[vr(1)]
+
+
+def test_overlapping_lifetimes_distinct_registers():
+    items = [
+        Instruction(Opcode.LI, rd=vr(0), imm=1),
+        Instruction(Opcode.LI, rd=vr(1), imm=2),
+        Instruction(Opcode.ADD, rd=vr(2), rs1=vr(0), rs2=vr(1)),
+    ]
+    result = alloc(items)
+    assert result.vreg_map[vr(0)] != result.vreg_map[vr(1)]
+
+
+def test_spilling_when_pressure_exceeds_registers():
+    count = len(ALLOCATABLE) + 4
+    items = [Instruction(Opcode.LI, rd=vr(i), imm=i) for i in range(count)]
+    # One instruction using all of them keeps every interval live.
+    for i in range(count):
+        items.append(Instruction(Opcode.MOV, rd=1, rs1=vr(i)))
+    result = alloc(items)
+    assert result.spill_slots == 4
+    # Spill code references the stack pointer with a patched frame slot.
+    spill_instrs = [i for i in physical_code(result)
+                    if i.rs1 == SP_REG and i.opcode in (Opcode.LW, Opcode.SW)]
+    assert spill_instrs
+    assert all(id(i) in result.frame_refs for i in spill_instrs)
+
+
+def test_spilled_value_reloaded_before_use():
+    count = len(ALLOCATABLE) + 1
+    items = [Instruction(Opcode.LI, rd=vr(i), imm=i) for i in range(count)]
+    for i in range(count):
+        items.append(Instruction(Opcode.MOV, rd=1, rs1=vr(i)))
+    result = alloc(items)
+    code = physical_code(result)
+    # every MOV's source register must be written earlier (def before use)
+    for idx, instr in enumerate(code):
+        if instr.opcode is Opcode.MOV and instr.rd == 1:
+            src = instr.rs1
+            writers = [j for j in range(idx)
+                       if code[j].rd == src and code[j].opcode is not Opcode.SW]
+            assert writers, f"source r{src} of MOV at {idx} never written"
+
+
+def test_loop_extension_keeps_value_alive():
+    # v0 defined before the loop, used at the loop head; v1 defined and
+    # dead inside the loop must NOT steal v0's register.
+    items = [
+        Instruction(Opcode.LI, rd=vr(0), imm=1),
+        Label("head"),
+        Instruction(Opcode.MOV, rd=1, rs1=vr(0)),
+        Instruction(Opcode.LI, rd=vr(1), imm=9),
+        Instruction(Opcode.MOV, rd=2, rs1=vr(1)),
+        Instruction(Opcode.BNZ, rs1=1, target="head"),
+    ]
+    result = alloc(items)
+    assert result.vreg_map[vr(0)] != result.vreg_map[vr(1)]
+
+
+def test_architectural_registers_untouched():
+    items = [
+        Instruction(Opcode.ADDI, rd=SP_REG, rs1=SP_REG, imm=-16),
+        Instruction(Opcode.LI, rd=vr(0), imm=3),
+        Instruction(Opcode.MOV, rd=1, rs1=vr(0)),
+    ]
+    result = alloc(items)
+    code = physical_code(result)
+    assert code[0].rd == SP_REG
+    assert code[0].rs1 == SP_REG
+
+
+def test_labels_preserved_in_output():
+    items = [
+        Label("start"),
+        Instruction(Opcode.LI, rd=vr(0), imm=1),
+        Label("end"),
+    ]
+    result = alloc(items)
+    labels = [i.name for i in result.items if isinstance(i, Label)]
+    assert labels == ["start", "end"]
+
+
+def test_used_phys_reported():
+    items = [
+        Instruction(Opcode.LI, rd=vr(0), imm=1),
+        Instruction(Opcode.MOV, rd=1, rs1=vr(0)),
+    ]
+    result = alloc(items)
+    assert result.vreg_map[vr(0)] in result.used_phys
+
+
+def test_empty_stream():
+    result = alloc([])
+    assert result.items == []
+    assert result.spill_slots == 0

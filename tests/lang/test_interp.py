@@ -1,0 +1,308 @@
+"""CDFG interpreter unit tests."""
+
+import pytest
+
+from repro.lang import Interpreter, InterpError, compile_source
+from repro.lang.interp import wrap32
+
+
+def run(source: str, *args, globals_init=None, entry="main"):
+    program = compile_source(source, entry=entry)
+    interp = Interpreter(program)
+    for name, values in (globals_init or {}).items():
+        interp.set_global(name, values)
+    result = interp.run(*args)
+    return result, interp
+
+
+# ---------------------------------------------------------------------------
+# wrap32 semantics
+# ---------------------------------------------------------------------------
+
+def test_wrap32_identity_in_range():
+    assert wrap32(123) == 123
+    assert wrap32(-123) == -123
+
+
+def test_wrap32_overflow():
+    assert wrap32(2**31) == -2**31
+    assert wrap32(2**32 + 5) == 5
+    assert wrap32(-2**31 - 1) == 2**31 - 1
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic semantics
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("expr,expected", [
+    ("7 + 5", 12),
+    ("7 - 5", 2),
+    ("7 * 5", 35),
+    ("7 / 2", 3),
+    ("(0 - 7) / 2", -3),       # truncation toward zero (C semantics)
+    ("7 % 3", 1),
+    ("(0 - 7) % 3", -1),       # sign follows dividend
+    ("6 & 3", 2),
+    ("6 | 3", 7),
+    ("6 ^ 3", 5),
+    ("~0", -1),
+    ("1 << 4", 16),
+    ("256 >> 4", 16),
+    ("3 < 4", 1),
+    ("4 <= 4", 1),
+    ("5 > 4", 1),
+    ("5 >= 6", 0),
+    ("5 == 5", 1),
+    ("5 != 5", 0),
+    ("2 && 0", 0),
+    ("2 && 3", 1),
+    ("0 || 0", 0),
+    ("0 || 9", 1),
+    ("!7", 0),
+    ("!0", 1),
+    ("-(3)", -3),
+])
+def test_expression(expr, expected):
+    result, _ = run(f"func main() -> int {{ return {expr}; }}")
+    assert result == expected
+
+
+def test_mul_wraps_to_32_bits():
+    result, _ = run("func main() -> int { return 0x10000 * 0x10000; }")
+    assert result == 0
+
+
+def test_shift_amount_masked_to_5_bits():
+    result, _ = run("func main() -> int { return 1 << 33; }")
+    assert result == 2
+
+
+def test_srl_is_logical_shift():
+    result, _ = run("func main() -> int { return (0 - 1) >> 28; }")
+    assert result == 15
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(InterpError):
+        run("func main(x: int) -> int { return 1 / x; }", 0)
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+
+def test_while_loop_sum():
+    src = """
+    func main(n: int) -> int {
+        var s: int = 0;
+        var i: int = 0;
+        while i < n { s = s + i; i = i + 1; }
+        return s;
+    }
+    """
+    result, _ = run(src, 10)
+    assert result == 45
+
+
+def test_for_loop_sum():
+    result, _ = run(
+        "func main(n: int) -> int { var s: int = 0;"
+        " for i in 0 .. n { s = s + i; } return s; }", 100)
+    assert result == 4950
+
+
+def test_empty_for_range():
+    result, _ = run(
+        "func main() -> int { var s: int = 7;"
+        " for i in 5 .. 5 { s = 0; } return s; }")
+    assert result == 7
+
+
+def test_reverse_range_does_not_execute():
+    result, _ = run(
+        "func main() -> int { var s: int = 7;"
+        " for i in 5 .. 2 { s = 0; } return s; }")
+    assert result == 7
+
+
+def test_break():
+    src = """
+    func main() -> int {
+        var i: int = 0;
+        while 1 { i = i + 1; if i == 5 { break; } }
+        return i;
+    }
+    """
+    result, _ = run(src)
+    assert result == 5
+
+
+def test_continue():
+    src = """
+    func main(n: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n { if i % 2 == 0 { continue; } s = s + i; }
+        return s;
+    }
+    """
+    result, _ = run(src, 10)
+    assert result == 1 + 3 + 5 + 7 + 9
+
+
+def test_nested_break_only_exits_inner():
+    src = """
+    func main() -> int {
+        var s: int = 0;
+        for i in 0 .. 3 {
+            for j in 0 .. 10 { if j == 2 { break; } s = s + 1; }
+        }
+        return s;
+    }
+    """
+    result, _ = run(src)
+    assert result == 6
+
+
+# ---------------------------------------------------------------------------
+# Functions, arrays and globals
+# ---------------------------------------------------------------------------
+
+def test_recursion():
+    src = """
+    func fib(n: int) -> int {
+        if n < 2 { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    func main(n: int) -> int { return fib(n); }
+    """
+    result, _ = run(src, 10)
+    assert result == 55
+
+
+def test_arrays_passed_by_reference():
+    src = """
+    func fill(a: int[4]) -> void { for i in 0 .. 4 { a[i] = i * 10; } }
+    func main() -> int {
+        var b: int[4];
+        fill(b);
+        return b[3];
+    }
+    """
+    result, _ = run(src)
+    assert result == 30
+
+
+def test_local_arrays_fresh_per_activation():
+    src = """
+    func bump(x: int) -> int {
+        var a: int[2];
+        a[0] = a[0] + x;
+        return a[0];
+    }
+    func main() -> int { return bump(5) + bump(7); }
+    """
+    result, _ = run(src)
+    assert result == 12  # both activations saw zero-initialized arrays
+
+
+def test_global_arrays_persist():
+    src = """
+    global g: int[4];
+    func main() -> int {
+        g[1] = g[1] + 3;
+        return g[1];
+    }
+    """
+    result, interp = run(src, globals_init={"g": [10, 20, 30, 40]})
+    assert result == 23
+    assert interp.get_global("g") == [10, 23, 30, 40]
+
+
+def test_scalar_global_roundtrip():
+    src = """
+    global counter: int;
+    func tick() -> void { counter = counter + 1; }
+    func main() -> int { tick(); tick(); tick(); return counter; }
+    """
+    result, _ = run(src)
+    assert result == 3
+
+
+def test_out_of_range_load_raises():
+    with pytest.raises(InterpError):
+        run("func main(i: int) -> int { var a: int[4]; return a[i]; }", 9)
+
+
+def test_out_of_range_store_raises():
+    with pytest.raises(InterpError):
+        run("func main(i: int) -> int { var a: int[4]; a[i] = 1; return 0; }",
+            -1)
+
+
+def test_fuel_limit():
+    program = compile_source("func main() -> int { while 1 { } return 0; }")
+    interp = Interpreter(program, max_steps=1000)
+    with pytest.raises(InterpError):
+        interp.run()
+
+
+def test_set_unknown_global_raises():
+    program = compile_source("func main() -> int { return 0; }")
+    with pytest.raises(KeyError):
+        Interpreter(program).set_global("nope", [1])
+
+
+def test_wrong_global_length_raises():
+    program = compile_source(
+        "global g: int[4]; func main() -> int { return g[0]; }")
+    with pytest.raises(ValueError):
+        Interpreter(program).set_global("g", [1, 2])
+
+
+# ---------------------------------------------------------------------------
+# Profiling
+# ---------------------------------------------------------------------------
+
+def test_block_counts_match_trip_counts():
+    src = """
+    func main(n: int) -> int {
+        var s: int = 0;
+        for i in 0 .. n { s = s + i; }
+        return s;
+    }
+    """
+    program = compile_source(src)
+    interp = Interpreter(program)
+    interp.run(8)
+    cdfg = program.cdfgs["main"]
+    ex = interp.profile.executions_of("main", cdfg)
+    header, body = cdfg.natural_loops()[0]
+    # header runs trips+1 times; the body block exactly `trips` times.
+    assert ex[header] == 9
+    body_blocks = [b for b in body if b != header]
+    assert any(ex[b] == 8 for b in body_blocks)
+
+
+def test_call_counts():
+    src = """
+    func leaf() -> int { return 1; }
+    func main() -> int {
+        var s: int = 0;
+        for i in 0 .. 5 { s = s + leaf(); }
+        return s;
+    }
+    """
+    _, interp = run(src)
+    assert interp.profile.call_counts["leaf"] == 5
+    assert interp.profile.call_counts["main"] == 1
+
+
+def test_memory_trace_hook():
+    events = []
+    program = compile_source(
+        "global g: int[4];"
+        "func main() -> int { g[1] = 5; return g[1]; }")
+    interp = Interpreter(program, trace_hook=events.append)
+    interp.run()
+    assert (True, "g", 1) in events
+    assert (False, "g", 1) in events

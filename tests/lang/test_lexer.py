@@ -1,0 +1,131 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.lexer import Lexer, LexError
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in Lexer(source).tokenize()]
+
+
+def test_empty_source_yields_eof():
+    assert kinds("") == [TokenKind.EOF]
+
+
+def test_whitespace_only():
+    assert kinds("  \t\n\r  ") == [TokenKind.EOF]
+
+
+def test_comment_to_end_of_line():
+    assert kinds("# a comment\n") == [TokenKind.EOF]
+
+
+def test_comment_then_token():
+    toks = Lexer("# c\nfunc").tokenize()
+    assert toks[0].kind is TokenKind.KW_FUNC
+    assert toks[0].line == 2
+
+
+def test_decimal_literal():
+    tok = Lexer("12345").tokenize()[0]
+    assert tok.kind is TokenKind.INT
+    assert tok.value == 12345
+
+
+def test_hex_literal():
+    tok = Lexer("0xFF").tokenize()[0]
+    assert tok.value == 255
+
+
+def test_hex_literal_lowercase_x():
+    assert Lexer("0x10").tokenize()[0].value == 16
+
+
+def test_malformed_hex_raises():
+    with pytest.raises(LexError):
+        Lexer("0x").tokenize()
+
+
+def test_identifier_with_underscores_and_digits():
+    tok = Lexer("_foo_2bar").tokenize()[0]
+    assert tok.kind is TokenKind.IDENT
+    assert tok.text == "_foo_2bar"
+
+
+def test_digit_prefixed_identifier_rejected():
+    with pytest.raises(LexError):
+        Lexer("2abc").tokenize()
+
+
+@pytest.mark.parametrize("text,kind", [
+    ("func", TokenKind.KW_FUNC),
+    ("var", TokenKind.KW_VAR),
+    ("const", TokenKind.KW_CONST),
+    ("global", TokenKind.KW_GLOBAL),
+    ("if", TokenKind.KW_IF),
+    ("else", TokenKind.KW_ELSE),
+    ("while", TokenKind.KW_WHILE),
+    ("for", TokenKind.KW_FOR),
+    ("in", TokenKind.KW_IN),
+    ("return", TokenKind.KW_RETURN),
+    ("break", TokenKind.KW_BREAK),
+    ("continue", TokenKind.KW_CONTINUE),
+    ("int", TokenKind.KW_INT),
+    ("void", TokenKind.KW_VOID),
+])
+def test_keywords(text, kind):
+    assert kinds(text)[0] is kind
+
+
+def test_keyword_prefix_is_identifier():
+    tok = Lexer("iffy").tokenize()[0]
+    assert tok.kind is TokenKind.IDENT
+
+
+@pytest.mark.parametrize("text,kind", [
+    ("->", TokenKind.ARROW),
+    ("..", TokenKind.DOTDOT),
+    ("<<", TokenKind.SHL),
+    (">>", TokenKind.SHR),
+    ("&&", TokenKind.ANDAND),
+    ("||", TokenKind.OROR),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+])
+def test_two_char_operators(text, kind):
+    assert kinds(text)[0] is kind
+
+
+def test_two_char_beats_one_char():
+    # '<=' must not lex as '<' '='.
+    assert kinds("<=")[:1] == [TokenKind.LE]
+
+
+def test_minus_then_arrow_disambiguation():
+    assert kinds("- ->")[:2] == [TokenKind.MINUS, TokenKind.ARROW]
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LexError) as err:
+        Lexer("\n  $").tokenize()
+    assert err.value.line == 2
+    assert err.value.col == 3
+
+
+def test_token_positions():
+    toks = Lexer("a\n  b").tokenize()
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_full_statement_token_stream():
+    toks = kinds("x = a[i] + 3;")
+    assert toks == [
+        TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.IDENT,
+        TokenKind.LBRACKET, TokenKind.IDENT, TokenKind.RBRACKET,
+        TokenKind.PLUS, TokenKind.INT, TokenKind.SEMI, TokenKind.EOF,
+    ]

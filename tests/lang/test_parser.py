@@ -1,0 +1,241 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import ParseError, parse_program
+
+
+def parse_func(body: str, params: str = "", ret: str = "-> int") -> ast.FuncDecl:
+    module = parse_program(f"func f({params}) {ret} {{ {body} }}")
+    return module.funcs[0]
+
+
+def first_stmt(body: str) -> ast.Stmt:
+    return parse_func(body).body[0]
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+def test_empty_module():
+    module = parse_program("")
+    assert module.funcs == [] and module.consts == [] and module.globals_ == []
+
+
+def test_const_declaration_folds():
+    module = parse_program("const N = 4 * 8 + 1;")
+    assert module.consts[0].name == "N"
+    assert module.consts[0].value == 33
+
+
+def test_const_references_earlier_const():
+    module = parse_program("const A = 3; const B = A * A;")
+    assert module.consts[1].value == 9
+
+
+def test_duplicate_const_rejected():
+    with pytest.raises(ParseError):
+        parse_program("const A = 1; const A = 2;")
+
+
+def test_const_in_array_size():
+    module = parse_program("const N = 5; global g: int[N * 2];")
+    assert module.globals_[0].array_size == 10
+
+
+def test_non_positive_array_size_rejected():
+    with pytest.raises(ParseError):
+        parse_program("global g: int[0];")
+
+
+def test_global_scalar():
+    module = parse_program("global x: int;")
+    assert module.globals_[0].array_size is None
+
+
+def test_function_signature():
+    func = parse_func("return n;", params="a: int[4], n: int")
+    assert func.params[0].array_size == 4
+    assert func.params[1].array_size is None
+    assert func.returns_value
+
+
+def test_void_function():
+    func = parse_func("return;", ret="-> void")
+    assert not func.returns_value
+
+
+def test_no_arrow_means_void():
+    module = parse_program("func f() { }")
+    assert not module.funcs[0].returns_value
+
+
+def test_top_level_junk_rejected():
+    with pytest.raises(ParseError):
+        parse_program("x = 3;")
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+def test_var_decl_with_init():
+    stmt = first_stmt("var x: int = 3; return x;")
+    assert isinstance(stmt, ast.VarDecl)
+    assert isinstance(stmt.init, ast.IntLit)
+
+
+def test_array_var_decl():
+    stmt = first_stmt("var buf: int[16]; return 0;")
+    assert stmt.array_size == 16
+
+
+def test_array_initializer_rejected():
+    with pytest.raises(ParseError):
+        parse_func("var buf: int[4] = 0; return 0;")
+
+
+def test_assignment():
+    stmt = first_stmt("x = 1; return 0;")
+    assert isinstance(stmt, ast.Assign)
+
+
+def test_array_store():
+    stmt = first_stmt("a[i] = v; return 0;")
+    assert isinstance(stmt, ast.StoreStmt)
+    assert stmt.base == "a"
+
+
+def test_if_else():
+    stmt = first_stmt("if x { y = 1; } else { y = 2; } return y;")
+    assert isinstance(stmt, ast.If)
+    assert len(stmt.then_body) == 1
+    assert len(stmt.else_body) == 1
+
+
+def test_else_if_chains():
+    stmt = first_stmt("if a { } else if b { } else { } return 0;")
+    assert isinstance(stmt.else_body[0], ast.If)
+
+
+def test_while():
+    stmt = first_stmt("while x > 0 { x = x - 1; } return x;")
+    assert isinstance(stmt, ast.While)
+
+
+def test_for_range():
+    stmt = first_stmt("for i in 0 .. 10 { } return 0;")
+    assert isinstance(stmt, ast.ForRange)
+    assert stmt.var == "i"
+
+
+def test_break_and_continue():
+    func = parse_func("while 1 { break; continue; } return 0;")
+    loop = func.body[0]
+    assert isinstance(loop.body[0], ast.Break)
+    assert isinstance(loop.body[1], ast.Continue)
+
+
+def test_call_statement():
+    stmt = first_stmt("g(); return 0;")
+    assert isinstance(stmt, ast.ExprStmt)
+    assert isinstance(stmt.expr, ast.Call)
+
+
+def test_unterminated_block():
+    with pytest.raises(ParseError):
+        parse_program("func f() -> int { return 0;")
+
+
+def test_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse_func("x = 1 return 0;")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+def _expr(text: str) -> ast.Expr:
+    stmt = first_stmt(f"x = {text}; return 0;")
+    return stmt.value
+
+
+def test_precedence_mul_over_add():
+    expr = _expr("1 + 2 * 3")
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_precedence_shift_below_add():
+    expr = _expr("1 << 2 + 3")
+    # '+' binds tighter than '<<'
+    assert expr.op == "<<"
+    assert expr.right.op == "+"
+
+
+def test_precedence_compare_below_shift():
+    expr = _expr("a << 1 < b")
+    assert expr.op == "<"
+
+
+def test_precedence_bitand_below_compare():
+    expr = _expr("a == b & c == d")
+    assert expr.op == "&"
+    assert expr.left.op == "=="
+
+
+def test_precedence_logical_or_lowest():
+    expr = _expr("a && b || c && d")
+    assert expr.op == "||"
+
+
+def test_left_associativity():
+    expr = _expr("a - b - c")
+    assert expr.op == "-"
+    assert expr.left.op == "-"
+
+
+def test_parentheses_override():
+    expr = _expr("(1 + 2) * 3")
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_unary_operators_nest():
+    expr = _expr("-~!a")
+    assert expr.op == "-"
+    assert expr.operand.op == "~"
+    assert expr.operand.operand.op == "!"
+
+
+def test_index_expression():
+    expr = _expr("a[i + 1]")
+    assert isinstance(expr, ast.Index)
+    assert expr.index.op == "+"
+
+
+def test_call_with_args():
+    expr = _expr("g(1, x, a[0])")
+    assert isinstance(expr, ast.Call)
+    assert len(expr.args) == 3
+
+
+def test_const_folded_in_expression_position():
+    module = parse_program(
+        "const K = 7; func f() -> int { return K + 1; }")
+    ret = module.funcs[0].body[0]
+    assert isinstance(ret.value.left, ast.IntLit)
+    assert ret.value.left.value == 7
+
+
+def test_const_division_truncates_toward_zero():
+    module = parse_program("const A = -7 / 2;")
+    assert module.consts[0].value == -3
+
+
+def test_const_division_by_zero():
+    with pytest.raises(ZeroDivisionError):
+        parse_program("const A = 1 / 0;")

@@ -1,0 +1,152 @@
+"""Semantic checker unit tests."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.lang.semantics import SemanticError, check_program
+
+
+def check(source: str):
+    return check_program(parse_program(source))
+
+
+def test_valid_program_returns_signatures():
+    sigs = check("func f(a: int[4], n: int) -> int { return n; }")
+    assert sigs["f"].param_is_array == (True, False)
+    assert sigs["f"].returns_value
+
+
+def test_duplicate_function():
+    with pytest.raises(SemanticError):
+        check("func f() { } func f() { }")
+
+
+def test_duplicate_parameter():
+    with pytest.raises(SemanticError):
+        check("func f(a: int, a: int) { }")
+
+
+def test_duplicate_global():
+    with pytest.raises(SemanticError):
+        check("global g: int[4]; global g: int;")
+
+
+def test_duplicate_local():
+    with pytest.raises(SemanticError):
+        check("func f() { var x: int = 0; var x: int = 1; }")
+
+
+def test_use_of_undeclared_variable():
+    with pytest.raises(SemanticError):
+        check("func f() -> int { return x; }")
+
+
+def test_assignment_to_undeclared():
+    with pytest.raises(SemanticError):
+        check("func f() { x = 3; }")
+
+
+def test_whole_array_assignment_rejected():
+    with pytest.raises(SemanticError):
+        check("func f(a: int[4]) { a = 3; }")
+
+
+def test_array_used_as_scalar_rejected():
+    with pytest.raises(SemanticError):
+        check("func f(a: int[4]) -> int { return a + 1; }")
+
+
+def test_indexing_a_scalar_rejected():
+    with pytest.raises(SemanticError):
+        check("func f(x: int) -> int { return x[0]; }")
+
+
+def test_store_to_scalar_rejected():
+    with pytest.raises(SemanticError):
+        check("func f(x: int) { x[0] = 1; }")
+
+
+def test_globals_visible_in_functions():
+    check("global g: int[4]; func f() -> int { return g[0]; }")
+
+
+def test_scalar_global_read_and_write():
+    check("global s: int; func f() { s = s + 1; }")
+
+
+def test_missing_return_value():
+    with pytest.raises(SemanticError):
+        check("func f() -> int { return; }")
+
+
+def test_void_returning_value_rejected():
+    with pytest.raises(SemanticError):
+        check("func f() -> void { return 3; }")
+
+
+def test_break_outside_loop():
+    with pytest.raises(SemanticError):
+        check("func f() { break; }")
+
+
+def test_continue_outside_loop():
+    with pytest.raises(SemanticError):
+        check("func f() { continue; }")
+
+
+def test_break_inside_nested_if_in_loop_ok():
+    check("func f() { while 1 { if 1 { break; } } }")
+
+
+def test_call_unknown_function():
+    with pytest.raises(SemanticError):
+        check("func f() { g(); }")
+
+
+def test_call_arity_mismatch():
+    with pytest.raises(SemanticError):
+        check("func g(x: int) { } func f() { g(); }")
+
+
+def test_void_call_in_expression_rejected():
+    with pytest.raises(SemanticError):
+        check("func g() -> void { } func f() -> int { return g(); }")
+
+
+def test_int_call_as_statement_allowed():
+    check("func g() -> int { return 1; } func f() { g(); }")
+
+
+def test_array_argument_must_be_array_name():
+    with pytest.raises(SemanticError):
+        check("func g(a: int[4]) { } func f() { g(3); }")
+
+
+def test_scalar_argument_cannot_be_array():
+    with pytest.raises(SemanticError):
+        check("func g(x: int) { } func f(a: int[4]) { g(a); }")
+
+
+def test_array_argument_passes():
+    check("func g(a: int[4]) { } func f(b: int[4]) { g(b); }")
+
+
+def test_loop_variable_implicitly_declared():
+    check("func f() -> int { for i in 0 .. 4 { } return i; }")
+
+
+def test_loop_variable_reuse_allowed():
+    check("func f() { for i in 0 .. 4 { } for i in 0 .. 4 { } }")
+
+
+def test_loop_variable_cannot_be_array():
+    with pytest.raises(SemanticError):
+        check("func f(a: int[4]) { for a in 0 .. 4 { } }")
+
+
+def test_non_call_expression_statement_impossible_via_parser():
+    # The grammar only allows calls as expression statements, so this is a
+    # parse error upstream, not a semantic one — documents the division.
+    from repro.lang.parser import ParseError
+    with pytest.raises(ParseError):
+        check("func f() { 1 + 2; }")

@@ -1,0 +1,130 @@
+"""Cache/memory/bus energy model tests."""
+
+import pytest
+
+from repro.mem.bus import SharedBus
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.cache_energy import CacheEnergyModel
+from repro.mem.main_memory import MainMemory
+
+
+# ---------------------------------------------------------------------------
+# Cache energy
+# ---------------------------------------------------------------------------
+
+def test_read_access_energy_in_nanojoule_range(library):
+    cfg = CacheConfig(size_bytes=2048, line_bytes=16, associativity=2)
+    model = CacheEnergyModel(library, cfg)
+    assert 0.3 <= model.read_access_nj <= 10.0
+
+
+def test_write_cheaper_than_read(library):
+    cfg = CacheConfig(size_bytes=2048, line_bytes=16, associativity=2)
+    model = CacheEnergyModel(library, cfg)
+    assert model.write_access_nj < model.read_access_nj
+
+
+def test_higher_associativity_costs_more_per_read(library):
+    direct = CacheEnergyModel(library, CacheConfig(
+        size_bytes=2048, line_bytes=16, associativity=1))
+    four_way = CacheEnergyModel(library, CacheConfig(
+        size_bytes=2048, line_bytes=16, associativity=4))
+    assert four_way.read_access_nj > direct.read_access_nj
+
+
+def test_longer_lines_cost_more_per_read(library):
+    short = CacheEnergyModel(library, CacheConfig(
+        size_bytes=2048, line_bytes=16, associativity=2))
+    long_ = CacheEnergyModel(library, CacheConfig(
+        size_bytes=2048, line_bytes=64, associativity=2))
+    assert long_.read_access_nj > short.read_access_nj
+
+
+def test_energy_accumulates_with_traffic(library):
+    cfg = CacheConfig(size_bytes=512, line_bytes=16, associativity=2)
+    model = CacheEnergyModel(library, cfg)
+    cache = Cache(cfg)
+    for addr in range(0, 1024, 4):
+        cache.access(addr)
+    energy = model.energy_nj(cache)
+    expected = (cache.reads * model.read_access_nj
+                + cache.fills * model.fill_nj)
+    assert energy == pytest.approx(expected)
+    assert energy > 0
+
+
+def test_zero_traffic_zero_energy(library):
+    cfg = CacheConfig()
+    assert CacheEnergyModel(library, cfg).energy_nj(Cache(cfg)) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Main memory
+# ---------------------------------------------------------------------------
+
+def test_memory_refill_counts_line_words(library):
+    mem = MainMemory(library)
+    mem.refill(4)
+    mem.refill(4)
+    assert mem.word_reads == 8
+
+
+def test_memory_energy(library):
+    mem = MainMemory(library)
+    mem.read_word()
+    mem.write_word()
+    expected = library.mem_read_energy_nj + library.mem_write_energy_nj
+    assert mem.energy_nj() == pytest.approx(expected)
+
+
+def test_memory_write_dearer_than_read(library):
+    assert library.mem_write_energy_nj > library.mem_read_energy_nj
+
+
+def test_memory_reset(library):
+    mem = MainMemory(library)
+    mem.refill(8)
+    mem.reset()
+    assert mem.accesses == 0
+
+
+# ---------------------------------------------------------------------------
+# Shared bus
+# ---------------------------------------------------------------------------
+
+def test_bus_counts_and_energy(library):
+    bus = SharedBus(library)
+    bus.read_words(3)
+    bus.write_words(2)
+    assert bus.transfers == 5
+    expected = (3 * library.bus_read_energy_nj
+                + 2 * library.bus_write_energy_nj)
+    assert bus.energy_nj() == pytest.approx(expected)
+
+
+def test_bus_read_write_differ(library):
+    # Paper footnote 9: reads and writes imply different energies.
+    assert library.bus_read_energy_nj != library.bus_write_energy_nj
+
+
+def test_bus_negative_count_rejected(library):
+    bus = SharedBus(library)
+    with pytest.raises(ValueError):
+        bus.read_words(-1)
+    with pytest.raises(ValueError):
+        bus.write_words(-5)
+
+
+def test_bus_hypothetical_pricing_does_not_record(library):
+    bus = SharedBus(library)
+    price = bus.transfer_energy_nj(10, 10)
+    assert price > 0
+    assert bus.transfers == 0
+
+
+def test_bus_reset(library):
+    bus = SharedBus(library)
+    bus.write_words(7)
+    bus.reset()
+    assert bus.transfers == 0
+    assert bus.energy_nj() == 0.0

@@ -1,0 +1,109 @@
+"""Cache-exploration tests (paper footnotes 2 and 4)."""
+
+import pytest
+
+from repro.isa.image import link_program
+from repro.lang import compile_source
+from repro.mem import (
+    CacheConfig,
+    best_point,
+    default_search_space,
+    explore_cache_configs,
+    initial_evaluator,
+)
+from repro.mem.explore import partitioned_evaluator
+from repro.sched.utilization import ClusterMetrics
+from repro.synth.rtl_sim import AsicRunStats
+
+
+SRC = """
+global data: int[512];
+func main() -> int {
+    var s: int = 0;
+    for p in 0 .. 4 {
+        for i in 0 .. 512 { data[i] = data[i] + i; }
+        for i in 0 .. 512 { s = s + data[i]; }
+    }
+    return s;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def image():
+    return link_program(compile_source(SRC))
+
+
+def test_search_space_shape():
+    space = default_search_space()
+    assert len(space) == 18
+    for icache_cfg, dcache_cfg in space:
+        assert isinstance(icache_cfg, CacheConfig)
+        assert isinstance(dcache_cfg, CacheConfig)
+
+
+def test_exploration_evaluates_every_point(image, library):
+    evaluate = initial_evaluator(image, library)
+    space = default_search_space()[:4]
+    points = explore_cache_configs(evaluate, space)
+    assert len(points) == 4
+    results = {p.run.result for p in points}
+    assert len(results) == 1  # functional result independent of caches
+
+
+def test_bigger_caches_fewer_misses_but_more_per_access_energy(image, library):
+    evaluate = initial_evaluator(image, library)
+    small = evaluate(CacheConfig(size_bytes=512, line_bytes=16,
+                                 associativity=2, miss_penalty=8),
+                     CacheConfig(size_bytes=512, line_bytes=16,
+                                 associativity=2, miss_penalty=8))
+    big = evaluate(CacheConfig(size_bytes=8192, line_bytes=16,
+                               associativity=2, miss_penalty=8),
+                   CacheConfig(size_bytes=8192, line_bytes=16,
+                               associativity=2, miss_penalty=8))
+    assert big.icache_hit_rate >= small.icache_hit_rate
+    assert big.up_cycles <= small.up_cycles
+
+
+def test_best_point_minimizes_total_energy(image, library):
+    evaluate = initial_evaluator(image, library)
+    points = explore_cache_configs(evaluate, default_search_space()[:6])
+    best = best_point(points)
+    assert best.total_energy_nj == min(p.total_energy_nj for p in points)
+    assert best.label  # human-readable
+
+
+def test_best_point_empty_rejected():
+    with pytest.raises(ValueError):
+        best_point([])
+
+
+def test_partitioned_design_prefers_different_caches(image, library):
+    """Footnote 4's point: with the hot loops in hardware, the software
+    side's optimal cache geometry changes (it never needs the big i-cache)."""
+    from repro.cluster import decompose_into_clusters
+    program = compile_source(SRC)
+    clusters = [c for c in decompose_into_clusters(program, function="main")
+                if c.kind == "loop" and c.depth == 0]
+    hw_blocks = {("main", b) for c in clusters for b in c.blocks}
+
+    stats = AsicRunStats(compute_cycles=5000, handshake_cycles=4,
+                         transfer_cycles=100, invocations=1,
+                         transfer_words_in=25, transfer_words_out=25)
+    metrics = ClusterMetrics(total_cycles=5000, utilization=0.5,
+                             utilization_size_weighted=0.4, geq=4000,
+                             energy_estimate_nj=500.0,
+                             energy_detailed_nj=900.0, clock_ns=12.0)
+    evaluate_p = partitioned_evaluator(image, library, hw_blocks=hw_blocks,
+                                       asic_stats=stats,
+                                       asic_metrics=metrics, asic_cells=4000)
+    evaluate_i = initial_evaluator(image, library)
+
+    space = default_search_space()
+    best_i = best_point(explore_cache_configs(evaluate_i, space))
+    best_p = best_point(explore_cache_configs(evaluate_p, space))
+    # The partitioned design's memory system consumes far less...
+    assert (best_p.memory_system_energy_nj
+            < 0.6 * best_i.memory_system_energy_nj)
+    # ...and never wants a larger i-cache than the initial design does.
+    assert best_p.icache.size_bytes <= best_i.icache.size_bytes

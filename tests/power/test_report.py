@@ -1,0 +1,104 @@
+"""Report-formatting unit tests."""
+
+import pytest
+
+from repro.power.report import (
+    _fmt_energy,
+    energy_savings_percent,
+    time_change_percent,
+)
+from repro.power.system import CoreEnergy, SystemRun
+
+
+def make_run(total_nj=1000.0, cycles=100, label="initial"):
+    return SystemRun(label=label,
+                     energy=CoreEnergy(up_core_nj=total_nj),
+                     up_cycles=cycles, asic_cycles=0, result=1,
+                     up_utilization=0.3)
+
+
+@pytest.mark.parametrize("nj,expected", [
+    (0, "0.0"),
+    (1.5, "1.500nJ"),
+    (999.9, "999.900nJ"),
+    (1_000.0, "1.000uJ"),
+    (123_456.0, "123.456uJ"),
+    (1_000_000.0, "1.000mJ"),
+    (24_790_000.0, "24.790mJ"),
+])
+def test_fmt_energy_units(nj, expected):
+    assert _fmt_energy(nj) == expected
+
+
+def test_savings_sign_convention():
+    initial = make_run(total_nj=1000.0)
+    partitioned = make_run(total_nj=400.0, label="partitioned")
+    # Table 1's convention: negative = saving.
+    assert energy_savings_percent(initial, partitioned) == pytest.approx(-60.0)
+
+
+def test_savings_positive_when_worse():
+    initial = make_run(total_nj=1000.0)
+    worse = make_run(total_nj=1200.0)
+    assert energy_savings_percent(initial, worse) == pytest.approx(20.0)
+
+
+def test_savings_zero_energy_initial():
+    assert energy_savings_percent(make_run(total_nj=0.0), make_run()) == 0.0
+
+
+def test_time_change_sign_convention():
+    initial = make_run(cycles=100)
+    faster = make_run(cycles=80)
+    slower = make_run(cycles=170)
+    assert time_change_percent(initial, faster) == pytest.approx(-20.0)
+    assert time_change_percent(initial, slower) == pytest.approx(70.0)
+
+
+def test_time_change_zero_cycles_initial():
+    assert time_change_percent(make_run(cycles=0), make_run(cycles=10)) == 0.0
+
+
+def test_savings_chart_renders_bars():
+    from repro.power.report import format_savings_chart
+    initial = make_run(total_nj=1000.0, cycles=100)
+    saved_fast = make_run(total_nj=300.0, cycles=60, label="partitioned")
+    saved_slow = make_run(total_nj=200.0, cycles=170, label="partitioned")
+    chart = format_savings_chart([("fast", initial, saved_fast),
+                                  ("slow", initial, saved_slow)])
+    lines = chart.splitlines()
+    assert len(lines) == 5  # header + 2 bars per app
+    assert "70.0% saved" in chart
+    assert "-40.0% time" in chart
+    assert "+70.0% time" in chart
+    # Slow app's time bar points rightward (after the axis); fast one left.
+    fast_t = lines[2]
+    slow_t = lines[4]
+    assert "=" in fast_t.split("|")[0]
+    assert "=" in slow_t.split("|")[1]
+
+
+def test_savings_chart_empty():
+    from repro.power.report import format_savings_chart
+    assert format_savings_chart([]) == "(no results)"
+
+
+def test_table1_columns_sum_to_total():
+    """The displayed per-core columns must account for the whole total
+    (bus energy folds into the mem column, as the paper reports it)."""
+    from repro.power.report import format_table1
+    run = SystemRun(label="initial",
+                    energy=CoreEnergy(icache_nj=100.0, dcache_nj=50.0,
+                                      mem_nj=200.0, up_core_nj=500.0,
+                                      asic_core_nj=0.0, bus_nj=150.0),
+                    up_cycles=10, asic_cycles=0, result=1,
+                    up_utilization=0.3)
+    text = format_table1([("x", run, run)])
+    row = text.splitlines()[2]
+    cells = [c.strip() for c in row.split("|")]
+    # mem column = 200 + 150 bus
+    assert cells[4] == "350.000nJ"
+    assert cells[7] == "1.000uJ"  # total
+    # And the shown columns add to the total exactly.
+    shown = 100.0 + 50.0 + 350.0 + 500.0 + 0.0
+    assert shown == run.total_energy_nj

@@ -1,0 +1,234 @@
+"""System-level evaluation tests (initial + partitioned, Table 1 machinery)."""
+
+import pytest
+
+from repro.isa.image import link_program
+from repro.lang import compile_source
+from repro.power.report import (
+    energy_savings_percent,
+    format_savings,
+    format_table1,
+    time_change_percent,
+)
+from repro.power.system import (
+    CoreEnergy,
+    default_cache_configs,
+    evaluate_initial,
+    evaluate_partitioned,
+)
+from repro.sched.utilization import ClusterMetrics
+from repro.synth.rtl_sim import AsicRunStats
+
+
+SRC = """
+global data: int[64];
+func main() -> int {
+    var s: int = 0;
+    for i in 0 .. 64 { data[i] = i * 3; }
+    for i in 0 .. 64 { s = s + data[i]; }
+    return s;
+}
+"""
+
+
+@pytest.fixture()
+def image():
+    return link_program(compile_source(SRC))
+
+
+def fake_asic(compute=500, invocations=1, words_in=64, words_out=64):
+    stats = AsicRunStats(compute_cycles=compute, handshake_cycles=4,
+                         transfer_cycles=2 * (words_in + words_out),
+                         invocations=invocations,
+                         transfer_words_in=words_in,
+                         transfer_words_out=words_out)
+    metrics = ClusterMetrics(total_cycles=compute, utilization=0.7,
+                             utilization_size_weighted=0.6, geq=5000,
+                             energy_estimate_nj=800.0,
+                             energy_detailed_nj=1200.0, clock_ns=12.0)
+    return stats, metrics
+
+
+# ---------------------------------------------------------------------------
+# CoreEnergy
+# ---------------------------------------------------------------------------
+
+def test_core_energy_total():
+    energy = CoreEnergy(icache_nj=1, dcache_nj=2, mem_nj=3, up_core_nj=4,
+                        asic_core_nj=5, bus_nj=6)
+    assert energy.total_nj == 21
+
+
+# ---------------------------------------------------------------------------
+# Initial evaluation
+# ---------------------------------------------------------------------------
+
+def test_initial_run_accounts_every_core(image, library):
+    run = evaluate_initial(image, library)
+    assert run.result == sum(3 * i for i in range(64))
+    assert run.energy.up_core_nj > 0
+    assert run.energy.icache_nj > 0
+    assert run.energy.dcache_nj > 0
+    assert run.energy.mem_nj > 0
+    assert run.energy.bus_nj > 0
+    assert run.energy.asic_core_nj == 0
+    assert run.asic_cycles == 0
+    assert 0 < run.up_utilization < 1
+
+
+def test_initial_without_memory_system(image, library):
+    run = evaluate_initial(image, library, model_caches=False)
+    assert run.energy.icache_nj == 0
+    assert run.energy.dcache_nj == 0
+    assert run.energy.mem_nj == 0
+    assert run.energy.bus_nj == 0
+    assert run.energy.up_core_nj > 0
+
+
+def test_uncached_run_is_faster_in_cycles(image, library):
+    # Without cache modelling there are no miss stalls.
+    cached = evaluate_initial(image, library)
+    uncached = evaluate_initial(image, library, model_caches=False)
+    assert uncached.up_cycles < cached.up_cycles
+
+
+def test_globals_init_forwarded(library):
+    src = "global g: int[4]; func main() -> int { return g[2]; }"
+    image = link_program(compile_source(src))
+    run = evaluate_initial(image, library, globals_init={"g": [0, 0, 77, 0]})
+    assert run.result == 77
+
+
+# ---------------------------------------------------------------------------
+# Partitioned evaluation
+# ---------------------------------------------------------------------------
+
+def hw_blocks_for(image, function, loop_index=0):
+    """Pick the blocks of one loop of `function` from the attribution."""
+    from repro.cluster import decompose_into_clusters
+    program = compile_source(SRC)
+    clusters = decompose_into_clusters(program, function=function)
+    loops = [c for c in clusters if c.kind == "loop"]
+    cluster = loops[loop_index]
+    return {(function, b) for b in cluster.blocks}
+
+
+def test_partitioned_excludes_cluster_from_up(image, library):
+    initial = evaluate_initial(image, library)
+    stats, metrics = fake_asic()
+    hw = hw_blocks_for(image, "main", 0)
+    part = evaluate_partitioned(image, library, hw_blocks=hw,
+                                asic_stats=stats, asic_metrics=metrics,
+                                asic_cells=7000)
+    assert part.result == initial.result          # functional equivalence
+    assert part.sim.hw_instructions > 0
+    assert part.sim.hw_entries == 1
+    # μP side sheds the cluster's cycles but pays transfer cycles.
+    assert part.up_cycles < initial.up_cycles + stats.transfer_cycles
+    assert part.asic_cycles == stats.asic_cycles
+
+
+def test_partitioned_uses_gate_level_energy_when_given(image, library):
+    stats, metrics = fake_asic()
+    hw = hw_blocks_for(image, "main", 0)
+    part = evaluate_partitioned(image, library, hw_blocks=hw,
+                                asic_stats=stats, asic_metrics=metrics,
+                                asic_cells=7000, asic_energy_nj=999.0)
+    assert part.energy.asic_core_nj == pytest.approx(999.0)
+
+
+def test_partitioned_falls_back_to_detailed_model(image, library):
+    stats, metrics = fake_asic()
+    hw = hw_blocks_for(image, "main", 0)
+    part = evaluate_partitioned(image, library, hw_blocks=hw,
+                                asic_stats=stats, asic_metrics=metrics,
+                                asic_cells=7000)
+    assert part.energy.asic_core_nj == pytest.approx(
+        metrics.energy_detailed_nj)
+
+
+def test_transfer_traffic_lands_on_mem_and_bus(image, library):
+    hw = hw_blocks_for(image, "main", 0)
+    stats0, metrics = fake_asic(words_in=0, words_out=0)
+    stats1, _ = fake_asic(words_in=100, words_out=100)
+    p0 = evaluate_partitioned(image, library, hw_blocks=hw, asic_stats=stats0,
+                              asic_metrics=metrics, asic_cells=1)
+    p1 = evaluate_partitioned(image, library, hw_blocks=hw, asic_stats=stats1,
+                              asic_metrics=metrics, asic_cells=1)
+    assert p1.energy.mem_nj > p0.energy.mem_nj
+    assert p1.energy.bus_nj > p0.energy.bus_nj
+    assert p1.energy.up_core_nj > p0.energy.up_core_nj  # μP moves the words
+    assert p1.transfer_words == 200  # 100 in + 100 out
+
+
+def test_asic_inplace_memory_traffic(image, library):
+    hw = hw_blocks_for(image, "main", 0)
+    stats, metrics = fake_asic(words_in=0, words_out=0)
+    base = evaluate_partitioned(image, library, hw_blocks=hw,
+                                asic_stats=stats, asic_metrics=metrics,
+                                asic_cells=1)
+    heavy = evaluate_partitioned(image, library, hw_blocks=hw,
+                                 asic_stats=stats, asic_metrics=metrics,
+                                 asic_cells=1, asic_mem_reads=5000,
+                                 asic_mem_writes=5000)
+    assert heavy.energy.mem_nj > base.energy.mem_nj
+
+
+def test_partitioned_icache_traffic_drops(image, library):
+    initial = evaluate_initial(image, library)
+    stats, metrics = fake_asic()
+    hw = hw_blocks_for(image, "main", 0)
+    part = evaluate_partitioned(image, library, hw_blocks=hw,
+                                asic_stats=stats, asic_metrics=metrics,
+                                asic_cells=1)
+    # The cluster's fetches are gone from the cache (paper footnote 2).
+    assert part.energy.icache_nj < initial.energy.icache_nj
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+def test_savings_and_change_signs(image, library):
+    initial = evaluate_initial(image, library)
+    stats, metrics = fake_asic(compute=100, words_in=4, words_out=4)
+    hw = hw_blocks_for(image, "main", 0)
+    part = evaluate_partitioned(image, library, hw_blocks=hw,
+                                asic_stats=stats, asic_metrics=metrics,
+                                asic_cells=1, asic_energy_nj=50.0)
+    sav = energy_savings_percent(initial, part)
+    assert sav < 0  # negative = saving, like Table 1
+    chg = time_change_percent(initial, part)
+    assert isinstance(chg, float)
+
+
+def test_format_table1_structure(image, library):
+    initial = evaluate_initial(image, library)
+    stats, metrics = fake_asic()
+    hw = hw_blocks_for(image, "main", 0)
+    part = evaluate_partitioned(image, library, hw_blocks=hw,
+                                asic_stats=stats, asic_metrics=metrics,
+                                asic_cells=1)
+    table = format_table1([("app", initial, part)])
+    lines = table.splitlines()
+    assert len(lines) == 4  # header, rule, I row, P row
+    assert "|I |" in lines[2]
+    assert "|P |" in lines[3]
+
+
+def test_format_savings_structure(image, library):
+    initial = evaluate_initial(image, library)
+    stats, metrics = fake_asic()
+    hw = hw_blocks_for(image, "main", 0)
+    part = evaluate_partitioned(image, library, hw_blocks=hw,
+                                asic_stats=stats, asic_metrics=metrics,
+                                asic_cells=1)
+    text = format_savings([("app", initial, part)])
+    assert "app" in text
+    assert len(text.splitlines()) == 2
+
+
+def test_default_cache_configs_valid():
+    icache, dcache = default_cache_configs()
+    assert icache.size_bytes > dcache.size_bytes
+    assert icache.num_sets > 0 and dcache.num_sets > 0

@@ -1,0 +1,130 @@
+"""Property-based differential testing: for randomly generated BDL
+programs, the SL32 simulation must agree with the reference interpreter —
+compiler, register allocator, linker and simulator all stand or fall
+together on this property.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.image import link_program
+from repro.isa.simulator import Simulator
+from repro.lang import Interpreter, compile_source
+from repro.tech import cmos6_library
+
+_LIBRARY = cmos6_library()
+
+_BINOPS = ["+", "-", "*", "&", "|", "^"]
+_CMPOPS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+@st.composite
+def expressions(draw, names, depth=2):
+    """A random BDL expression over `names` that cannot fault."""
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()) and names:
+            return draw(st.sampled_from(names))
+        return str(draw(st.integers(-1000, 1000)))
+    form = draw(st.integers(0, 4))
+    left = draw(expressions(names, depth - 1))
+    right = draw(expressions(names, depth - 1))
+    if form == 0:
+        op = draw(st.sampled_from(_BINOPS))
+        return f"({left} {op} {right})"
+    if form == 1:
+        op = draw(st.sampled_from(_CMPOPS))
+        return f"({left} {op} {right})"
+    if form == 2:
+        shift = draw(st.integers(0, 15))
+        direction = draw(st.sampled_from(["<<", ">>"]))
+        return f"({left} {direction} {shift})"
+    if form == 3:
+        divisor = draw(st.integers(1, 50))
+        op = draw(st.sampled_from(["/", "%"]))
+        return f"({left} {op} {divisor})"
+    return f"(-({left}))"
+
+
+@st.composite
+def straightline_programs(draw):
+    """Declarations + arithmetic + a conditional + a bounded loop."""
+    names = ["a", "b"]
+    lines = []
+    for i in range(draw(st.integers(1, 4))):
+        expr = draw(expressions(names))
+        lines.append(f"var v{i}: int = {expr};")
+        names.append(f"v{i}")
+    cond = draw(expressions(names, depth=1))
+    then_expr = draw(expressions(names, depth=1))
+    else_expr = draw(expressions(names, depth=1))
+    lines.append(f"var w: int = 0;")
+    lines.append(f"if {cond} {{ w = {then_expr}; }} else {{ w = {else_expr}; }}")
+    names.append("w")
+    trips = draw(st.integers(0, 12))
+    body_expr = draw(expressions(names + ["i"], depth=1))
+    lines.append(f"var acc: int = 0;")
+    lines.append(f"for i in 0 .. {trips} {{ acc = acc + ({body_expr}); }}")
+    ret = draw(expressions(names + ["acc"], depth=1))
+    body = "\n        ".join(lines)
+    return f"""
+    func main(a: int, b: int) -> int {{
+        {body}
+        return {ret};
+    }}
+    """
+
+
+@st.composite
+def array_programs(draw):
+    """Programs exercising arrays with in-bounds indices."""
+    size = draw(st.integers(4, 16))
+    fill = draw(expressions(["i"], depth=1))
+    combine = draw(expressions(["x", "s"], depth=1))
+    return f"""
+    func main(a: int, b: int) -> int {{
+        var buf: int[{size}];
+        for i in 0 .. {size} {{
+            buf[i] = {fill};
+        }}
+        var s: int = 0;
+        for i in 0 .. {size} {{
+            var x: int = buf[i];
+            s = s + ({combine});
+        }}
+        return s;
+    }}
+    """
+
+
+def both_results(source, a, b):
+    program = compile_source(source)
+    interp = Interpreter(program)
+    expected = interp.run(a, b)
+    sim = Simulator(link_program(program), _LIBRARY)
+    return expected, sim.run(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(straightline_programs(), st.integers(-10_000, 10_000),
+       st.integers(-10_000, 10_000))
+def test_simulator_matches_interpreter_straightline(source, a, b):
+    expected, result = both_results(source, a, b)
+    assert result.result == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(array_programs(), st.integers(-100, 100), st.integers(-100, 100))
+def test_simulator_matches_interpreter_arrays(source, a, b):
+    expected, result = both_results(source, a, b)
+    assert result.result == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(straightline_programs(), st.integers(-50, 50), st.integers(-50, 50))
+def test_block_accounting_invariants(source, a, b):
+    """Per-block cycles/energy always sum to the run totals."""
+    program = compile_source(source)
+    sim = Simulator(link_program(program), _LIBRARY)
+    result = sim.run(a, b)
+    assert sum(result.block_cycles.values()) == result.cycles
+    assert abs(sum(result.block_energy_nj.values()) - result.energy_nj) < 1e-6
+    assert 0.0 <= result.utilization <= 1.0

@@ -1,0 +1,113 @@
+"""Differential testing of programs with function calls and globals.
+
+Extends the random-program differential suite with cross-function shapes:
+helper calls inside loops, array parameters by reference, and
+memory-backed scalar globals.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.image import link_program
+from repro.isa.simulator import Simulator
+from repro.lang import Interpreter, compile_source
+from repro.tech import cmos6_library
+
+from tests.property.test_differential import expressions
+
+_LIBRARY = cmos6_library()
+
+
+@st.composite
+def call_programs(draw):
+    """main loops and calls a scalar helper; a second helper mutates a
+    global accumulator."""
+    helper_expr = draw(expressions(["x", "y"], depth=2))
+    body_expr = draw(expressions(["i", "t"], depth=1))
+    trips = draw(st.integers(1, 10))
+    return f"""
+    global acc: int;
+
+    func helper(x: int, y: int) -> int {{
+        return {helper_expr};
+    }}
+
+    func bump(v: int) -> void {{
+        acc = acc + v;
+    }}
+
+    func main(a: int, b: int) -> int {{
+        var s: int = 0;
+        for i in 0 .. {trips} {{
+            var t: int = helper(a + i, b - i);
+            bump(({body_expr}) & 1023);
+            s = s + t;
+        }}
+        return s + acc;
+    }}
+    """
+
+
+@st.composite
+def array_ref_programs(draw):
+    """Arrays mutated through reference parameters across two helpers."""
+    size = draw(st.integers(4, 12))
+    fill = draw(expressions(["i", "k"], depth=1))
+    fold = draw(expressions(["v", "s"], depth=1))
+    return f"""
+    func fill(buf: int[{size}], k: int) -> void {{
+        for i in 0 .. {size} {{
+            buf[i] = ({fill}) & 0xFFFF;
+        }}
+    }}
+
+    func fold(buf: int[{size}]) -> int {{
+        var s: int = 0;
+        for i in 0 .. {size} {{
+            var v: int = buf[i];
+            s = s + ({fold});
+        }}
+        return s;
+    }}
+
+    func main(a: int, b: int) -> int {{
+        var work: int[{size}];
+        fill(work, a);
+        var first: int = fold(work);
+        fill(work, b);
+        return first ^ fold(work);
+    }}
+    """
+
+
+def both(source, a, b):
+    program = compile_source(source)
+    expected = Interpreter(program).run(a, b)
+    sim = Simulator(link_program(program), _LIBRARY)
+    return expected, sim.run(a, b).result
+
+
+@settings(max_examples=40, deadline=None)
+@given(call_programs(), st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_calls_and_scalar_globals_agree(source, a, b):
+    expected, got = both(source, a, b)
+    assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(array_ref_programs(), st.integers(-100, 100), st.integers(-100, 100))
+def test_array_reference_parameters_agree(source, a, b):
+    expected, got = both(source, a, b)
+    assert got == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(call_programs(), st.integers(-100, 100), st.integers(-100, 100))
+def test_optimizer_preserves_call_programs(source, a, b):
+    from repro.ir.optimize import optimize_program
+    program = compile_source(source)
+    expected = Interpreter(program).run(a, b)
+    optimized = compile_source(source)
+    optimize_program(optimized)
+    assert Interpreter(optimized).run(a, b) == expected
+    sim = Simulator(link_program(optimized), _LIBRARY)
+    assert sim.run(a, b).result == expected

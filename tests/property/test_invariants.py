@@ -1,0 +1,201 @@
+"""Property-based invariants for core data structures: caches, wrap32,
+gen/use algebra, schedules and binding."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.dataflow import gen_set, use_set
+from repro.ir.ops import Operation, OpKind, Value
+from repro.lang.interp import wrap32
+from repro.mem.cache import Cache, CacheConfig
+from repro.sched.binding import bind_schedule
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.utilization import cluster_metrics
+from repro.tech import cmos6_library
+from repro.tech.resources import ResourceKind, ResourceSet
+
+_LIBRARY = cmos6_library()
+
+
+# ---------------------------------------------------------------------------
+# wrap32
+# ---------------------------------------------------------------------------
+
+@given(st.integers(-2**40, 2**40))
+def test_wrap32_in_range(x):
+    w = wrap32(x)
+    assert -2**31 <= w < 2**31
+
+
+@given(st.integers(-2**40, 2**40))
+def test_wrap32_idempotent(x):
+    assert wrap32(wrap32(x)) == wrap32(x)
+
+
+@given(st.integers(-2**40, 2**40))
+def test_wrap32_period(x):
+    assert wrap32(x + 2**32) == wrap32(x)
+
+
+@given(st.integers(-2**31, 2**31 - 1))
+def test_wrap32_identity_in_range(x):
+    assert wrap32(x) == x
+
+
+@given(st.integers(-2**40, 2**40), st.integers(-2**40, 2**40))
+def test_wrap32_addition_homomorphic(x, y):
+    assert wrap32(wrap32(x) + wrap32(y)) == wrap32(x + y)
+
+
+# ---------------------------------------------------------------------------
+# Cache invariants
+# ---------------------------------------------------------------------------
+
+_cache_configs = st.sampled_from([
+    CacheConfig(size_bytes=256, line_bytes=16, associativity=1),
+    CacheConfig(size_bytes=256, line_bytes=16, associativity=2),
+    CacheConfig(size_bytes=512, line_bytes=32, associativity=4),
+    CacheConfig(size_bytes=128, line_bytes=16, associativity=8),
+])
+
+_accesses = st.lists(
+    st.tuples(st.integers(0, 4095), st.booleans()), min_size=0, max_size=300)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_cache_configs, _accesses)
+def test_cache_counters_consistent(config, accesses):
+    cache = Cache(config)
+    for address, is_write in accesses:
+        cache.access(address, is_write)
+    assert cache.reads + cache.writes == len(accesses)
+    assert cache.read_misses <= cache.reads
+    assert cache.write_misses <= cache.writes
+    assert cache.fills == cache.read_misses
+    assert 0.0 <= cache.hit_rate <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(_cache_configs, _accesses, st.integers(0, 4095))
+def test_cache_read_after_read_hits(config, accesses, probe):
+    """Temporal locality: a read immediately after a read of the same
+    address always hits (LRU never evicts the MRU line)."""
+    cache = Cache(config)
+    for address, is_write in accesses:
+        cache.access(address, is_write)
+    cache.access(probe)
+    assert cache.access(probe) is True
+
+
+@settings(max_examples=30, deadline=None)
+@given(_cache_configs, _accesses)
+def test_cache_occupancy_bounded(config, accesses):
+    cache = Cache(config)
+    for address, is_write in accesses:
+        cache.access(address, is_write)
+    for tags in cache._sets:
+        assert len(tags) <= config.associativity
+        assert len(set(tags)) == len(tags)  # no duplicate lines in a set
+
+
+# ---------------------------------------------------------------------------
+# gen/use algebra
+# ---------------------------------------------------------------------------
+
+def _random_ops(draw_ints):
+    """Build a deterministic op list from a list of ints (poor man's
+    strategy: each int encodes one op)."""
+    ops = []
+    names = ["a", "b", "c", "d"]
+    for code in draw_ints:
+        kind = code % 4
+        dst = Value(names[(code // 4) % 4])
+        src1 = Value(names[(code // 16) % 4])
+        src2 = Value(names[(code // 64) % 4])
+        if kind == 0:
+            ops.append(Operation(OpKind.ADD, result=dst, operands=(src1, src2)))
+        elif kind == 1:
+            ops.append(Operation(OpKind.CONST, result=dst, const=code))
+        elif kind == 2:
+            ops.append(Operation(OpKind.LOAD, result=dst, operands=(src1,),
+                                 symbol="mem"))
+        else:
+            ops.append(Operation(OpKind.STORE, operands=(src1, src2),
+                                 symbol="mem"))
+    return ops
+
+
+@given(st.lists(st.integers(0, 255), max_size=30),
+       st.lists(st.integers(0, 255), max_size=30))
+def test_gen_of_concatenation_is_union(codes_a, codes_b):
+    ops_a, ops_b = _random_ops(codes_a), _random_ops(codes_b)
+    assert gen_set(ops_a + ops_b) == gen_set(ops_a) | gen_set(ops_b)
+
+
+@given(st.lists(st.integers(0, 255), max_size=30),
+       st.lists(st.integers(0, 255), max_size=30))
+def test_use_of_concatenation_bounded(codes_a, codes_b):
+    ops_a, ops_b = _random_ops(codes_a), _random_ops(codes_b)
+    combined = use_set(ops_a + ops_b)
+    assert use_set(ops_a) <= combined
+    assert combined <= use_set(ops_a) | use_set(ops_b)
+
+
+# ---------------------------------------------------------------------------
+# Schedule + binding invariants on random op lists
+# ---------------------------------------------------------------------------
+
+_resource_sets = st.sampled_from([
+    ResourceSet("a1m1", {ResourceKind.ALU: 1, ResourceKind.MEMPORT: 1}),
+    ResourceSet("a2m1", {ResourceKind.ALU: 2, ResourceKind.MEMPORT: 1}),
+    ResourceSet("rich", {ResourceKind.ALU: 2, ResourceKind.MEMPORT: 2,
+                         ResourceKind.COMPARATOR: 1,
+                         ResourceKind.SHIFTER: 1}),
+])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=40),
+       _resource_sets)
+def test_schedule_always_valid(codes, resource_set):
+    ops = _random_ops(codes)
+    schedule = list_schedule(ops, resource_set)
+    schedule.verify()
+    # Makespan bounds: at least the per-resource work lower bound.
+    from repro.sched.list_scheduler import datapath_ops
+    from repro.tech.resources import compatible_resources, operation_latency
+    body = datapath_ops(ops)
+    if body:
+        work = sum(operation_latency(op.kind) for op in body)
+        assert schedule.makespan >= work / resource_set.total_instances
+        assert schedule.makespan <= work  # never worse than fully serial
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=40),
+       _resource_sets)
+def test_binding_never_double_books(codes, resource_set):
+    ops = _random_ops(codes)
+    schedules = {"b": list_schedule(ops, resource_set)}
+    binding = bind_schedule(schedules, _LIBRARY)
+    start = {e.op: (e.start, e.end) for e in schedules["b"].entries}
+    per_instance = {}
+    for op, key in binding.assignment.items():
+        per_instance.setdefault(key, []).append(start[op])
+    for intervals in per_instance.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=40),
+       _resource_sets, st.integers(1, 100))
+def test_utilization_bounded_and_scale_invariant(codes, resource_set, scale):
+    ops = _random_ops(codes)
+    schedules = {"b": list_schedule(ops, resource_set)}
+    binding = bind_schedule(schedules, _LIBRARY)
+    m1 = cluster_metrics(binding, {"b": 1}, _LIBRARY)
+    ms = cluster_metrics(binding, {"b": scale}, _LIBRARY)
+    assert 0.0 <= m1.utilization <= 1.0
+    assert abs(m1.utilization - ms.utilization) < 1e-9
+    assert ms.total_cycles == scale * m1.total_cycles

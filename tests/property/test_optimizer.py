@@ -1,0 +1,65 @@
+"""Property-based semantics preservation of the IR optimizer.
+
+For randomly generated BDL programs: interpreting the optimized CDFGs and
+simulating the optimized program on SL32 must both agree with the
+unoptimized reference — and the optimizer must never grow the op count.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.optimize import optimize_program
+from repro.isa.image import link_program
+from repro.isa.simulator import Simulator
+from repro.lang import Interpreter, compile_source
+from repro.tech import cmos6_library
+
+from tests.property.test_differential import (
+    array_programs,
+    straightline_programs,
+)
+
+_LIBRARY = cmos6_library()
+
+
+def _reference(source, a, b):
+    program = compile_source(source)
+    return Interpreter(program).run(a, b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(straightline_programs(), st.integers(-10_000, 10_000),
+       st.integers(-10_000, 10_000))
+def test_optimized_interpreter_matches(source, a, b):
+    expected = _reference(source, a, b)
+    optimized = compile_source(source)
+    optimize_program(optimized)
+    assert Interpreter(optimized).run(a, b) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(array_programs(), st.integers(-100, 100), st.integers(-100, 100))
+def test_optimized_simulator_matches(source, a, b):
+    expected = _reference(source, a, b)
+    optimized = compile_source(source)
+    optimize_program(optimized)
+    sim = Simulator(link_program(optimized), _LIBRARY)
+    assert sim.run(a, b).result == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(straightline_programs())
+def test_optimizer_never_grows_code(source):
+    plain = compile_source(source)
+    optimized = compile_source(source)
+    optimize_program(optimized)
+    assert optimized.op_count <= plain.op_count
+
+
+@settings(max_examples=30, deadline=None)
+@given(straightline_programs())
+def test_optimizer_idempotent_on_random_programs(source):
+    from repro.ir.optimize import optimize_cdfg
+    program = compile_source(source)
+    optimize_program(program)
+    for cdfg in program.cdfgs.values():
+        assert not optimize_cdfg(cdfg)

@@ -1,0 +1,128 @@
+"""Structural property tests: decomposition and scheduling invariants on
+randomly generated structured programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import decompose_into_clusters
+from repro.lang import Interpreter, compile_source
+from repro.sched.list_scheduler import ChainingModel, list_schedule
+from repro.tech import cmos6_library
+from repro.tech.resources import ResourceKind, ResourceSet
+
+_LIBRARY = cmos6_library()
+
+
+@st.composite
+def structured_programs(draw):
+    """Programs with random nesting of loops and conditionals."""
+    counter = [0]
+
+    def fresh_name(prefix):
+        counter[0] += 1
+        return f"{prefix}{counter[0]}"
+
+    def body(depth, names):
+        statements = []
+        for index in range(draw(st.integers(1, 3))):
+            choice = draw(st.integers(0, 3 if depth > 0 else 1))
+            if choice == 0:
+                fresh = fresh_name("v")
+                source = draw(st.sampled_from(names))
+                statements.append(
+                    f"var {fresh}: int = {source} * 3 + {index};")
+                names = names + [fresh]
+            elif choice == 1:
+                cond = draw(st.sampled_from(names))
+                inner = body(depth - 1, names) if depth > 0 else "acc = acc + 1;"
+                statements.append(f"if {cond} > 2 {{ {inner} }}")
+            elif choice == 2:
+                trips = draw(st.integers(1, 4))
+                loop_var = fresh_name("i")
+                inner = body(depth - 1, names + [loop_var])
+                statements.append(
+                    f"for {loop_var} in 0 .. {trips} {{ {inner} }}")
+            else:
+                source = draw(st.sampled_from(names))
+                statements.append(f"acc = acc + ({source} & 7);")
+        return " ".join(statements)
+
+    text = body(draw(st.integers(1, 3)), ["a", "b"])
+    return f"""
+    func main(a: int, b: int) -> int {{
+        var acc: int = 0;
+        {text}
+        return acc;
+    }}
+    """
+
+
+@settings(max_examples=40, deadline=None)
+@given(structured_programs())
+def test_decomposition_invariants(source):
+    program = compile_source(source)
+    cdfg = program.cdfgs["main"]
+    clusters = decompose_into_clusters(program, function="main")
+
+    # Top-level clusters partition disjoint block sets.
+    top = [c for c in clusters if c.depth == 0]
+    seen = set()
+    for cluster in top:
+        assert not (cluster.blocks & seen), "top-level clusters overlap"
+        seen |= cluster.blocks
+    # Every block belongs to exactly one top-level cluster.
+    assert seen == set(cdfg.blocks)
+
+    # Order indexes are dense and deterministic.
+    indexes = sorted({c.order_index for c in top})
+    assert indexes == list(range(len(indexes)))
+
+    # Inner clusters nest inside a same-slot top-level loop.
+    for cluster in clusters:
+        if cluster.depth > 0:
+            enclosing = [c for c in top
+                         if c.order_index == cluster.order_index]
+            assert enclosing
+            assert cluster.blocks < enclosing[0].blocks
+
+    # FSM ops reference real operations of the cluster.
+    for cluster in clusters:
+        op_ids = {op.op_id for op in cluster.ops(cdfg)}
+        assert set(cluster.fsm_ops) <= op_ids
+
+
+@settings(max_examples=40, deadline=None)
+@given(structured_programs(), st.integers(-5, 10), st.integers(-5, 10))
+def test_decomposition_is_nondestructive(source, a, b):
+    """Decomposition must not mutate the program: it still runs."""
+    program = compile_source(source)
+    before = Interpreter(program).run(a, b)
+    decompose_into_clusters(program)
+    after = Interpreter(program).run(a, b)
+    assert before == after
+
+
+_sets = st.sampled_from([
+    ResourceSet("a1", {ResourceKind.ALU: 1, ResourceKind.COMPARATOR: 1,
+                       ResourceKind.MULTIPLIER: 1}),
+    ResourceSet("a3", {ResourceKind.ALU: 3, ResourceKind.COMPARATOR: 1,
+                       ResourceKind.MULTIPLIER: 1}),
+])
+
+
+@settings(max_examples=30, deadline=None)
+@given(structured_programs(), _sets, st.floats(10.0, 60.0))
+def test_chained_schedule_invariants(source, resource_set, clock_ns):
+    """Chained schedules respect capacity and never beat the work bound."""
+    from repro.sched.list_scheduler import datapath_ops
+    program = compile_source(source)
+    for block in program.cdfgs["main"].blocks.values():
+        chained = list_schedule(block.ops, resource_set,
+                                chaining=ChainingModel(clock_ns=clock_ns))
+        chained.verify()  # capacity check
+        plain = list_schedule(block.ops, resource_set)
+        assert chained.makespan <= plain.makespan
+        body = datapath_ops(block.ops)
+        if body:
+            # Even with chaining, a step holds at most `instances` ops.
+            assert chained.makespan >= len(body) / max(
+                1, resource_set.total_instances * 4)

@@ -1,0 +1,80 @@
+"""ASIC local-buffer vs shared-memory model tests."""
+
+import pytest
+
+from repro.ir.ops import Operation, OpKind, Value
+from repro.sched.asic_memory import (
+    local_buffer_words,
+    make_latency_fn,
+    shared_memory_traffic,
+)
+from repro.tech.resources import operation_latency
+
+
+def v(name):
+    return Value(name)
+
+
+def load(symbol):
+    return Operation(OpKind.LOAD, result=v(f"x_{symbol}"),
+                     operands=(v("i"),), symbol=symbol)
+
+
+def store(symbol):
+    return Operation(OpKind.STORE, operands=(v("i"), v("val")), symbol=symbol)
+
+
+SIZES = {"small": 256, "big": 4096, "exact": 1024}
+
+
+def test_small_array_keeps_default_latency(library):
+    latency_of = make_latency_fn(SIZES, library)
+    assert latency_of(load("small")) == operation_latency(OpKind.LOAD)
+
+
+def test_big_array_gets_shared_latency(library):
+    latency_of = make_latency_fn(SIZES, library)
+    assert latency_of(load("big")) == library.asic_shared_mem_latency
+    assert latency_of(store("big")) == library.asic_shared_mem_latency
+
+
+def test_boundary_array_is_local(library):
+    latency_of = make_latency_fn(SIZES, library)
+    assert latency_of(load("exact")) == operation_latency(OpKind.LOAD)
+
+
+def test_non_memory_ops_unaffected(library):
+    latency_of = make_latency_fn(SIZES, library)
+    mul = Operation(OpKind.MUL, result=v("m"), operands=(v("a"), v("b")))
+    assert latency_of(mul) == operation_latency(OpKind.MUL)
+
+
+def test_shared_traffic_counts_weighted_by_ex_times(library):
+    block_ops = {"body": [load("big"), store("big"), load("small")]}
+    reads, writes = shared_memory_traffic(block_ops, {"body": 10},
+                                          SIZES, library)
+    assert reads == 10
+    assert writes == 10
+
+
+def test_shared_traffic_zero_for_local_arrays(library):
+    block_ops = {"body": [load("small"), store("small")]}
+    assert shared_memory_traffic(block_ops, {"body": 5}, SIZES, library) == (0, 0)
+
+
+def test_shared_traffic_skips_unexecuted_blocks(library):
+    block_ops = {"cold": [load("big")]}
+    assert shared_memory_traffic(block_ops, {}, SIZES, library) == (0, 0)
+
+
+def test_local_buffer_words_sums_distinct_local_arrays(library):
+    block_ops = {
+        "b1": [load("small"), load("big")],
+        "b2": [store("small"), load("exact")],
+    }
+    # 'small' counted once, 'exact' counted, 'big' excluded (shared).
+    assert local_buffer_words(block_ops, SIZES, library) == 256 + 1024
+
+
+def test_local_buffer_words_empty(library):
+    assert local_buffer_words({}, SIZES, library) == 0

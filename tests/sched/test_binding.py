@@ -1,0 +1,138 @@
+"""Fig. 4 binding-algorithm tests."""
+
+import pytest
+
+from repro.ir.ops import Operation, OpKind, Value
+from repro.sched.binding import bind_schedule
+from repro.sched.list_scheduler import ScheduleError, list_schedule
+from repro.tech.resources import ResourceKind, ResourceSet
+
+
+def v(name):
+    return Value(name)
+
+
+def serial_adds(count):
+    ops = [Operation(OpKind.CONST, result=v("x0"), const=1)]
+    for i in range(count):
+        ops.append(Operation(OpKind.ADD, result=v(f"x{i+1}"),
+                             operands=(v(f"x{i}"), v(f"x{i}"))))
+    return ops
+
+
+def parallel_adds(count):
+    ops = []
+    for i in range(count):
+        ops.append(Operation(OpKind.CONST, result=v(f"c{i}"), const=i))
+        ops.append(Operation(OpKind.ADD, result=v(f"a{i}"),
+                             operands=(v(f"c{i}"), v(f"c{i}"))))
+    return ops
+
+
+def bind_one(ops, resource_set, library, block="b"):
+    schedules = {block: list_schedule(ops, resource_set)}
+    return bind_schedule(schedules, library), schedules
+
+
+def test_serial_chain_uses_one_instance(library):
+    rs = ResourceSet("a2", {ResourceKind.ALU: 2})
+    binding, _ = bind_one(serial_adds(5), rs, library)
+    assert binding.instance_counts == {ResourceKind.ALU: 1}
+
+
+def test_parallel_ops_force_second_instance(library):
+    rs = ResourceSet("a2", {ResourceKind.ALU: 2})
+    binding, _ = bind_one(parallel_adds(4), rs, library)
+    assert binding.instance_counts[ResourceKind.ALU] == 2
+
+
+def test_geq_matches_instances(library):
+    rs = ResourceSet("a2", {ResourceKind.ALU: 2})
+    binding, _ = bind_one(parallel_adds(4), rs, library)
+    expected = sum(library.spec(inst.kind).geq for inst in binding.instances)
+    assert binding.geq == expected
+
+
+def test_instances_shared_across_blocks(library):
+    rs = ResourceSet("a1", {ResourceKind.ALU: 1})
+    schedules = {
+        "b1": list_schedule(serial_adds(2), rs),
+        "b2": list_schedule(serial_adds(2), rs),
+    }
+    binding = bind_schedule(schedules, library)
+    # One shared ALU serves both blocks (they never run simultaneously).
+    assert binding.instance_counts == {ResourceKind.ALU: 1}
+
+
+def test_every_scheduled_op_assigned(library):
+    rs = ResourceSet("a2", {ResourceKind.ALU: 2})
+    binding, schedules = bind_one(parallel_adds(6), rs, library)
+    scheduled_ops = {e.op for e in schedules["b"].entries}
+    assert set(binding.assignment) == scheduled_ops
+
+
+def test_no_instance_double_booked(library):
+    rs = ResourceSet("mixed", {ResourceKind.ALU: 2, ResourceKind.MULTIPLIER: 1,
+                               ResourceKind.COMPARATOR: 1})
+    ops = parallel_adds(3)
+    ops.append(Operation(OpKind.MUL, result=v("m"),
+                         operands=(v("a0"), v("a1"))))
+    ops.append(Operation(OpKind.LT, result=v("lt"),
+                         operands=(v("a0"), v("a2"))))
+    binding, schedules = bind_one(ops, rs, library)
+    start = {e.op: (e.start, e.end) for e in schedules["b"].entries}
+    by_instance = {}
+    for op, key in binding.assignment.items():
+        by_instance.setdefault(key, []).append(start[op])
+    for intervals in by_instance.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2, "instance double-booked"
+
+
+def test_smallest_compatible_type_instantiated_first(library):
+    rs = ResourceSet("cmp", {ResourceKind.ALU: 1, ResourceKind.COMPARATOR: 1})
+    ops = [
+        Operation(OpKind.CONST, result=v("c"), const=1),
+        Operation(OpKind.LT, result=v("lt"), operands=(v("c"), v("c"))),
+    ]
+    binding, _ = bind_one(ops, rs, library)
+    # Footnote 13: the smallest (comparator) is instantiated, not the ALU.
+    assert ResourceKind.COMPARATOR in binding.instance_counts
+    assert ResourceKind.ALU not in binding.instance_counts
+
+
+def test_reuse_preferred_over_new_instance(library):
+    # Two compares in different steps must share one comparator.
+    rs = ResourceSet("cmp", {ResourceKind.ALU: 1, ResourceKind.COMPARATOR: 2})
+    ops = [
+        Operation(OpKind.CONST, result=v("c"), const=1),
+        Operation(OpKind.LT, result=v("l1"), operands=(v("c"), v("c"))),
+        Operation(OpKind.GT, result=v("l2"), operands=(v("l1"), v("c"))),
+    ]
+    binding, _ = bind_one(ops, rs, library)
+    assert binding.instance_counts[ResourceKind.COMPARATOR] == 1
+
+
+def test_mixed_resource_sets_rejected(library):
+    rs1 = ResourceSet("a", {ResourceKind.ALU: 1})
+    rs2 = ResourceSet("b", {ResourceKind.ALU: 2})
+    schedules = {
+        "b1": list_schedule(serial_adds(1), rs1),
+        "b2": list_schedule(serial_adds(1), rs2),
+    }
+    with pytest.raises(ScheduleError):
+        bind_schedule(schedules, library)
+
+
+def test_busy_cycles_accounting(library):
+    rs = ResourceSet("a1", {ResourceKind.ALU: 1})
+    binding, _ = bind_one(serial_adds(3), rs, library)
+    inst = binding.instances[0]
+    assert inst.busy_cycles("b") == 3
+
+
+def test_block_makespans_recorded(library):
+    rs = ResourceSet("a1", {ResourceKind.ALU: 1})
+    binding, schedules = bind_one(serial_adds(3), rs, library)
+    assert binding.block_makespans == {"b": schedules["b"].makespan}

@@ -1,0 +1,120 @@
+"""Cluster metrics (U_R, GEQ, E_R) tests."""
+
+import pytest
+
+from repro.ir.ops import Operation, OpKind, Value
+from repro.sched.binding import bind_schedule
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.utilization import cluster_metrics
+from repro.tech.resources import ResourceKind, ResourceSet
+
+
+def v(name):
+    return Value(name)
+
+
+def serial_adds(count, prefix="x"):
+    ops = [Operation(OpKind.CONST, result=v(f"{prefix}0"), const=1)]
+    for i in range(count):
+        ops.append(Operation(OpKind.ADD, result=v(f"{prefix}{i+1}"),
+                             operands=(v(f"{prefix}{i}"), v(f"{prefix}{i}"))))
+    return ops
+
+
+def metrics_for(ops, resource_set, library, ex_times=None, block="b"):
+    schedules = {block: list_schedule(ops, resource_set)}
+    binding = bind_schedule(schedules, library)
+    return cluster_metrics(binding, ex_times or {block: 1}, library), binding
+
+
+def test_fully_busy_single_alu_utilization_one(library):
+    rs = ResourceSet("a1", {ResourceKind.ALU: 1})
+    metrics, _ = metrics_for(serial_adds(4), rs, library)
+    assert metrics.utilization == pytest.approx(1.0)
+
+
+def test_utilization_halves_with_idle_instance(library):
+    # A serial chain uses one ALU fully; a second instance appears only for
+    # one parallel op and idles otherwise.
+    rs = ResourceSet("a2", {ResourceKind.ALU: 2})
+    ops = serial_adds(4)
+    ops.append(Operation(OpKind.CONST, result=v("q0"), const=5))
+    ops.append(Operation(OpKind.ADD, result=v("q1"),
+                         operands=(v("q0"), v("q0"))))
+    metrics, binding = metrics_for(ops, rs, library)
+    assert binding.instance_counts[ResourceKind.ALU] == 2
+    assert 0.5 < metrics.utilization < 0.8
+
+
+def test_total_cycles_weighted_by_ex_times(library):
+    rs = ResourceSet("a1", {ResourceKind.ALU: 1})
+    schedules = {"body": list_schedule(serial_adds(3), rs)}
+    binding = bind_schedule(schedules, library)
+    m1 = cluster_metrics(binding, {"body": 1}, library)
+    m10 = cluster_metrics(binding, {"body": 10}, library)
+    assert m10.total_cycles == 10 * m1.total_cycles
+    # Utilization is scale-invariant.
+    assert m10.utilization == pytest.approx(m1.utilization)
+
+
+def test_unexecuted_block_contributes_nothing(library):
+    rs = ResourceSet("a1", {ResourceKind.ALU: 1})
+    schedules = {
+        "hot": list_schedule(serial_adds(3), rs),
+        "cold": list_schedule(serial_adds(5, prefix="y"), rs),
+    }
+    binding = bind_schedule(schedules, library)
+    metrics = cluster_metrics(binding, {"hot": 4, "cold": 0}, library)
+    assert metrics.total_cycles == 4 * schedules["hot"].makespan
+
+
+def test_energy_estimate_formula(library):
+    # Paper line 11: E_R = U_R * sum(E_active * active_cycles).
+    rs = ResourceSet("a1", {ResourceKind.ALU: 1})
+    metrics, _ = metrics_for(serial_adds(4), rs, library,
+                             ex_times={"b": 7})
+    active = 4 * 7
+    expected = (metrics.utilization * active
+                * library.spec(ResourceKind.ALU).energy_active_pj / 1000.0)
+    assert metrics.energy_estimate_nj == pytest.approx(expected)
+
+
+def test_detailed_energy_includes_idle(library):
+    rs = ResourceSet("a2", {ResourceKind.ALU: 2})
+    ops = serial_adds(4)
+    ops.append(Operation(OpKind.CONST, result=v("q0"), const=5))
+    ops.append(Operation(OpKind.ADD, result=v("q1"),
+                         operands=(v("q0"), v("q0"))))
+    metrics, _ = metrics_for(ops, rs, library)
+    assert metrics.energy_detailed_nj > metrics.energy_estimate_nj
+
+
+def test_clock_is_slowest_instantiated_resource(library):
+    rs = ResourceSet("mix", {ResourceKind.ALU: 1, ResourceKind.MULTIPLIER: 1})
+    ops = serial_adds(2)
+    ops.append(Operation(OpKind.MUL, result=v("m"),
+                         operands=(v("x1"), v("x2"))))
+    metrics, _ = metrics_for(ops, rs, library)
+    assert metrics.clock_ns == library.spec(ResourceKind.MULTIPLIER).t_cyc_ns
+    assert metrics.execution_time_ns == metrics.total_cycles * metrics.clock_ns
+
+
+def test_size_weighted_variant_differs_with_mixed_sizes(library):
+    rs = ResourceSet("mix", {ResourceKind.ALU: 1, ResourceKind.MULTIPLIER: 1})
+    ops = serial_adds(6)
+    ops.append(Operation(OpKind.MUL, result=v("m"),
+                         operands=(v("x1"), v("x2"))))
+    metrics, _ = metrics_for(ops, rs, library)
+    # The multiplier is mostly idle and much bigger than the ALU, so the
+    # size-weighted utilization is lower than the unweighted one.
+    assert metrics.utilization_size_weighted < metrics.utilization
+
+
+def test_empty_cluster(library):
+    rs = ResourceSet("a1", {ResourceKind.ALU: 1})
+    schedules = {"b": list_schedule([Operation(OpKind.JUMP)], rs)}
+    binding = bind_schedule(schedules, library)
+    metrics = cluster_metrics(binding, {"b": 3}, library)
+    assert metrics.utilization == 0.0
+    assert metrics.geq == 0
+    assert metrics.energy_estimate_nj == 0.0

@@ -1,0 +1,245 @@
+"""Synthesis substrate tests: datapath, FSM, netlist, gate-level energy,
+RTL run statistics."""
+
+import pytest
+
+from repro.ir.ops import Operation, OpKind, Value
+from repro.sched.binding import bind_schedule
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.utilization import cluster_metrics
+from repro.synth.datapath import MUX_LEG_GEQ, MAX_MUX_LEGS_PER_UNIT, build_datapath
+from repro.synth.fsm import (
+    FSM_BASE_GEQ,
+    FSM_STATE_GEQ,
+    LOOP_COUNTER_GEQ,
+    build_controller,
+)
+from repro.synth.gatesim import estimate_gate_energy
+from repro.synth.netlist import SCRATCHPAD_CELLS_PER_WORD, expand_netlist
+from repro.synth.rtl_sim import (
+    HANDSHAKE_CYCLES,
+    TRANSFER_CYCLES_PER_WORD,
+    simulate_asic,
+)
+from repro.tech.resources import ResourceKind, ResourceSet
+
+
+def v(name):
+    return Value(name)
+
+
+def mac_ops(count):
+    """count independent multiply-accumulate pairs."""
+    ops = []
+    for i in range(count):
+        ops.append(Operation(OpKind.CONST, result=v(f"c{i}"), const=i))
+        ops.append(Operation(OpKind.MUL, result=v(f"m{i}"),
+                             operands=(v(f"c{i}"), v(f"c{i}"))))
+        ops.append(Operation(OpKind.ADD, result=v(f"a{i}"),
+                             operands=(v(f"m{i}"), v(f"c{i}"))))
+    return ops
+
+
+@pytest.fixture()
+def bound_cluster(library):
+    rs = ResourceSet("m", {ResourceKind.ALU: 1, ResourceKind.MULTIPLIER: 1})
+    ops = mac_ops(4)
+    schedules = {"body": list_schedule(ops, rs)}
+    binding = bind_schedule(schedules, library)
+    return schedules, binding, {"body": {"body": 10}["body"]}
+
+
+# ---------------------------------------------------------------------------
+# Datapath
+# ---------------------------------------------------------------------------
+
+def test_datapath_units_match_binding(bound_cluster, library):
+    schedules, binding, _ = bound_cluster
+    dp = build_datapath(schedules, binding, library)
+    assert set(dp.units) == {(k.kind, k.index) for k in binding.instances}
+
+
+def test_datapath_registers_for_cross_step_values(bound_cluster, library):
+    schedules, binding, _ = bound_cluster
+    dp = build_datapath(schedules, binding, library)
+    # mul results cross at least one step boundary into their adds.
+    assert dp.register_count >= 1
+
+
+def test_datapath_muxes_on_shared_units(bound_cluster, library):
+    schedules, binding, _ = bound_cluster
+    dp = build_datapath(schedules, binding, library)
+    assert dp.mux_legs > 0
+
+
+def test_mux_legs_capped(library):
+    rs = ResourceSet("a1", {ResourceKind.ALU: 1})
+    ops = []
+    ops.append(Operation(OpKind.CONST, result=v("x0"), const=1))
+    for i in range(40):
+        ops.append(Operation(OpKind.ADD, result=v(f"x{i+1}"),
+                             operands=(v(f"x{i}"), v(f"x{i}"))))
+    schedules = {"b": list_schedule(ops, rs)}
+    binding = bind_schedule(schedules, library)
+    dp = build_datapath(schedules, binding, library)
+    assert dp.mux_legs <= MAX_MUX_LEGS_PER_UNIT
+
+
+def test_datapath_geq_composition(bound_cluster, library):
+    schedules, binding, _ = bound_cluster
+    dp = build_datapath(schedules, binding, library)
+    units = sum(dp.units.values())
+    regs = dp.register_count * library.spec(ResourceKind.REGISTER).geq
+    muxes = dp.mux_legs * MUX_LEG_GEQ
+    assert dp.geq == units + regs + muxes
+
+
+def test_const_wires_not_registered(library):
+    # A block whose inputs are all constants must not charge input regs.
+    rs = ResourceSet("a1", {ResourceKind.ALU: 1})
+    ops = [
+        Operation(OpKind.CONST, result=v("k"), const=7),
+        Operation(OpKind.ADD, result=v("r"), operands=(v("k"), v("k"))),
+    ]
+    schedules = {"b": list_schedule(ops, rs)}
+    binding = bind_schedule(schedules, library)
+    with_ops = build_datapath(schedules, binding, library,
+                              block_ops={"b": ops})
+    without = build_datapath(schedules, binding, library)
+    assert with_ops.register_count <= without.register_count
+
+
+# ---------------------------------------------------------------------------
+# Controller
+# ---------------------------------------------------------------------------
+
+def test_controller_states_sum_of_makespans(bound_cluster):
+    schedules, _, _ = bound_cluster
+    ctrl = build_controller(schedules, loop_counter_count=1)
+    assert ctrl.states == sum(max(1, s.makespan) for s in schedules.values())
+
+
+def test_controller_geq_formula(bound_cluster):
+    schedules, _, _ = bound_cluster
+    ctrl = build_controller(schedules, loop_counter_count=2)
+    expected = (FSM_BASE_GEQ + ctrl.states * FSM_STATE_GEQ
+                + 2 * LOOP_COUNTER_GEQ)
+    assert ctrl.geq == expected
+
+
+def test_controller_negative_counters_rejected(bound_cluster):
+    schedules, _, _ = bound_cluster
+    with pytest.raises(ValueError):
+        build_controller(schedules, loop_counter_count=-1)
+
+
+# ---------------------------------------------------------------------------
+# Netlist
+# ---------------------------------------------------------------------------
+
+def test_netlist_total_matches_components(bound_cluster, library):
+    schedules, binding, _ = bound_cluster
+    dp = build_datapath(schedules, binding, library)
+    ctrl = build_controller(schedules, 1)
+    netlist = expand_netlist(dp, ctrl, library)
+    assert netlist.total_cells == sum(c.gates for c in netlist.components)
+    assert netlist.total_gates == netlist.total_cells
+
+
+def test_netlist_has_unit_register_mux_controller_components(
+        bound_cluster, library):
+    schedules, binding, _ = bound_cluster
+    dp = build_datapath(schedules, binding, library)
+    ctrl = build_controller(schedules, 1)
+    netlist = expand_netlist(dp, ctrl, library)
+    names = {c.name for c in netlist.components}
+    assert "controller" in names
+    assert "registers" in names
+    assert any(n.startswith("multiplier") for n in names)
+
+
+def test_netlist_scratchpad_component(bound_cluster, library):
+    schedules, binding, _ = bound_cluster
+    dp = build_datapath(schedules, binding, library)
+    ctrl = build_controller(schedules, 1)
+    netlist = expand_netlist(dp, ctrl, library, scratchpad_words=512)
+    spad = netlist.component("scratchpad")
+    assert spad.gates == 512 * SCRATCHPAD_CELLS_PER_WORD
+
+
+def test_netlist_unknown_component_raises(bound_cluster, library):
+    schedules, binding, _ = bound_cluster
+    dp = build_datapath(schedules, binding, library)
+    netlist = expand_netlist(dp, build_controller(schedules, 1), library)
+    with pytest.raises(KeyError):
+        netlist.component("flux-capacitor")
+
+
+def test_registers_fully_sequential(bound_cluster, library):
+    schedules, binding, _ = bound_cluster
+    dp = build_datapath(schedules, binding, library)
+    netlist = expand_netlist(dp, build_controller(schedules, 1), library)
+    regs = netlist.component("registers")
+    assert regs.combinational_gates == 0
+    assert regs.sequential_gates > 0
+
+
+# ---------------------------------------------------------------------------
+# Gate-level energy
+# ---------------------------------------------------------------------------
+
+def test_gate_energy_positive_and_componentwise(bound_cluster, library):
+    schedules, binding, _ = bound_cluster
+    ex = {"body": 10}
+    metrics = cluster_metrics(binding, ex, library)
+    dp = build_datapath(schedules, binding, library)
+    netlist = expand_netlist(dp, build_controller(schedules, 1), library)
+    energy = estimate_gate_energy(netlist, binding, ex,
+                                  metrics.total_cycles, library)
+    assert energy.total_nj > 0
+    assert energy.total_nj == pytest.approx(sum(energy.component_nj.values()))
+
+
+def test_gate_energy_close_to_resource_model(bound_cluster, library):
+    """Fig. 1 line 15's cross-check: the gate-level estimate should land in
+    the same ballpark as the detailed resource-level model."""
+    schedules, binding, _ = bound_cluster
+    ex = {"body": 50}
+    metrics = cluster_metrics(binding, ex, library)
+    dp = build_datapath(schedules, binding, library)
+    netlist = expand_netlist(dp, build_controller(schedules, 1), library)
+    energy = estimate_gate_energy(netlist, binding, ex,
+                                  metrics.total_cycles, library)
+    unit_energy = sum(nj for name, nj in energy.component_nj.items()
+                      if name.startswith(("alu", "multiplier")))
+    assert unit_energy == pytest.approx(metrics.energy_detailed_nj, rel=0.6)
+
+
+def test_gate_energy_scales_with_cycles(bound_cluster, library):
+    schedules, binding, _ = bound_cluster
+    dp = build_datapath(schedules, binding, library)
+    netlist = expand_netlist(dp, build_controller(schedules, 1), library)
+    small = estimate_gate_energy(netlist, binding, {"body": 1}, 10, library)
+    large = estimate_gate_energy(netlist, binding, {"body": 10}, 100, library)
+    assert large.total_nj > 5 * small.total_nj
+
+
+# ---------------------------------------------------------------------------
+# RTL run statistics
+# ---------------------------------------------------------------------------
+
+def test_asic_run_stats_composition(bound_cluster):
+    schedules, _, _ = bound_cluster
+    stats = simulate_asic(schedules, {"body": 10}, invocations=2,
+                          transfer_words_in=30, transfer_words_out=20)
+    assert stats.compute_cycles == schedules["body"].makespan * 10
+    assert stats.handshake_cycles == 2 * HANDSHAKE_CYCLES
+    assert stats.transfer_cycles == 50 * TRANSFER_CYCLES_PER_WORD
+    assert stats.asic_cycles == stats.compute_cycles + stats.handshake_cycles
+
+
+def test_asic_run_stats_negative_invocations_rejected(bound_cluster):
+    schedules, _, _ = bound_cluster
+    with pytest.raises(ValueError):
+        simulate_asic(schedules, {"body": 1}, invocations=-1,
+                      transfer_words_in=0, transfer_words_out=0)

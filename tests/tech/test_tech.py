@@ -1,0 +1,151 @@
+"""Technology library, resource set and GEQ tests."""
+
+import pytest
+
+from repro.ir.ops import OpKind
+from repro.tech import (
+    ResourceKind,
+    ResourceSet,
+    cells_of_geq,
+    cmos6_library,
+    compatible_resources,
+    default_resource_sets,
+    geq_of_set,
+    operation_latency,
+)
+from repro.tech.geq import geq_of_counts
+
+
+def test_library_covers_all_resource_kinds(library):
+    for kind in ResourceKind:
+        spec = library.spec(kind)
+        assert spec.geq > 0
+        assert spec.energy_active_pj > spec.energy_idle_pj > 0
+        assert spec.t_cyc_ns > 0
+
+
+def test_multiplier_dwarfs_alu(library):
+    assert library.spec(ResourceKind.MULTIPLIER).geq > \
+        2 * library.spec(ResourceKind.ALU).geq
+
+
+def test_comparator_is_smallest_functional_unit(library):
+    comparator = library.spec(ResourceKind.COMPARATOR).geq
+    for kind in (ResourceKind.ALU, ResourceKind.MULTIPLIER,
+                 ResourceKind.DIVIDER, ResourceKind.SHIFTER,
+                 ResourceKind.MEMPORT):
+        assert library.spec(kind).geq > comparator
+
+
+def test_p_av_consistent_with_energy(library):
+    spec = library.spec(ResourceKind.ALU)
+    assert spec.p_av_mw == pytest.approx(spec.energy_active_pj / spec.t_cyc_ns)
+
+
+def test_up_operating_point(library):
+    assert library.up_clock_mhz == 20.0
+    assert library.up_cycle_time_ns == 50.0
+    assert 10.0 <= library.up_cycle_energy_nj <= 20.0
+
+
+def test_resource_energy_accumulation(library):
+    active = library.resource_energy_nj(ResourceKind.ALU, 1000)
+    mixed = library.resource_energy_nj(ResourceKind.ALU, 1000, 1000)
+    assert mixed > active > 0
+
+
+def test_gate_level_consistency_with_alu_spec(library):
+    """The gate-level constants should reproduce the ALU's active energy to
+    first order (documented self-consistency of the library)."""
+    spec = library.spec(ResourceKind.ALU)
+    gate_estimate = (spec.geq * library.active_activity
+                     * library.gate_switch_energy_pj)
+    assert gate_estimate == pytest.approx(spec.energy_active_pj, rel=0.1)
+
+
+# ---------------------------------------------------------------------------
+# Compatibility and latency
+# ---------------------------------------------------------------------------
+
+def test_sorted_rs_list_smallest_first(library):
+    for kind in (OpKind.EQ, OpKind.LT, OpKind.SHL):
+        kinds = compatible_resources(kind)
+        sizes = [library.spec(k).geq for k in kinds]
+        assert sizes == sorted(sizes)
+
+
+def test_control_ops_have_no_resources():
+    for kind in (OpKind.BRANCH, OpKind.JUMP, OpKind.CALL, OpKind.RETURN,
+                 OpKind.NOP):
+        assert compatible_resources(kind) == ()
+
+
+def test_compare_can_fall_back_to_alu():
+    assert ResourceKind.ALU in compatible_resources(OpKind.LT)
+    assert compatible_resources(OpKind.LT)[0] is ResourceKind.COMPARATOR
+
+
+@pytest.mark.parametrize("kind,latency", [
+    (OpKind.ADD, 1), (OpKind.MUL, 2), (OpKind.DIV, 8), (OpKind.MOD, 8),
+    (OpKind.LOAD, 2), (OpKind.STORE, 1), (OpKind.SHL, 1),
+])
+def test_operation_latencies(kind, latency):
+    assert operation_latency(kind) == latency
+
+
+# ---------------------------------------------------------------------------
+# ResourceSet
+# ---------------------------------------------------------------------------
+
+def test_resource_set_basics():
+    rs = ResourceSet("s", {ResourceKind.ALU: 2, ResourceKind.SHIFTER: 0})
+    assert rs.count(ResourceKind.ALU) == 2
+    assert rs.count(ResourceKind.SHIFTER) == 0
+    assert ResourceKind.SHIFTER not in rs
+    assert rs.total_instances == 2
+
+
+def test_resource_set_negative_count_rejected():
+    with pytest.raises(ValueError):
+        ResourceSet("bad", {ResourceKind.ALU: -1})
+
+
+def test_can_execute_through_fallback():
+    rs = ResourceSet("alu-only", {ResourceKind.ALU: 1})
+    assert rs.can_execute(OpKind.LT)       # comparator falls back to ALU
+    assert not rs.can_execute(OpKind.MUL)  # no multiplier anywhere
+
+
+def test_default_resource_sets_are_three_to_five():
+    sets = default_resource_sets()
+    assert 3 <= len(sets) <= 5
+    names = [s.name for s in sets]
+    assert len(set(names)) == len(names)
+
+
+def test_default_sets_monotonically_grow(library):
+    sets = default_resource_sets()
+    sizes = [geq_of_set(library, s) for s in sets]
+    assert sizes == sorted(sizes)
+
+
+# ---------------------------------------------------------------------------
+# GEQ helpers
+# ---------------------------------------------------------------------------
+
+def test_geq_of_set(library):
+    rs = ResourceSet("s", {ResourceKind.ALU: 2})
+    assert geq_of_set(library, rs) == 2 * library.spec(ResourceKind.ALU).geq
+
+
+def test_geq_of_counts(library):
+    counts = {ResourceKind.ALU: 1, ResourceKind.SHIFTER: 2}
+    expected = (library.spec(ResourceKind.ALU).geq
+                + 2 * library.spec(ResourceKind.SHIFTER).geq)
+    assert geq_of_counts(library, counts) == expected
+
+
+def test_cells_identity_and_validation():
+    assert cells_of_geq(1234) == 1234
+    with pytest.raises(ValueError):
+        cells_of_geq(-1)
