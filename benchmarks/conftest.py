@@ -4,12 +4,27 @@ Running the whole design flow on the six applications takes a few seconds
 each; the session-scoped ``flow_results`` fixture does it once, and the
 individual benchmarks measure the stage they are about while reporting the
 paper-shaped tables from the cached results.
+
+Determinism: every fixture here must produce identical results across
+processes and runs.  The RNG is re-seeded around every benchmark (nothing
+in the flow draws random numbers, but ``pytest-benchmark``'s calibration
+and any future stochastic benchmark must not leak state between tests),
+applications are instantiated in sorted-name order rather than registry
+insertion order, and the exploration cache shared by the sweep benchmarks
+keys on content digests (see :func:`repro.core.explore.candidate_cache_key`)
+— never ``id()`` or hash-salted set/dict order — so worker processes with
+different ``PYTHONHASHSEED`` values agree on every key.
 """
+
+import random
 
 import pytest
 
 from repro.apps import ALL_APPS, app_by_name
-from repro.core import LowPowerFlow
+from repro.core import EvaluationCache, ExplorationEngine, LowPowerFlow
+
+#: Fixed seed for anything stochastic in the harness.
+BENCH_SEED = 1999
 
 
 #: Paper Table 1 reference values: (energy saving %, exec-time change %).
@@ -23,6 +38,14 @@ PAPER_RESULTS = {
 }
 
 
+@pytest.fixture(autouse=True)
+def _deterministic_seed():
+    """Pin the RNG before (and restore a pinned state after) every test."""
+    random.seed(BENCH_SEED)
+    yield
+    random.seed(BENCH_SEED)
+
+
 @pytest.fixture(scope="session")
 def flow():
     return LowPowerFlow()
@@ -30,4 +53,19 @@ def flow():
 
 @pytest.fixture(scope="session")
 def flow_results(flow):
-    return {name: flow.run(app_by_name(name)) for name in ALL_APPS}
+    # Sorted-name order: results must not depend on registry insertion
+    # order (dict iteration is stable per-process but not a contract).
+    return {name: flow.run(app_by_name(name)) for name in sorted(ALL_APPS)}
+
+
+@pytest.fixture(scope="session")
+def evaluation_cache():
+    """One exploration cache shared by every sweep benchmark."""
+    return EvaluationCache()
+
+
+@pytest.fixture()
+def explore_engine(evaluation_cache):
+    """A serial exploration engine over the shared cache."""
+    with ExplorationEngine(cache=evaluation_cache) as engine:
+        yield engine

@@ -22,14 +22,18 @@ The package layers, bottom to top:
 * :mod:`repro.sched` — list scheduling, Fig. 4 binding, ``U_R`` metrics;
 * :mod:`repro.cluster` — decomposition + Fig. 3 transfer pre-selection;
 * :mod:`repro.synth` — datapath/FSM synthesis and gate-level energy;
-* :mod:`repro.core` — the partitioner (Fig. 1), design flow (Fig. 5) and
-  baseline partitioners;
+* :mod:`repro.core` — the partitioner (Fig. 1), design flow (Fig. 5),
+  baseline partitioners, and the parallel exploration engine
+  (:mod:`repro.core.explore`);
+* :mod:`repro.obs` — hierarchical timers, counters and trace export;
 * :mod:`repro.power` — whole-system accounting (Table 1 machinery);
 * :mod:`repro.apps` — the six evaluation applications.
 """
 
 from repro.core import (
     AppSpec,
+    EvaluationCache,
+    ExplorationEngine,
     FlowResult,
     LowPowerFlow,
     ObjectiveConfig,
@@ -37,18 +41,22 @@ from repro.core import (
     Partitioner,
 )
 from repro.lang import Interpreter, Program, compile_source
+from repro.obs import Tracer
 from repro.power.report import format_savings, format_table1
 from repro.tech import ResourceKind, ResourceSet, cmos6_library, default_resource_sets
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AppSpec",
+    "EvaluationCache",
+    "ExplorationEngine",
     "FlowResult",
     "LowPowerFlow",
     "ObjectiveConfig",
     "PartitionConfig",
     "Partitioner",
+    "Tracer",
     "Interpreter",
     "Program",
     "compile_source",

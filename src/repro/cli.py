@@ -7,12 +7,21 @@ Commands
     List the bundled evaluation applications.
 ``run APP``
     Run the complete low-power partitioning flow on one application and
-    print the Table-1-style comparison.
+    print the Table-1-style comparison (``--jobs N`` parallelizes the
+    candidate sweep, ``--trace FILE`` exports timing/counter JSON).
 ``table1``
-    Run all six applications and print Table 1 + the Figure 6 series.
+    Run all six applications and print Table 1 + the Figure 6 series
+    (``--jobs N`` runs one application per worker process).
+``explore APP``
+    Sweep the application's design space — every pre-selected cluster
+    against every designer resource set — and print the candidate
+    landscape, cache statistics and rejection reasons.  Supports
+    ``--jobs``/``--trace`` like ``run``.
 ``clusters APP``
     Show the cluster decomposition, pre-selection and per-cluster
     bus-transfer estimates (paper Figs. 2/3).
+``ir APP``
+    Dump the CDFG IR, optionally annotated with profiled execution counts.
 ``disasm APP``
     Disassemble the application's SL32 image (optionally one function).
 ``multicore APP``
@@ -27,9 +36,15 @@ from typing import List, Optional
 
 from repro.apps import ALL_APPS, app_by_name
 from repro.cluster import decompose_into_clusters, estimate_transfers, preselect_clusters
-from repro.core import IterativePartitioner, LowPowerFlow
+from repro.core import (
+    EvaluationCache,
+    ExplorationEngine,
+    IterativePartitioner,
+    LowPowerFlow,
+)
 from repro.isa.image import link_program
 from repro.lang import Interpreter
+from repro.obs import NullTracer, Tracer
 from repro.power.report import format_savings, format_table1
 from repro.tech import cmos6_library
 
@@ -43,16 +58,43 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("apps", help="list the bundled applications")
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive integer, got {value}")
+        return value
+
+    def add_explore_options(p) -> None:
+        p.add_argument("--jobs", type=positive_int, default=1, metavar="N",
+                       help="worker processes for the candidate sweep "
+                            "(default 1 = serial)")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a timing/counter trace JSON to FILE")
+
     run = sub.add_parser("run", help="run the flow on one application")
     run.add_argument("app", choices=list(ALL_APPS))
     run.add_argument("--scale", type=int, default=1,
                      help="workload scale factor (default 1)")
     run.add_argument("--optimize", action="store_true",
                      help="run the IR optimizer first")
+    add_explore_options(run)
 
     table1 = sub.add_parser("table1",
                             help="reproduce Table 1 over all applications")
     table1.add_argument("--scale", type=int, default=1)
+    add_explore_options(table1)
+
+    explore = sub.add_parser(
+        "explore",
+        help="sweep one application's design space (clusters x resource "
+             "sets) with caching and optional worker processes")
+    explore.add_argument("app", choices=list(ALL_APPS))
+    explore.add_argument("--scale", type=int, default=1)
+    explore.add_argument("--optimize", action="store_true")
+    explore.add_argument("--top", type=int, default=10,
+                         help="candidates to print (default 10)")
+    add_explore_options(explore)
 
     clusters = sub.add_parser("clusters",
                               help="show decomposition + transfer estimates")
@@ -87,28 +129,93 @@ def _cmd_apps(args) -> int:
     return 0
 
 
+def _make_tracer(args, label: str):
+    """A real tracer when the user wants a trace file, else a null one."""
+    if getattr(args, "trace", None):
+        return Tracer(label)
+    return NullTracer()
+
+
+def _finish_trace(args, tracer) -> None:
+    if getattr(args, "trace", None):
+        try:
+            tracer.write(args.trace)
+        except OSError as exc:
+            print(f"warning: could not write trace to {args.trace}: {exc}",
+                  file=sys.stderr)
+        else:
+            print(f"trace written to {args.trace}", file=sys.stderr)
+
+
 def _cmd_run(args) -> int:
     app = app_by_name(args.app, scale=args.scale)
     if args.optimize:
         app.optimize = True
-    result = LowPowerFlow().run(app)
+    tracer = _make_tracer(args, f"run {args.app}")
+    with ExplorationEngine(jobs=args.jobs, tracer=tracer) as engine:
+        result = engine.run_flow(app)
+    _finish_trace(args, tracer)
     print(result.summary())
     return 0 if result.best is not None else 1
 
 
 def _cmd_table1(args) -> int:
-    flow = LowPowerFlow()
-    rows = []
-    for name in ALL_APPS:
-        app = app_by_name(name, scale=args.scale)
-        print(f"running {name} ...", file=sys.stderr)
-        res = flow.run(app)
-        rows.append((name, res.initial,
-                     res.partitioned if res.partitioned else res.initial))
+    tracer = _make_tracer(args, "table1")
+    apps = [app_by_name(name, scale=args.scale) for name in ALL_APPS]
+    with ExplorationEngine(jobs=args.jobs, tracer=tracer) as engine:
+        if args.jobs > 1:
+            print(f"running {len(apps)} applications on {args.jobs} "
+                  f"workers ...", file=sys.stderr)
+            results = engine.run_flows(apps)
+        else:
+            results = {}
+            for app in apps:
+                print(f"running {app.name} ...", file=sys.stderr)
+                results[app.name] = engine.run_flow(app)
+    _finish_trace(args, tracer)
+    rows = [(name, res.initial,
+             res.partitioned if res.partitioned else res.initial)
+            for name, res in results.items()]
     print(format_table1(rows))
     print()
     print(format_savings(rows))
     return 0
+
+
+def _cmd_explore(args) -> int:
+    app = app_by_name(args.app, scale=args.scale)
+    if args.optimize:
+        app.optimize = True
+    tracer = Tracer(f"explore {args.app}")
+    with ExplorationEngine(jobs=args.jobs, cache=EvaluationCache(),
+                           tracer=tracer) as engine:
+        report = engine.explore(app)
+    decision = report.decision
+    print(f"{app.name}: U_uP = {decision.up_utilization:.3f}, "
+          f"{len(decision.preselected)} clusters pre-selected, "
+          f"{decision.examined} (cluster x set) pairs examined "
+          f"in {report.elapsed_s:.2f}s with {args.jobs} job(s)")
+    print(f"\ncandidate landscape ({len(decision.candidates)} kept, "
+          f"{len(decision.rejections)} rejected):")
+    for cand in sorted(decision.candidates,
+                       key=lambda c: c.objective)[:args.top]:
+        marker = "*" if decision.best is not None \
+            and cand is decision.best else " "
+        print(f" {marker} {cand.cluster.name:28s} "
+              f"{cand.resource_set.name:7s} "
+              f"U_R={cand.utilization:.3f} cells={cand.asic_cells:6d} "
+              f"OF={cand.objective:.4f}")
+    if decision.rejections:
+        print("\nrejections:")
+        for cluster_name, set_name, reason in decision.rejections:
+            print(f"   {cluster_name:28s} {set_name:7s} {reason}")
+    stats = report.cache_stats
+    print(f"\ncache: {stats['entries']} entries, {stats['hits']} hits, "
+          f"{stats['misses']} misses")
+    print()
+    print(tracer.format_summary())
+    _finish_trace(args, tracer)
+    return 0 if decision.best is not None else 1
 
 
 def _cmd_clusters(args) -> int:
@@ -204,6 +311,7 @@ _COMMANDS = {
     "apps": _cmd_apps,
     "run": _cmd_run,
     "table1": _cmd_table1,
+    "explore": _cmd_explore,
     "clusters": _cmd_clusters,
     "disasm": _cmd_disasm,
     "ir": _cmd_ir,

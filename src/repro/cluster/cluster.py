@@ -17,6 +17,7 @@ controller's loop counter rather than datapath resources.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
@@ -55,6 +56,31 @@ class Cluster:
     use: FrozenSet[str]
     fsm_ops: FrozenSet[int] = frozenset()
     contains_call: bool = False
+
+    def digest(self) -> str:
+        """Stable content hash of this cluster, identical across processes.
+
+        Built from sorted field values only — never ``id()``, ``hash()`` or
+        set iteration order — so it is usable as a cache-key component even
+        when worker processes run with different ``PYTHONHASHSEED`` values.
+        """
+        # op_ids come from a process-global counter (repro.ir.ops), so raw
+        # values shift with compile history; offsets from the cluster's
+        # smallest fsm op_id are content-stable because compilation
+        # allocates ids deterministically within one program.
+        fsm = sorted(self.fsm_ops)
+        base = fsm[0] if fsm else 0
+        h = hashlib.sha256()
+        for part in (self.name, self.function, self.kind, self.header,
+                     str(self.order_index), str(self.depth),
+                     ",".join(sorted(self.blocks)),
+                     ",".join(sorted(self.gen)),
+                     ",".join(sorted(self.use)),
+                     ",".join(str(i - base) for i in fsm),
+                     str(self.contains_call)):
+            h.update(part.encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
 
     def ops(self, cdfg: CDFG) -> List[Operation]:
         result: List[Operation] = []

@@ -11,6 +11,9 @@
 * :mod:`repro.core.baselines` — comparison partitioners: the classic
   performance-driven approach of the related work, and a COSYN-style
   average-power allocator.
+* :mod:`repro.core.explore` — the parallel design-space exploration
+  engine: fans candidate evaluations over a worker pool and memoizes
+  every outcome under stable content keys.
 """
 
 from repro.core.objective import ObjectiveConfig, objective_value
@@ -19,6 +22,7 @@ from repro.core.partitioner import (
     PartitionConfig,
     PartitionDecision,
     Partitioner,
+    SweepPrep,
 )
 from repro.core.flow import AppSpec, FlowResult, LowPowerFlow
 from repro.core.iterative import (
@@ -30,6 +34,12 @@ from repro.core.baselines import (
     performance_driven_choice,
     average_power_choice,
 )
+from repro.core.explore import (
+    EvaluationCache,
+    ExplorationEngine,
+    ExploreReport,
+    candidate_cache_key,
+)
 
 __all__ = [
     "ObjectiveConfig",
@@ -38,6 +48,11 @@ __all__ = [
     "PartitionConfig",
     "PartitionDecision",
     "Partitioner",
+    "SweepPrep",
+    "EvaluationCache",
+    "ExplorationEngine",
+    "ExploreReport",
+    "candidate_cache_key",
     "AppSpec",
     "FlowResult",
     "LowPowerFlow",

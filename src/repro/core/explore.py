@@ -1,0 +1,585 @@
+"""Parallel design-space exploration with result caching.
+
+The Fig. 1 search is an embarrassingly parallel sweep: every pre-selected
+cluster is evaluated against every designer resource set, and each
+(cluster, resource set) evaluation — list schedule, binding, ``U_R``/GEQ
+metrics, transfer estimate, objective — is a pure function of its inputs.
+:class:`ExplorationEngine` exploits both properties:
+
+* **parallelism** — pair evaluations fan out across a
+  ``ProcessPoolExecutor`` (``jobs`` workers), and whole applications fan
+  out the same way for Table-1-style sweeps (:meth:`run_flows`);
+* **memoization** — every outcome is stored in an :class:`EvaluationCache`
+  under a *stable content key* (cluster digest × resource set × library ×
+  workload), so repeated candidates — ``table1`` after ``run``, the
+  multicore iteration's first pass, cache-adaptation sweeps, benchmark
+  reruns — are never re-scheduled.
+
+Cache keys are built exclusively from sorted content digests
+(:func:`candidate_cache_key`), never from ``id()``, ``hash()`` or set
+iteration order, so they are identical across worker processes regardless
+of ``PYTHONHASHSEED``.
+
+Determinism: the engine evaluates exactly the pairs
+:meth:`~repro.core.partitioner.Partitioner.prepare` enumerates, reassembles
+outcomes in canonical sweep order, and hands them to
+:meth:`~repro.core.partitioner.Partitioner.decide` — the same code the
+serial path runs — so parallel and serial sweeps produce bit-identical
+:class:`~repro.core.partitioner.PartitionDecision` objects (covered by
+``tests/core/test_explore.py`` on all six bundled applications).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.flow import AppSpec, FlowResult, LowPowerFlow
+from repro.core.partitioner import (
+    CandidateEvaluation,
+    PartitionConfig,
+    PartitionDecision,
+    Partitioner,
+    SweepPrep,
+)
+from repro.isa.image import link_program
+from repro.lang.interp import ExecutionProfile, Interpreter
+from repro.lang.program import Program
+from repro.mem.cache import CacheConfig
+from repro.obs import NullTracer, Tracer, get_tracer, use_tracer
+from repro.power.system import SystemRun, evaluate_initial
+from repro.sched.list_scheduler import ScheduleError
+from repro.tech.library import TechnologyLibrary, cmos6_library
+from repro.tech.resources import ResourceSet
+
+
+# ---------------------------------------------------------------------------
+# Stable content digests (cache-key components)
+# ---------------------------------------------------------------------------
+
+def _sha(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def resource_set_digest(resource_set: ResourceSet) -> str:
+    """Stable hash of a resource set's name and sorted instance counts."""
+    counts = ",".join(f"{kind.value}={count}" for kind, count in
+                      sorted(resource_set.items(),
+                             key=lambda item: item[0].value))
+    return _sha("resource_set", resource_set.name, counts)
+
+
+def library_digest(library: TechnologyLibrary) -> str:
+    """Stable hash of every technology constant, resources sorted by kind."""
+    specs = ";".join(
+        f"{kind.value}:{spec.geq}:{spec.energy_active_pj}:"
+        f"{spec.energy_idle_pj}:{spec.t_cyc_ns}"
+        for kind, spec in sorted(library.resources.items(),
+                                 key=lambda item: item[0].value))
+    scalars = ";".join(
+        f"{name}={getattr(library, name)}"
+        for name in sorted(vars(library))
+        if name != "resources")
+    return _sha("library", library.name, specs, scalars)
+
+
+def config_digest(config: PartitionConfig) -> str:
+    """Stable hash of the designer inputs (incl. every resource set)."""
+    obj = config.objective
+    return _sha(
+        "config",
+        str(config.n_max_clusters),
+        str(config.min_cluster_dynamic_ops),
+        str(config.use_chaining),
+        f"{obj.f_energy}:{obj.g_hardware}:{obj.geq_normalizer}:{obj.geq_cap}",
+        *[resource_set_digest(rs) for rs in config.resource_sets],
+    )
+
+
+def profile_digest(profile: ExecutionProfile) -> str:
+    """Stable hash of the profiled workload (sorted counts)."""
+    blocks = ";".join(f"{fn}.{bl}={count}" for (fn, bl), count in
+                      sorted(profile.block_counts.items()))
+    calls = ";".join(f"{name}={count}" for name, count in
+                     sorted(profile.call_counts.items()))
+    return _sha("profile", blocks, calls, str(profile.steps),
+                str(profile.result))
+
+
+def program_digest(program: Program) -> str:
+    """Stable hash of the full lowered program (via the IR printer)."""
+    from repro.ir.printer import format_program
+    return _sha("program", program.name, format_program(program))
+
+
+def initial_run_digest(initial: SystemRun) -> str:
+    """Stable hash of the initial ("I") evaluation the search prices
+    against."""
+    e = initial.energy
+    return _sha(
+        "initial",
+        f"{e.icache_nj}:{e.dcache_nj}:{e.mem_nj}:{e.up_core_nj}:{e.bus_nj}",
+        f"{initial.up_cycles}:{initial.result}:{initial.up_utilization}",
+        f"{initial.icache_hit_rate}:{initial.dcache_hit_rate}",
+    )
+
+
+def sweep_context_digest(program: Program, profile: ExecutionProfile,
+                         initial: SystemRun, library: TechnologyLibrary,
+                         config: PartitionConfig) -> str:
+    """Everything a candidate evaluation depends on besides the pair."""
+    return _sha("sweep", program_digest(program), profile_digest(profile),
+                initial_run_digest(initial), library_digest(library),
+                config_digest(config))
+
+
+def candidate_cache_key(context_digest: str, cluster, resource_set:
+                        ResourceSet,
+                        hw_clusters: FrozenSet[str] = frozenset()) -> str:
+    """The memoization key of one (cluster, resource set) evaluation."""
+    return _sha("candidate", context_digest, cluster.digest(),
+                resource_set_digest(resource_set),
+                ",".join(sorted(hw_clusters)))
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+class EvaluationCache:
+    """Keyed memoization of candidate evaluations (and schedule failures).
+
+    Values are either a :class:`CandidateEvaluation` or the rejection
+    string of a deterministic :class:`ScheduleError` — both replayable.
+    Share one instance across flows/sweeps to pool their results; the
+    key embeds workload, library and config digests, so unrelated sweeps
+    never collide.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self._entries: Dict[str, object] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str):
+        """Return the cached outcome or ``None``; counts the hit/miss."""
+        outcome = self._entries.get(key)
+        if outcome is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return outcome
+
+    def put(self, key: str, outcome) -> None:
+        if self.max_entries is not None \
+                and len(self._entries) >= self.max_entries \
+                and key not in self._entries:
+            # FIFO eviction: oldest inserted key goes first (deterministic).
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = outcome
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses}
+
+
+# ---------------------------------------------------------------------------
+# Worker-side machinery (module level: picklable by reference)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AppPayload:
+    """A picklable, hashable description of one application workload."""
+
+    name: str
+    source: str
+    description: str
+    optimize: bool
+    args: Tuple[int, ...]
+    globals_init: Tuple[Tuple[str, Tuple[int, ...]], ...]
+    icache: Optional[CacheConfig]
+    dcache: Optional[CacheConfig]
+    model_caches: bool
+
+    @staticmethod
+    def from_app(app: AppSpec) -> "AppPayload":
+        return AppPayload(
+            name=app.name, source=app.source, description=app.description,
+            optimize=app.optimize, args=tuple(app.args),
+            globals_init=tuple(sorted(
+                (name, tuple(values))
+                for name, values in app.globals_init.items())),
+            icache=app.icache, dcache=app.dcache,
+            model_caches=app.model_caches)
+
+    def to_app(self, config: Optional[PartitionConfig] = None) -> AppSpec:
+        return AppSpec(
+            name=self.name, source=self.source, description=self.description,
+            args=self.args,
+            globals_init={name: list(values)
+                          for name, values in self.globals_init},
+            config=config, icache=self.icache, dcache=self.dcache,
+            model_caches=self.model_caches, optimize=self.optimize)
+
+    def digest(self) -> str:
+        globals_part = ";".join(
+            f"{name}=" + ",".join(str(v) for v in values)
+            for name, values in self.globals_init)
+        return _sha("app", self.name, self.source, str(self.optimize),
+                    ",".join(str(a) for a in self.args), globals_part,
+                    repr(self.icache), repr(self.dcache),
+                    str(self.model_caches))
+
+
+@dataclass
+class _SweepContext:
+    """Per-process reconstruction of one app's sweep inputs."""
+
+    program: Program
+    profile: ExecutionProfile
+    initial: SystemRun
+    partitioner: Partitioner
+    prep: SweepPrep
+    clusters_by_name: Dict[str, object]
+
+
+#: Per-worker-process context memo: context key -> _SweepContext.
+_WORKER_CONTEXTS: Dict[str, _SweepContext] = {}
+
+
+def _build_sweep_context(payload: AppPayload, library: TechnologyLibrary,
+                         config: PartitionConfig) -> _SweepContext:
+    app = payload.to_app()
+    program = app.compile()
+    interp = Interpreter(program)
+    for name, values in app.globals_init.items():
+        interp.set_global(name, values)
+    interp.run(*app.args)
+    profile = interp.profile
+    image = link_program(program)
+    initial = evaluate_initial(
+        image, library, args=app.args, globals_init=app.globals_init,
+        icache_cfg=app.icache, dcache_cfg=app.dcache,
+        model_caches=app.model_caches)
+    partitioner = Partitioner(program, library, config)
+    prep = partitioner.prepare(profile)
+    return _SweepContext(
+        program=program, profile=profile, initial=initial,
+        partitioner=partitioner, prep=prep,
+        clusters_by_name={c.name: c for c in prep.preselected})
+
+
+def _get_sweep_context(payload: AppPayload, library: TechnologyLibrary,
+                       config: PartitionConfig) -> _SweepContext:
+    key = _sha("ctx", payload.digest(), library_digest(library),
+               config_digest(config))
+    ctx = _WORKER_CONTEXTS.get(key)
+    if ctx is None:
+        ctx = _build_sweep_context(payload, library, config)
+        _WORKER_CONTEXTS[key] = ctx
+    return ctx
+
+
+def _worker_evaluate_pair(payload: AppPayload, library: TechnologyLibrary,
+                          config: PartitionConfig,
+                          hw_names: Tuple[str, ...],
+                          pair: Tuple[str, int]):
+    """Evaluate one (cluster name, resource-set index) pair in a worker.
+
+    Returns ``(pair, outcome, counters, seconds)`` where outcome is a
+    :class:`CandidateEvaluation` or a rejection string.
+    """
+    started = time.perf_counter()
+    ctx = _get_sweep_context(payload, library, config)
+    cluster_name, rs_index = pair
+    cluster = ctx.clusters_by_name[cluster_name]
+    resource_set = config.resource_sets[rs_index]
+    tracer = Tracer()
+    with use_tracer(tracer):
+        try:
+            outcome: object = ctx.partitioner.evaluate_candidate(
+                cluster, resource_set, ctx.profile, ctx.initial,
+                hw_clusters=frozenset(hw_names),
+                chain=ctx.prep.chains[cluster.function])
+        except ScheduleError as exc:
+            outcome = str(exc)
+    return pair, outcome, tracer.counters, time.perf_counter() - started
+
+
+def _worker_run_flow(library: TechnologyLibrary,
+                     config: Optional[PartitionConfig],
+                     payload: AppPayload):
+    """Run one application's complete flow in a worker process."""
+    started = time.perf_counter()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        flow = LowPowerFlow(library=library, config=config)
+        result = flow.run(payload.to_app())
+    return payload.name, result, tracer.counters, \
+        time.perf_counter() - started
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits ``sys.path``); fall back to the
+    platform default elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExploreReport:
+    """One application's sweep outcome plus exploration bookkeeping."""
+
+    app: AppSpec
+    decision: PartitionDecision
+    initial: SystemRun
+    elapsed_s: float
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+
+class ExplorationEngine:
+    """Fans candidate evaluations over a process pool, memoizing results.
+
+    Args:
+        library: technology data (defaults to CMOS6).
+        config: designer inputs shared by sweeps without an app-specific
+            config.
+        jobs: worker processes; ``1`` evaluates in-process (still cached).
+        cache: shared :class:`EvaluationCache` (one is created if omitted;
+            pass your own to pool results across engines/flows).
+        tracer: observability sink (defaults to a :class:`NullTracer`).
+
+    The engine keeps its worker pool alive across sweeps — use it as a
+    context manager or call :meth:`close` to reap the workers.
+    """
+
+    def __init__(self, library: Optional[TechnologyLibrary] = None,
+                 config: Optional[PartitionConfig] = None,
+                 jobs: int = 1,
+                 cache: Optional[EvaluationCache] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.library = library or cmos6_library()
+        self.config = config
+        self.jobs = jobs
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.tracer = tracer or NullTracer()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "ExplorationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_pool_context())
+        return self._pool
+
+    # -- candidate sweep ----------------------------------------------
+
+    def sweep(self, partitioner: Partitioner, profile: ExecutionProfile,
+              initial: SystemRun, app: Optional[AppSpec] = None,
+              hw_clusters: FrozenSet[str] = frozenset()
+              ) -> PartitionDecision:
+        """Run the Fig. 1 search with caching and (optionally) workers.
+
+        Bit-identical to :meth:`Partitioner.run`: the engine only changes
+        *who* computes each pair, never the sweep order or the decision.
+        ``app`` is required for multi-process evaluation (workers rebuild
+        the workload from its payload); without it the sweep degrades to
+        cached in-process evaluation.
+        """
+        tracer = self.tracer
+        config = partitioner.config
+        with use_tracer(tracer), tracer.span("explore.sweep"):
+            prep = partitioner.prepare(profile)
+            pairs = prep.pairs(config.resource_sets)
+            outcomes = self.evaluate_pairs(
+                partitioner, profile, initial, pairs, prep.chains,
+                hw_clusters=hw_clusters, app=app)
+            ordered = [(cluster, resource_set, outcomes[i])
+                       for i, (cluster, resource_set) in enumerate(pairs)]
+            return partitioner.decide(ordered, prep, initial)
+
+    def evaluate_pairs(self, partitioner: Partitioner,
+                       profile: ExecutionProfile, initial: SystemRun,
+                       pairs: List[Tuple[object, ResourceSet]],
+                       chains: Dict[str, List[object]],
+                       hw_clusters: FrozenSet[str] = frozenset(),
+                       app: Optional[AppSpec] = None) -> List[object]:
+        """Evaluate (cluster, resource set) pairs through the cache.
+
+        Returns one outcome per pair, in pair order: a
+        :class:`CandidateEvaluation` or a schedule-rejection string.  The
+        caller keeps all filtering/ranking, so any sweep shape (the plain
+        Fig. 1 grid, the multicore iteration's filtered grid) can ride on
+        the same cache and worker pool.
+        """
+        tracer = self.tracer
+        config = partitioner.config
+        context = sweep_context_digest(
+            partitioner.program, profile, initial, self.library, config)
+
+        outcomes: List[object] = [None] * len(pairs)
+        pending: List[Tuple[int, str]] = []  # (pair index, cache key)
+        for index, (cluster, resource_set) in enumerate(pairs):
+            key = candidate_cache_key(context, cluster, resource_set,
+                                      hw_clusters)
+            cached = self.cache.get(key)
+            if cached is not None:
+                outcomes[index] = cached
+                tracer.count("explore.cache.hits")
+            else:
+                tracer.count("explore.cache.misses")
+                pending.append((index, key))
+
+        if pending:
+            if self.jobs > 1 and app is not None:
+                self._evaluate_parallel(app, config, hw_clusters,
+                                        pairs, pending, outcomes)
+            else:
+                self._evaluate_serial(partitioner, profile, initial,
+                                      hw_clusters, chains, pairs, pending,
+                                      outcomes)
+            for index, key in pending:
+                self.cache.put(key, outcomes[index])
+        return outcomes
+
+    def _evaluate_serial(self, partitioner: Partitioner,
+                         profile: ExecutionProfile, initial: SystemRun,
+                         hw_clusters: FrozenSet[str],
+                         chains: Dict[str, List[object]],
+                         pairs, pending, outcomes) -> None:
+        tracer = self.tracer
+        for index, _key in pending:
+            cluster, resource_set = pairs[index]
+            try:
+                with tracer.span("explore.evaluate"):
+                    outcome: object = partitioner.evaluate_candidate(
+                        cluster, resource_set, profile, initial,
+                        hw_clusters=hw_clusters,
+                        chain=chains[cluster.function])
+                tracer.count("explore.evaluated")
+            except ScheduleError as exc:
+                outcome = str(exc)
+            outcomes[index] = outcome
+
+    def _evaluate_parallel(self, app: AppSpec, config: PartitionConfig,
+                           hw_clusters: FrozenSet[str],
+                           pairs, pending, outcomes) -> None:
+        tracer = self.tracer
+        payload = AppPayload.from_app(app)
+        rs_index = {id(rs): i for i, rs in enumerate(config.resource_sets)}
+        tasks = []
+        for index, _key in pending:
+            cluster, resource_set = pairs[index]
+            tasks.append((cluster.name, rs_index[id(resource_set)]))
+        func = partial(_worker_evaluate_pair, payload, self.library, config,
+                       tuple(sorted(hw_clusters)))
+        pool = self._ensure_pool()
+        chunksize = max(1, len(tasks) // (self.jobs * 4))
+        with tracer.span("explore.evaluate.parallel"):
+            results = list(pool.map(func, tasks, chunksize=chunksize))
+        for (index, _key), (_pair, outcome, counters, seconds) \
+                in zip(pending, results):
+            outcomes[index] = outcome
+            tracer.merge_counters(counters)
+            tracer.record("explore.evaluate", seconds)
+            if not isinstance(outcome, str):
+                tracer.count("explore.evaluated")
+
+    # -- whole-application entry points -------------------------------
+
+    def explore(self, app: AppSpec) -> ExploreReport:
+        """Compile/profile/evaluate ``app`` and sweep its design space."""
+        tracer = self.tracer
+        started = time.perf_counter()
+        with use_tracer(tracer), tracer.span("explore.app"):
+            config = app.config or self.config or PartitionConfig()
+            with tracer.span("flow.compile"):
+                program = app.compile()
+            with tracer.span("flow.profile"):
+                interp = Interpreter(program)
+                for name, values in app.globals_init.items():
+                    interp.set_global(name, values)
+                interp.run(*app.args)
+            with tracer.span("flow.initial"):
+                image = link_program(program)
+                initial = evaluate_initial(
+                    image, self.library, args=app.args,
+                    globals_init=app.globals_init, icache_cfg=app.icache,
+                    dcache_cfg=app.dcache, model_caches=app.model_caches)
+            partitioner = Partitioner(program, self.library, config)
+        decision = self.sweep(partitioner, interp.profile, initial, app=app)
+        return ExploreReport(
+            app=app, decision=decision, initial=initial,
+            elapsed_s=time.perf_counter() - started,
+            cache_stats=self.cache.stats())
+
+    def run_flow(self, app: AppSpec) -> FlowResult:
+        """One application's complete flow, sweeping through this engine."""
+        flow = LowPowerFlow(library=self.library, config=self.config,
+                            tracer=self.tracer, engine=self)
+        return flow.run(app)
+
+    def run_flows(self, apps: Sequence[AppSpec]) -> Dict[str, FlowResult]:
+        """Run many applications' flows, one worker process per app.
+
+        With ``jobs == 1`` the flows run in-process through the shared
+        cache; either way results come back keyed by app name in input
+        order, bit-identical to serial :meth:`LowPowerFlow.run` calls.
+        """
+        tracer = self.tracer
+        if self.jobs <= 1:
+            return {app.name: self.run_flow(app) for app in apps}
+        payloads = [AppPayload.from_app(app) for app in apps]
+        configs = {app.name: app.config or self.config for app in apps}
+        pool = self._ensure_pool()
+        with use_tracer(tracer), tracer.span("explore.flows.parallel"):
+            futures = [
+                pool.submit(_worker_run_flow, self.library,
+                            configs[payload.name], payload)
+                for payload in payloads]
+            results: Dict[str, FlowResult] = {}
+            for future in futures:
+                name, result, counters, seconds = future.result()
+                results[name] = result
+                tracer.merge_counters(counters)
+                tracer.record("flow.run", seconds)
+        return results

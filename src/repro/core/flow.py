@@ -24,6 +24,7 @@ from repro.isa.image import ProgramImage, link_program
 from repro.lang.interp import ExecutionProfile, Interpreter
 from repro.lang.program import Program, compile_source
 from repro.mem.cache import CacheConfig
+from repro.obs import NullTracer, Tracer, use_tracer
 from repro.power.system import (
     SystemRun,
     evaluate_initial,
@@ -144,12 +145,45 @@ class FlowResult:
 
 
 class LowPowerFlow:
-    """Drives the whole Fig. 5 flow for one application."""
+    """Drives the whole Fig. 5 flow for one application.
+
+    Args:
+        library: technology data (defaults to CMOS6).
+        config: designer inputs used when the app carries none.
+        tracer: observability sink — stage timings and counters land here
+            (see ``docs/OBSERVABILITY.md``).
+        jobs: when > 1, the candidate sweep fans out over that many worker
+            processes via an internally owned
+            :class:`~repro.core.explore.ExplorationEngine`.
+        cache: a shared :class:`~repro.core.explore.EvaluationCache`; with
+            ``jobs == 1`` this enables in-process sweep memoization.
+        engine: an externally owned engine to sweep through (overrides
+            ``jobs``/``cache``); lets many flows share one worker pool.
+    """
 
     def __init__(self, library: Optional[TechnologyLibrary] = None,
-                 config: Optional[PartitionConfig] = None) -> None:
+                 config: Optional[PartitionConfig] = None,
+                 tracer: Optional[Tracer] = None,
+                 jobs: int = 1,
+                 cache=None,
+                 engine=None) -> None:
         self.library = library or cmos6_library()
         self.config = config
+        self.tracer = tracer or NullTracer()
+        self.jobs = jobs
+        self.cache = cache
+        self._engine = engine
+
+    def _sweep_engine(self):
+        """The engine backing the candidate sweep, if any is warranted."""
+        if self._engine is not None:
+            return self._engine
+        if self.jobs > 1 or self.cache is not None:
+            from repro.core.explore import ExplorationEngine
+            self._engine = ExplorationEngine(
+                library=self.library, config=self.config, jobs=self.jobs,
+                cache=self.cache, tracer=self.tracer)
+        return self._engine
 
     def run(self, app: AppSpec) -> FlowResult:
         """Execute the flow end to end.
@@ -159,26 +193,38 @@ class LowPowerFlow:
         ("it is tested whether the total system energy consumption could
         be reduced or not").
         """
-        program = app.compile()
+        tracer = self.tracer
+        with use_tracer(tracer), tracer.span("flow.run"):
+            return self._run_traced(app, tracer)
+
+    def _run_traced(self, app: AppSpec, tracer: Tracer) -> FlowResult:
+        with tracer.span("flow.compile"):
+            program = app.compile()
         config = app.config or self.config or PartitionConfig()
 
         # Profiling (#ex_times) on the reference interpreter.
-        interp = Interpreter(program)
-        for name, values in app.globals_init.items():
-            interp.set_global(name, values)
-        interp.run(*app.args)
-        profile = interp.profile
+        with tracer.span("flow.profile"):
+            interp = Interpreter(program)
+            for name, values in app.globals_init.items():
+                interp.set_global(name, values)
+            interp.run(*app.args)
+            profile = interp.profile
 
         # Initial ("I") design on the μP core.
-        image = link_program(program)
-        initial = evaluate_initial(
-            image, self.library, args=app.args,
-            globals_init=app.globals_init,
-            icache_cfg=app.icache, dcache_cfg=app.dcache,
-            model_caches=app.model_caches)
+        with tracer.span("flow.initial"):
+            image = link_program(program)
+            initial = evaluate_initial(
+                image, self.library, args=app.args,
+                globals_init=app.globals_init,
+                icache_cfg=app.icache, dcache_cfg=app.dcache,
+                model_caches=app.model_caches)
 
         partitioner = Partitioner(program, self.library, config)
-        decision = partitioner.run(profile, initial)
+        engine = self._sweep_engine()
+        if engine is not None:
+            decision = engine.sweep(partitioner, profile, initial, app=app)
+        else:
+            decision = partitioner.run(profile, initial)
         result = FlowResult(app=app, program=program, profile=profile,
                             image=image, initial=initial, decision=decision)
         if decision.best is None:
@@ -188,39 +234,41 @@ class LowPowerFlow:
         result.best = best
 
         # Fig. 1 line 14: synthesize the winning core.
-        cluster_cdfg = program.cdfgs[best.cluster.function]
-        result.datapath = build_datapath(
-            best.schedules, best.binding, self.library,
-            block_ops=best.cluster.schedulable_ops(cluster_cdfg))
-        result.controller = build_controller(
-            best.schedules,
-            loop_counter_count=max(1, len(best.cluster.fsm_ops) // 3))
-        result.netlist = expand_netlist(result.datapath, result.controller,
-                                        self.library,
-                                        scratchpad_words=best.scratchpad_words)
-        # Line 15: gate-level switching-energy estimation.
-        result.gate_energy = estimate_gate_energy(
-            result.netlist, best.binding, best.ex_times,
-            best.metrics.total_cycles, self.library)
+        with tracer.span("flow.synthesis"):
+            cluster_cdfg = program.cdfgs[best.cluster.function]
+            result.datapath = build_datapath(
+                best.schedules, best.binding, self.library,
+                block_ops=best.cluster.schedulable_ops(cluster_cdfg))
+            result.controller = build_controller(
+                best.schedules,
+                loop_counter_count=max(1, len(best.cluster.fsm_ops) // 3))
+            result.netlist = expand_netlist(
+                result.datapath, result.controller, self.library,
+                scratchpad_words=best.scratchpad_words)
+            # Line 15: gate-level switching-energy estimation.
+            result.gate_energy = estimate_gate_energy(
+                result.netlist, best.binding, best.ex_times,
+                best.metrics.total_cycles, self.library)
 
-        result.asic_stats = simulate_asic(
-            best.schedules, best.ex_times, best.invocations,
-            transfer_words_in=best.transfer.total_words_in,
-            transfer_words_out=best.transfer.total_words_out)
+            result.asic_stats = simulate_asic(
+                best.schedules, best.ex_times, best.invocations,
+                transfer_words_in=best.transfer.total_words_in,
+                transfer_words_out=best.transfer.total_words_out)
 
         # Partitioned ("P") system evaluation.
-        result.partitioned = evaluate_partitioned(
-            image, self.library,
-            hw_blocks=best.hw_blocks,
-            asic_stats=result.asic_stats,
-            asic_metrics=best.metrics,
-            asic_cells=result.netlist.total_cells,
-            asic_energy_nj=result.gate_energy.total_nj,
-            asic_mem_reads=best.shared_mem_reads,
-            asic_mem_writes=best.shared_mem_writes,
-            args=app.args, globals_init=app.globals_init,
-            icache_cfg=app.icache, dcache_cfg=app.dcache,
-            model_caches=app.model_caches)
+        with tracer.span("flow.partitioned"):
+            result.partitioned = evaluate_partitioned(
+                image, self.library,
+                hw_blocks=best.hw_blocks,
+                asic_stats=result.asic_stats,
+                asic_metrics=best.metrics,
+                asic_cells=result.netlist.total_cells,
+                asic_energy_nj=result.gate_energy.total_nj,
+                asic_mem_reads=best.shared_mem_reads,
+                asic_mem_writes=best.shared_mem_writes,
+                args=app.args, globals_init=app.globals_init,
+                icache_cfg=app.icache, dcache_cfg=app.dcache,
+                model_caches=app.model_caches)
 
         result.accepted = (result.partitioned.total_energy_nj
                            < initial.total_energy_nj)

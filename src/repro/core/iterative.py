@@ -128,12 +128,18 @@ class IterativePartitioner:
         max_cores: upper bound on ASIC cores to commit.
         min_improvement: relative system-energy gain a new core must
             deliver to be committed (stops the greedy loop).
+        engine: an :class:`~repro.core.explore.ExplorationEngine` to
+            evaluate candidates through — its memoization cache makes the
+            first greedy pass free when a plain flow/sweep already priced
+            the same candidates, and its worker pool parallelizes each
+            pass's grid.
     """
 
     def __init__(self, library: Optional[TechnologyLibrary] = None,
                  config: Optional[PartitionConfig] = None,
                  max_cores: int = 3,
-                 min_improvement: float = 0.01) -> None:
+                 min_improvement: float = 0.01,
+                 engine=None) -> None:
         if max_cores < 1:
             raise ValueError(f"max_cores must be >= 1, got {max_cores}")
         if not 0.0 <= min_improvement < 1.0:
@@ -143,6 +149,7 @@ class IterativePartitioner:
         self.config = config
         self.max_cores = max_cores
         self.min_improvement = min_improvement
+        self.engine = engine
 
     # ------------------------------------------------------------------
 
@@ -156,6 +163,7 @@ class IterativePartitioner:
                      initial: SystemRun,
                      hw_names: FrozenSet[str],
                      taken_blocks: Set[Tuple[str, str]],
+                     app: Optional[AppSpec] = None,
                      ) -> Optional[CandidateEvaluation]:
         """One Fig. 1 search pass, pricing transfers against the committed
         set and skipping clusters overlapping already-mapped blocks."""
@@ -170,28 +178,48 @@ class IterativePartitioner:
             n_max=config.n_max_clusters,
             min_dynamic_ops=config.min_cluster_dynamic_ops)
 
+        pairs = [(cluster, resource_set)
+                 for cluster in preselected
+                 if cluster.name not in hw_names
+                 and not self._blocks_overlap(cluster, taken_blocks)
+                 for resource_set in config.resource_sets]
+        outcomes = self._evaluate_pairs(partitioner, profile, initial,
+                                        pairs, chains, hw_names, app)
+
         best: Optional[CandidateEvaluation] = None
-        for cluster in preselected:
-            if cluster.name in hw_names:
+        for (cluster, resource_set), outcome in zip(pairs, outcomes):
+            if isinstance(outcome, str) or outcome is None:
                 continue
-            if self._blocks_overlap(cluster, taken_blocks):
+            evaluation = outcome
+            if evaluation.utilization <= initial.up_utilization:
                 continue
-            for resource_set in config.resource_sets:
-                try:
-                    evaluation = partitioner.evaluate_candidate(
-                        cluster, resource_set, profile, initial,
-                        hw_clusters=hw_names,
-                        chain=chains[cluster.function])
-                except ScheduleError:
-                    continue
-                if evaluation.utilization <= initial.up_utilization:
-                    continue
-                cap = config.objective.geq_cap
-                if cap is not None and evaluation.asic_cells > cap:
-                    continue
-                if best is None or evaluation.objective < best.objective:
-                    best = evaluation
+            cap = config.objective.geq_cap
+            if cap is not None and evaluation.asic_cells > cap:
+                continue
+            if best is None or evaluation.objective < best.objective:
+                best = evaluation
         return best
+
+    def _evaluate_pairs(self, partitioner: Partitioner,
+                        profile: ExecutionProfile, initial: SystemRun,
+                        pairs, chains, hw_names: FrozenSet[str],
+                        app: Optional[AppSpec]) -> List[object]:
+        """Evaluate the pass's grid — through the engine when one is set
+        (cached, possibly parallel), inline otherwise."""
+        if self.engine is not None:
+            return self.engine.evaluate_pairs(
+                partitioner, profile, initial, pairs, chains,
+                hw_clusters=hw_names, app=app)
+        outcomes: List[object] = []
+        for cluster, resource_set in pairs:
+            try:
+                outcomes.append(partitioner.evaluate_candidate(
+                    cluster, resource_set, profile, initial,
+                    hw_clusters=hw_names,
+                    chain=chains[cluster.function]))
+            except ScheduleError as exc:
+                outcomes.append(str(exc))
+        return outcomes
 
     # ------------------------------------------------------------------
 
@@ -222,7 +250,7 @@ class IterativePartitioner:
 
         while len(committed) < self.max_cores:
             candidate = self._search_next(partitioner, profile, initial,
-                                          hw_names, taken_blocks)
+                                          hw_names, taken_blocks, app=app)
             if candidate is None:
                 break
 

@@ -35,6 +35,7 @@ from repro.cluster.preselect import (
 from repro.core.objective import ObjectiveConfig, objective_value
 from repro.lang.interp import ExecutionProfile
 from repro.lang.program import Program
+from repro.obs import get_tracer
 from repro.power.system import SystemRun
 from repro.sched.asic_memory import (
     local_buffer_words,
@@ -127,6 +128,28 @@ class PartitionDecision:
     @property
     def examined(self) -> int:
         return len(self.candidates) + len(self.rejections)
+
+
+@dataclass
+class SweepPrep:
+    """Precomputed inputs of one Fig. 1 candidate sweep.
+
+    Produced by :meth:`Partitioner.prepare`; consumed by the serial loop in
+    :meth:`Partitioner.run` and by the parallel path in
+    :class:`repro.core.explore.ExplorationEngine` — both evaluate the same
+    ``pairs`` in the same order, so their decisions are bit-identical.
+    """
+
+    all_clusters: List[Cluster]
+    preselected: List[Cluster]
+    chains: Dict[str, List[Cluster]]
+
+    def pairs(self, resource_sets: List[ResourceSet]
+              ) -> List[Tuple[Cluster, ResourceSet]]:
+        """The (cluster, resource set) grid in canonical sweep order."""
+        return [(cluster, resource_set)
+                for cluster in self.preselected
+                for resource_set in resource_sets]
 
 
 class Partitioner:
@@ -240,46 +263,60 @@ class Partitioner:
 
     # ------------------------------------------------------------------
 
-    def run(self, profile: ExecutionProfile,
-            initial: SystemRun) -> PartitionDecision:
-        """Execute the full Fig. 1 search."""
-        config = self.config
-        all_clusters = decompose_into_clusters(self.program)
-        preselected = preselect_clusters(
-            all_clusters, self.program, profile, self.library,
-            n_max=config.n_max_clusters,
-            min_dynamic_ops=config.min_cluster_dynamic_ops)
-        chains: Dict[str, List[Cluster]] = {}
-        for cluster in all_clusters:
-            chains.setdefault(cluster.function, []).append(cluster)
+    def prepare(self, profile: ExecutionProfile) -> SweepPrep:
+        """Fig. 1 steps 2-5: decompose, estimate transfers, pre-select."""
+        tracer = get_tracer()
+        with tracer.span("partition.prepare"):
+            all_clusters = decompose_into_clusters(self.program)
+            preselected = preselect_clusters(
+                all_clusters, self.program, profile, self.library,
+                n_max=self.config.n_max_clusters,
+                min_dynamic_ops=self.config.min_cluster_dynamic_ops)
+            chains: Dict[str, List[Cluster]] = {}
+            for cluster in all_clusters:
+                chains.setdefault(cluster.function, []).append(cluster)
+        tracer.count("cluster.decomposed", len(all_clusters))
+        tracer.count("cluster.preselected", len(preselected))
+        return SweepPrep(all_clusters=all_clusters, preselected=preselected,
+                         chains=chains)
 
+    def decide(self, outcomes: List[Tuple[Cluster, ResourceSet, object]],
+               prep: SweepPrep, initial: SystemRun) -> PartitionDecision:
+        """Fig. 1 lines 9-13: filter and rank evaluated candidates.
+
+        ``outcomes`` holds, per sweep pair *in canonical order*, either the
+        :class:`CandidateEvaluation` or a rejection-reason string (a
+        failed schedule).  Keeping the filtering/ranking here — and only
+        here — guarantees the serial and parallel sweeps decide
+        identically.
+        """
+        tracer = get_tracer()
+        config = self.config
         u_up = initial.up_utilization
         candidates: List[CandidateEvaluation] = []
         rejections: List[Tuple[str, str, str]] = []
 
-        for cluster in preselected:
-            for resource_set in config.resource_sets:
-                try:
-                    evaluation = self.evaluate_candidate(
-                        cluster, resource_set, profile, initial,
-                        chain=chains[cluster.function])
-                except ScheduleError as exc:
-                    rejections.append((cluster.name, resource_set.name,
-                                       str(exc)))
-                    continue
-                # Fig. 1 line 9: the ASIC must beat the μP's utilization.
-                if evaluation.utilization <= u_up:
-                    rejections.append((cluster.name, resource_set.name,
-                                       f"U_R {evaluation.utilization:.3f} <= "
-                                       f"U_uP {u_up:.3f}"))
-                    continue
-                cap = config.objective.geq_cap
-                if cap is not None and evaluation.asic_cells > cap:
-                    rejections.append((cluster.name, resource_set.name,
-                                       f"{evaluation.asic_cells} cells over "
-                                       f"cap {cap}"))
-                    continue
-                candidates.append(evaluation)
+        for cluster, resource_set, outcome in outcomes:
+            if isinstance(outcome, str):
+                rejections.append((cluster.name, resource_set.name, outcome))
+                tracer.count("explore.rejected.schedule")
+                continue
+            evaluation = outcome
+            # Fig. 1 line 9: the ASIC must beat the μP's utilization.
+            if evaluation.utilization <= u_up:
+                rejections.append((cluster.name, resource_set.name,
+                                   f"U_R {evaluation.utilization:.3f} <= "
+                                   f"U_uP {u_up:.3f}"))
+                tracer.count("explore.rejected.utilization")
+                continue
+            cap = config.objective.geq_cap
+            if cap is not None and evaluation.asic_cells > cap:
+                rejections.append((cluster.name, resource_set.name,
+                                   f"{evaluation.asic_cells} cells over "
+                                   f"cap {cap}"))
+                tracer.count("explore.rejected.cap")
+                continue
+            candidates.append(evaluation)
 
         initial_objective = objective_value(
             initial.total_energy_nj, e0_nj=initial.total_energy_nj,
@@ -294,7 +331,32 @@ class Partitioner:
             best = None
 
         return PartitionDecision(
-            best=best, candidates=candidates, preselected=preselected,
-            all_clusters=all_clusters, rejections=rejections,
+            best=best, candidates=candidates, preselected=prep.preselected,
+            all_clusters=prep.all_clusters, rejections=rejections,
             up_utilization=u_up, initial_objective=initial_objective,
         )
+
+    def run(self, profile: ExecutionProfile,
+            initial: SystemRun) -> PartitionDecision:
+        """Execute the full Fig. 1 search (serially, uncached).
+
+        :class:`repro.core.explore.ExplorationEngine` runs the same search
+        with a worker pool and a memoization cache; both paths share
+        :meth:`prepare` and :meth:`decide`, differing only in who computes
+        the per-pair evaluations.
+        """
+        tracer = get_tracer()
+        prep = self.prepare(profile)
+        outcomes: List[Tuple[Cluster, ResourceSet, object]] = []
+        with tracer.span("partition.sweep"):
+            for cluster, resource_set in prep.pairs(self.config.resource_sets):
+                try:
+                    with tracer.span("partition.evaluate"):
+                        outcome: object = self.evaluate_candidate(
+                            cluster, resource_set, profile, initial,
+                            chain=prep.chains[cluster.function])
+                    tracer.count("explore.evaluated")
+                except ScheduleError as exc:
+                    outcome = str(exc)
+                outcomes.append((cluster, resource_set, outcome))
+        return self.decide(outcomes, prep, initial)

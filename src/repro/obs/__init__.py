@@ -1,0 +1,29 @@
+"""Observability: hierarchical timers, counters and trace export.
+
+See ``docs/OBSERVABILITY.md`` for the span/counter registry, the trace
+JSON schema and a worked example reading a trace.
+"""
+
+from repro.obs.tracer import (
+    NullTracer,
+    SpanNode,
+    TRACE_SCHEMA_NAME,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    get_tracer,
+    load_trace,
+    use_tracer,
+    validate_trace,
+)
+
+__all__ = [
+    "NullTracer",
+    "SpanNode",
+    "TRACE_SCHEMA_NAME",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "get_tracer",
+    "load_trace",
+    "use_tracer",
+    "validate_trace",
+]

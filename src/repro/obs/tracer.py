@@ -1,0 +1,265 @@
+"""Hierarchical timers, counters and trace export.
+
+The flow and the exploration engine are instrumented with two primitives:
+
+* **spans** — nested wall-clock timers opened with :meth:`Tracer.span`;
+  spans with the same name under the same parent aggregate (``calls`` is
+  incremented, ``total_s`` accumulates), so a six-app ``table1`` run yields
+  one ``flow.run`` node with ``calls == 6`` rather than six siblings;
+* **counters** — flat monotonic integers bumped with :meth:`Tracer.count`
+  (e.g. ``explore.cache.hits``); see ``docs/OBSERVABILITY.md`` for the
+  counter registry.
+
+A tracer serializes to the versioned trace JSON schema (:data:`TRACE_SCHEMA_VERSION`)::
+
+    {
+      "schema": "repro-trace",
+      "version": 1,
+      "label": "explore ckey",
+      "counters": {"explore.cache.hits": 12, ...},
+      "root": {"name": "<root>", "calls": 1, "total_s": 1.25,
+               "children": [{"name": "flow.run", ...}, ...]}
+    }
+
+Worker processes cannot share the parent's tracer; they run under their own
+:class:`Tracer` (see :func:`use_tracer`) and ship their counters and span
+totals back for merging via :meth:`Tracer.merge_counters` /
+:meth:`Tracer.record`.
+
+The module-level *current tracer* (:func:`get_tracer` / :func:`use_tracer`)
+lets deep layers (scheduler, pre-selection) bump counters without threading
+a tracer argument through every call.  The default is a :class:`NullTracer`
+whose operations are no-ops.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Current version of the trace JSON schema.
+TRACE_SCHEMA_VERSION = 1
+
+#: The ``schema`` tag every trace file carries.
+TRACE_SCHEMA_NAME = "repro-trace"
+
+
+class SpanNode:
+    """One node of the span tree: a named timer aggregated over calls."""
+
+    __slots__ = ("name", "calls", "total_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        #: name -> SpanNode, in first-seen order (deterministic).
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    @property
+    def self_s(self) -> float:
+        """Time not attributed to any child span."""
+        return max(0.0, self.total_s - sum(c.total_s
+                                           for c in self.children.values()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": round(self.total_s, 6),
+            "children": [c.to_dict() for c in self.children.values()],
+        }
+
+
+class Tracer:
+    """Hierarchical span timer + counter collection.
+
+    Args:
+        label: human-readable tag stored in the trace file.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, label: str = "",
+                 clock=time.perf_counter) -> None:
+        self.label = label
+        self._clock = clock
+        self.root = SpanNode("<root>")
+        self.root.calls = 1
+        self._stack: List[SpanNode] = [self.root]
+        self.counters: Dict[str, int] = {}
+        self._started = clock()
+
+    # -- spans ---------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[SpanNode]:
+        """Time a nested region; same-named siblings aggregate."""
+        node = self._stack[-1].child(name)
+        node.calls += 1
+        self._stack.append(node)
+        start = self._clock()
+        try:
+            yield node
+        finally:
+            node.total_s += self._clock() - start
+            self._stack.pop()
+
+    def record(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Attribute externally measured time (e.g. from a worker process)
+        to a child of the current span."""
+        node = self._stack[-1].child(name)
+        node.calls += calls
+        node.total_s += seconds
+
+    # -- counters ------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def merge_counters(self, counters: Dict[str, int]) -> None:
+        """Fold a worker's counter snapshot into this tracer."""
+        for name, value in counters.items():
+            self.count(name, value)
+
+    # -- export --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        self.root.total_s = self._clock() - self._started
+        return {
+            "schema": TRACE_SCHEMA_NAME,
+            "version": TRACE_SCHEMA_VERSION,
+            "label": self.label,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "root": self.root.to_dict(),
+        }
+
+    def write(self, path: str) -> None:
+        """Serialize the trace to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    def format_summary(self, top: int = 12) -> str:
+        """A terminal-friendly digest: hottest spans + all counters."""
+        data = self.to_dict()
+        lines = []
+        flat: List[tuple] = []
+
+        def walk(node: Dict[str, Any], depth: int) -> None:
+            flat.append((depth, node))
+            for child in node["children"]:
+                walk(child, depth + 1)
+
+        for child in data["root"]["children"]:
+            walk(child, 0)
+        lines.append("timers:")
+        for depth, node in flat[:top]:
+            lines.append(f"  {'  ' * depth}{node['name']:32s} "
+                         f"{node['total_s']:8.3f}s x{node['calls']}")
+        if data["counters"]:
+            lines.append("counters:")
+            for name, value in data["counters"].items():
+                lines.append(f"  {name:40s} {value:>10d}")
+        return "\n".join(lines)
+
+
+class NullTracer(Tracer):
+    """A tracer whose operations cost (almost) nothing and record nothing."""
+
+    def __init__(self) -> None:
+        super().__init__(label="null")
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Optional[SpanNode]]:
+        yield None
+
+    def record(self, name: str, seconds: float, calls: int = 1) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def merge_counters(self, counters: Dict[str, int]) -> None:
+        pass
+
+
+#: Process-wide current tracer, used by layers too deep to thread one into.
+_CURRENT: Tracer = NullTracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide current tracer (a :class:`NullTracer` by default)."""
+    return _CURRENT
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the current tracer for the dynamic extent."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer
+    try:
+        yield tracer
+    finally:
+        _CURRENT = previous
+
+
+# ---------------------------------------------------------------------------
+# Trace file loading / validation
+# ---------------------------------------------------------------------------
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Load and validate a trace file; raises :class:`ValueError` on a
+    malformed trace."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    validate_trace(data)
+    return data
+
+
+def validate_trace(data: Any) -> None:
+    """Check ``data`` against the trace JSON schema (raises ValueError)."""
+    if not isinstance(data, dict):
+        raise ValueError("trace must be a JSON object")
+    if data.get("schema") != TRACE_SCHEMA_NAME:
+        raise ValueError(f"not a {TRACE_SCHEMA_NAME} file: "
+                         f"schema={data.get('schema')!r}")
+    if data.get("version") != TRACE_SCHEMA_VERSION:
+        raise ValueError(f"unsupported trace version {data.get('version')!r}")
+    if not isinstance(data.get("label"), str):
+        raise ValueError("trace 'label' must be a string")
+    counters = data.get("counters")
+    if not isinstance(counters, dict):
+        raise ValueError("trace 'counters' must be an object")
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"counter {name!r} must be an integer")
+    _validate_span(data.get("root"), path="root")
+
+
+def _validate_span(node: Any, path: str) -> None:
+    if not isinstance(node, dict):
+        raise ValueError(f"{path}: span must be an object")
+    if not isinstance(node.get("name"), str):
+        raise ValueError(f"{path}: span 'name' must be a string")
+    calls = node.get("calls")
+    if not isinstance(calls, int) or isinstance(calls, bool) or calls < 0:
+        raise ValueError(f"{path}: span 'calls' must be a non-negative int")
+    total = node.get("total_s")
+    if not isinstance(total, (int, float)) or total < 0:
+        raise ValueError(f"{path}: span 'total_s' must be a non-negative "
+                         f"number")
+    children = node.get("children")
+    if not isinstance(children, list):
+        raise ValueError(f"{path}: span 'children' must be a list")
+    for i, child in enumerate(children):
+        _validate_span(child, path=f"{path}.children[{i}]")

@@ -146,10 +146,14 @@ def list_schedule(ops: Iterable[Operation],
     resource in ``resource_set`` (the designer's allocation cannot execute
     the cluster — the partitioner then skips this (cluster, set) pair).
     """
+    from repro.obs import get_tracer
+    tracer = get_tracer()
+    tracer.count("sched.list_schedule.calls")
     if chaining is not None:
         return _list_schedule_chained(ops, resource_set, latency_of, chaining)
     ops = list(ops)
     body = datapath_ops(ops)
+    tracer.count("sched.ops_scheduled", len(body))
     for op in body:
         if not resource_set.can_execute(op.kind):
             raise ScheduleError(

@@ -1,0 +1,276 @@
+"""Tests for the parallel exploration engine and the observability layer.
+
+The headline guarantee: running the sweep on worker processes yields
+**bit-identical** partitioning decisions and Table-1 numbers to the serial
+path, on every bundled application.  The rest covers the memoization
+cache (stable keys, hit/miss accounting, eviction), the tracer (span
+hierarchy, counters, trace-file round-trip) and a subprocess smoke test
+of ``python -m repro explore --jobs 2 --trace ...``.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.apps import ALL_APPS, app_by_name
+from repro.cli import main
+from repro.cluster import decompose_into_clusters
+from repro.core import EvaluationCache, ExplorationEngine
+from repro.obs import (
+    NullTracer,
+    TRACE_SCHEMA_NAME,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    get_tracer,
+    load_trace,
+    use_tracer,
+    validate_trace,
+)
+
+
+def _fingerprint(result):
+    """Everything that must be bit-identical between serial and parallel."""
+    decision = result.decision
+    best = decision.best
+    return (
+        result.app.name,
+        None if best is None else (best.cluster.name,
+                                   best.resource_set.name,
+                                   best.objective,
+                                   best.asic_cells),
+        tuple(sorted((c.cluster.name, c.resource_set.name, c.objective)
+                     for c in decision.candidates)),
+        tuple(sorted(decision.rejections)),
+        decision.up_utilization,
+        result.initial.total_energy_nj,
+        None if result.partitioned is None
+        else result.partitioned.total_energy_nj,
+        result.energy_savings_percent,
+        result.time_change_percent,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    with ExplorationEngine() as engine:
+        return {name: engine.run_flow(app_by_name(name))
+                for name in sorted(ALL_APPS)}
+
+
+@pytest.fixture(scope="module")
+def parallel_results():
+    apps = [app_by_name(name) for name in sorted(ALL_APPS)]
+    with ExplorationEngine(jobs=2) as engine:
+        return engine.run_flows(apps)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_APPS))
+def test_parallel_flow_matches_serial(name, serial_results, parallel_results):
+    assert _fingerprint(parallel_results[name]) \
+        == _fingerprint(serial_results[name])
+
+
+def test_parallel_candidate_sweep_matches_serial(serial_results):
+    # The other parallel level: one app, candidates fanned over workers.
+    app = app_by_name("ckey")
+    with ExplorationEngine(jobs=2) as engine:
+        report = engine.explore(app)
+    assert _fingerprint(serial_results["ckey"])[1:5] == (
+        (report.decision.best.cluster.name,
+         report.decision.best.resource_set.name,
+         report.decision.best.objective,
+         report.decision.best.asic_cells),
+        tuple(sorted((c.cluster.name, c.resource_set.name, c.objective)
+                     for c in report.decision.candidates)),
+        tuple(sorted(report.decision.rejections)),
+        report.decision.up_utilization,
+    )
+
+
+def test_worker_counters_merge_into_parent_tracer():
+    serial_tracer = Tracer("serial")
+    with ExplorationEngine(tracer=serial_tracer) as engine:
+        engine.explore(app_by_name("ckey"))
+    parallel_tracer = Tracer("parallel")
+    with ExplorationEngine(jobs=2, tracer=parallel_tracer) as engine:
+        engine.explore(app_by_name("ckey"))
+    # Scheduling happens inside the workers; their counters must surface
+    # in the parent with the exact serial totals.
+    for name in ("explore.evaluated", "sched.list_schedule.calls",
+                 "sched.ops_scheduled"):
+        assert parallel_tracer.counters.get(name, 0) \
+            == serial_tracer.counters.get(name, 0) > 0, name
+
+
+# ---------------------------------------------------------------------------
+# Memoization cache
+# ---------------------------------------------------------------------------
+
+def test_cluster_digest_stable_across_recompiles():
+    # op_ids come from a process-global counter; the digest must not see it.
+    def digests():
+        program = app_by_name("ckey").compile()
+        return {c.name: c.digest()
+                for c in decompose_into_clusters(program)}
+
+    assert digests() == digests()
+
+
+def test_cache_hits_on_repeated_sweep():
+    cache = EvaluationCache()
+    with ExplorationEngine(cache=cache) as engine:
+        first = engine.explore(app_by_name("ckey"))
+        examined = first.decision.examined
+        assert cache.stats() == {"entries": examined, "hits": 0,
+                                 "misses": examined}
+        second = engine.explore(app_by_name("ckey"))
+    assert cache.stats() == {"entries": examined, "hits": examined,
+                             "misses": examined}
+    assert _decision_fp(second.decision) == _decision_fp(first.decision)
+
+
+def test_cache_shared_between_jobs_levels():
+    # A parallel sweep must populate the same keys a serial one reads.
+    cache = EvaluationCache()
+    app = app_by_name("ckey")
+    with ExplorationEngine(jobs=2, cache=cache) as engine:
+        parallel = engine.explore(app)
+    with ExplorationEngine(cache=cache) as engine:
+        serial = engine.explore(app)
+    assert serial.cache_stats["hits"] >= parallel.decision.examined
+    assert _decision_fp(serial.decision) == _decision_fp(parallel.decision)
+
+
+def test_cache_counter_names_on_tracer():
+    tracer = Tracer("cache")
+    with ExplorationEngine(cache=EvaluationCache(), tracer=tracer) as engine:
+        engine.explore(app_by_name("ckey"))
+        engine.explore(app_by_name("ckey"))
+    assert tracer.counters["explore.cache.misses"] \
+        == tracer.counters["explore.cache.hits"]
+
+
+def test_cache_eviction_is_fifo_bounded():
+    cache = EvaluationCache(max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)
+    assert cache.stats()["entries"] == 2
+    assert cache.get("a") is None  # oldest evicted
+    assert cache.get("c") == 3
+
+
+def _decision_fp(decision):
+    best = decision.best
+    return (
+        None if best is None else (best.cluster.name,
+                                   best.resource_set.name, best.objective),
+        tuple(sorted((c.cluster.name, c.resource_set.name, c.objective)
+                     for c in decision.candidates)),
+        tuple(sorted(decision.rejections)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+def test_tracer_span_hierarchy_and_counters():
+    tracer = Tracer("unit")
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner"):  # same-named siblings aggregate
+            pass
+    tracer.count("widgets", 2)
+    tracer.count("widgets")
+
+    data = tracer.to_dict()
+    validate_trace(data)
+    assert data["schema"] == TRACE_SCHEMA_NAME
+    assert data["version"] == TRACE_SCHEMA_VERSION
+    assert data["counters"] == {"widgets": 3}
+    (outer,) = data["root"]["children"]
+    assert outer["name"] == "outer" and outer["calls"] == 1
+    (inner,) = outer["children"]
+    assert inner["name"] == "inner" and inner["calls"] == 2
+    assert inner["total_s"] <= outer["total_s"]
+
+
+def test_trace_file_round_trip(tmp_path):
+    tracer = Tracer("round-trip")
+    with tracer.span("work"):
+        tracer.count("things", 7)
+    path = tmp_path / "trace.json"
+    tracer.write(str(path))
+
+    data = load_trace(str(path))
+    assert data["label"] == "round-trip"
+    assert data["counters"] == {"things": 7}
+    assert data["root"]["children"][0]["name"] == "work"
+
+
+def test_validate_trace_rejects_malformed():
+    with pytest.raises(ValueError):
+        validate_trace({"schema": "not-a-trace"})
+    with pytest.raises(ValueError):
+        validate_trace({"schema": TRACE_SCHEMA_NAME,
+                        "version": TRACE_SCHEMA_VERSION,
+                        "label": "x", "counters": {},
+                        "root": {"name": "root"}})  # missing span fields
+
+
+def test_use_tracer_scopes_the_global():
+    before = get_tracer()
+    tracer = Tracer("scoped")
+    with use_tracer(tracer) as active:
+        assert active is tracer
+        assert get_tracer() is tracer
+    assert get_tracer() is before
+
+
+def test_null_tracer_is_inert():
+    tracer = NullTracer()
+    with tracer.span("anything"):
+        tracer.count("ignored", 5)
+    assert tracer.counters == {}
+
+
+# ---------------------------------------------------------------------------
+# CLI smoke checks (run as part of the default suite)
+# ---------------------------------------------------------------------------
+
+def test_cli_explore_serial(capsys, tmp_path):
+    trace_file = tmp_path / "trace.json"
+    assert main(["explore", "ckey", "--trace", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "candidate landscape" in out
+    assert "cache:" in out
+    load_trace(str(trace_file))  # schema-validates
+
+
+def test_cli_explore_parallel_subprocess_smoke(tmp_path):
+    """The acceptance smoke check: a real ``python -m repro explore
+    ckey --jobs 2 --trace ...`` subprocess whose trace validates."""
+    trace_file = tmp_path / "t.json"
+    src_dir = Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src_dir), env.get("PYTHONPATH")) if p)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "explore", "ckey",
+         "--jobs", "2", "--trace", str(trace_file)],
+        capture_output=True, text=True, timeout=300, env=env)
+    assert proc.returncode == 0, proc.stderr
+    assert "candidate landscape" in proc.stdout
+    assert "trace written" in proc.stderr
+
+    data = load_trace(str(trace_file))
+    assert data["schema"] == TRACE_SCHEMA_NAME
+    assert data["counters"].get("explore.evaluated", 0) > 0
+    span_names = {child["name"] for child in data["root"]["children"]}
+    assert span_names  # at least one top-level span recorded
