@@ -27,6 +27,8 @@ The package layers, bottom to top:
   (:mod:`repro.core.explore`);
 * :mod:`repro.obs` — hierarchical timers, counters and trace export;
 * :mod:`repro.power` — whole-system accounting (Table 1 machinery);
+* :mod:`repro.verify` — cross-layer invariant verification (the
+  validation contract of ``docs/VALIDATION.md``);
 * :mod:`repro.apps` — the six evaluation applications.
 """
 
@@ -44,8 +46,18 @@ from repro.lang import Interpreter, Program, compile_source
 from repro.obs import Tracer
 from repro.power.report import format_savings, format_table1
 from repro.tech import ResourceKind, ResourceSet, cmos6_library, default_resource_sets
+from repro.verify import (
+    Finding,
+    Severity,
+    VerificationError,
+    VerificationReport,
+    assert_verified,
+    verify_candidate,
+    verify_flow_result,
+    verify_system_run,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AppSpec",
@@ -66,5 +78,13 @@ __all__ = [
     "ResourceSet",
     "cmos6_library",
     "default_resource_sets",
+    "Finding",
+    "Severity",
+    "VerificationError",
+    "VerificationReport",
+    "assert_verified",
+    "verify_candidate",
+    "verify_flow_result",
+    "verify_system_run",
     "__version__",
 ]

@@ -26,6 +26,12 @@ Commands
     Disassemble the application's SL32 image (optionally one function).
 ``multicore APP``
     Run the iterative multi-core extension.
+``verify [APP|all]``
+    Run the complete flow and audit the result against the cross-layer
+    invariants of ``docs/VALIDATION.md`` (``--strict`` fails the process
+    on any ERROR finding; ``--json FILE`` writes the machine-readable
+    report).  ``run``/``table1``/``explore`` accept ``--verify`` to run
+    the same audit inline.
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ from repro.lang import Interpreter
 from repro.obs import NullTracer, Tracer
 from repro.power.report import format_savings, format_table1
 from repro.tech import cmos6_library
+from repro.verify import VerificationReport
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,6 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default 1 = serial)")
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="write a timing/counter trace JSON to FILE")
+        p.add_argument("--verify", action="store_true",
+                       help="audit results against the docs/VALIDATION.md "
+                            "invariants and report findings")
+        p.add_argument("--strict", action="store_true",
+                       help="with --verify: exit non-zero on any ERROR "
+                            "finding")
 
     run = sub.add_parser("run", help="run the flow on one application")
     run.add_argument("app", choices=list(ALL_APPS))
@@ -119,6 +132,23 @@ def _build_parser() -> argparse.ArgumentParser:
     multicore.add_argument("--max-cores", type=int, default=3)
     multicore.add_argument("--scale", type=int, default=1)
 
+    verify = sub.add_parser(
+        "verify",
+        help="run the flow and audit every cross-layer invariant "
+             "(docs/VALIDATION.md)")
+    verify.add_argument("app", nargs="?", default="all",
+                        choices=list(ALL_APPS) + ["all"],
+                        help="application to audit (default: all)")
+    verify.add_argument("--scale", type=int, default=1)
+    verify.add_argument("--strict", action="store_true",
+                        help="exit non-zero on any ERROR finding")
+    verify.add_argument("--json", default=None, metavar="FILE",
+                        help="write the combined machine-readable report "
+                             "to FILE")
+    verify.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a trace JSON (with the report "
+                             "attached) to FILE")
+
     return parser
 
 
@@ -147,22 +177,44 @@ def _finish_trace(args, tracer) -> None:
             print(f"trace written to {args.trace}", file=sys.stderr)
 
 
+def _report_verification(args, tracer, reports) -> int:
+    """Print verification reports, attach them to the trace, and return
+    the exit status strict mode demands (0 = clean, 2 = ERROR findings)."""
+    reports = [r for r in reports if r is not None]
+    if not reports:
+        return 0
+    failed = False
+    for report in reports:
+        print()
+        print(report.format_text())
+        failed = failed or report.has_errors
+    tracer.attach("verification", [r.to_dict() for r in reports])
+    if failed and getattr(args, "strict", False):
+        return 2
+    return 0
+
+
 def _cmd_run(args) -> int:
     app = app_by_name(args.app, scale=args.scale)
     if args.optimize:
         app.optimize = True
     tracer = _make_tracer(args, f"run {args.app}")
-    with ExplorationEngine(jobs=args.jobs, tracer=tracer) as engine:
+    with ExplorationEngine(jobs=args.jobs, tracer=tracer,
+                           verify=args.verify) as engine:
         result = engine.run_flow(app)
-    _finish_trace(args, tracer)
     print(result.summary())
+    status = _report_verification(args, tracer, [result.verification])
+    _finish_trace(args, tracer)
+    if status:
+        return status
     return 0 if result.best is not None else 1
 
 
 def _cmd_table1(args) -> int:
     tracer = _make_tracer(args, "table1")
     apps = [app_by_name(name, scale=args.scale) for name in ALL_APPS]
-    with ExplorationEngine(jobs=args.jobs, tracer=tracer) as engine:
+    with ExplorationEngine(jobs=args.jobs, tracer=tracer,
+                           verify=args.verify) as engine:
         if args.jobs > 1:
             print(f"running {len(apps)} applications on {args.jobs} "
                   f"workers ...", file=sys.stderr)
@@ -172,14 +224,16 @@ def _cmd_table1(args) -> int:
             for app in apps:
                 print(f"running {app.name} ...", file=sys.stderr)
                 results[app.name] = engine.run_flow(app)
-    _finish_trace(args, tracer)
     rows = [(name, res.initial,
              res.partitioned if res.partitioned else res.initial)
             for name, res in results.items()]
     print(format_table1(rows))
     print()
     print(format_savings(rows))
-    return 0
+    status = _report_verification(
+        args, tracer, [res.verification for res in results.values()])
+    _finish_trace(args, tracer)
+    return status
 
 
 def _cmd_explore(args) -> int:
@@ -188,7 +242,7 @@ def _cmd_explore(args) -> int:
         app.optimize = True
     tracer = Tracer(f"explore {args.app}")
     with ExplorationEngine(jobs=args.jobs, cache=EvaluationCache(),
-                           tracer=tracer) as engine:
+                           tracer=tracer, verify=args.verify) as engine:
         report = engine.explore(app)
     decision = report.decision
     print(f"{app.name}: U_uP = {decision.up_utilization:.3f}, "
@@ -214,7 +268,10 @@ def _cmd_explore(args) -> int:
           f"{stats['misses']} misses")
     print()
     print(tracer.format_summary())
+    status = _report_verification(args, tracer, [engine.verification])
     _finish_trace(args, tracer)
+    if status:
+        return status
     return 0 if decision.best is not None else 1
 
 
@@ -307,6 +364,33 @@ def _cmd_multicore(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    names = list(ALL_APPS) if args.app == "all" else [args.app]
+    tracer = _make_tracer(args, f"verify {args.app}")
+    combined = VerificationReport(label=f"verify {args.app}")
+    reports = []
+    for name in names:
+        print(f"verifying {name} ...", file=sys.stderr)
+        flow = LowPowerFlow(tracer=tracer, verify=True, collect_traces=True)
+        result = flow.run(app_by_name(name, scale=args.scale))
+        report = result.verification
+        assert report is not None
+        print(report.format_text())
+        reports.append(report)
+        combined.extend(report)
+    tracer.attach("verification", [r.to_dict() for r in reports])
+    if args.json:
+        combined.write(args.json)
+        print(f"report written to {args.json}", file=sys.stderr)
+    _finish_trace(args, tracer)
+    counts = combined.counts()
+    print(f"\n{len(names)} app(s) audited: {counts['error']} error(s), "
+          f"{counts['warning']} warning(s), {counts['info']} info")
+    if args.strict and combined.has_errors:
+        return 2
+    return 0
+
+
 _COMMANDS = {
     "apps": _cmd_apps,
     "run": _cmd_run,
@@ -316,6 +400,7 @@ _COMMANDS = {
     "disasm": _cmd_disasm,
     "ir": _cmd_ir,
     "multicore": _cmd_multicore,
+    "verify": _cmd_verify,
 }
 
 

@@ -302,11 +302,14 @@ def _get_sweep_context(payload: AppPayload, library: TechnologyLibrary,
 def _worker_evaluate_pair(payload: AppPayload, library: TechnologyLibrary,
                           config: PartitionConfig,
                           hw_names: Tuple[str, ...],
-                          pair: Tuple[str, int]):
+                          pair: Tuple[str, int],
+                          verify: bool = False):
     """Evaluate one (cluster name, resource-set index) pair in a worker.
 
-    Returns ``(pair, outcome, counters, seconds)`` where outcome is a
-    :class:`CandidateEvaluation` or a rejection string.
+    Returns ``(pair, outcome, counters, seconds, audit)`` where outcome
+    is a :class:`CandidateEvaluation` or a rejection string, and audit is
+    the worker-side :class:`~repro.verify.VerificationReport` (``None``
+    when ``verify`` is off or the pair was rejected).
     """
     started = time.perf_counter()
     ctx = _get_sweep_context(payload, library, config)
@@ -314,6 +317,7 @@ def _worker_evaluate_pair(payload: AppPayload, library: TechnologyLibrary,
     cluster = ctx.clusters_by_name[cluster_name]
     resource_set = config.resource_sets[rs_index]
     tracer = Tracer()
+    audit = None
     with use_tracer(tracer):
         try:
             outcome: object = ctx.partitioner.evaluate_candidate(
@@ -322,17 +326,22 @@ def _worker_evaluate_pair(payload: AppPayload, library: TechnologyLibrary,
                 chain=ctx.prep.chains[cluster.function])
         except ScheduleError as exc:
             outcome = str(exc)
-    return pair, outcome, tracer.counters, time.perf_counter() - started
+        if verify and not isinstance(outcome, str):
+            from repro.verify import verify_candidate
+            audit = verify_candidate(outcome, library)
+    return (pair, outcome, tracer.counters,
+            time.perf_counter() - started, audit)
 
 
 def _worker_run_flow(library: TechnologyLibrary,
                      config: Optional[PartitionConfig],
-                     payload: AppPayload):
+                     payload: AppPayload,
+                     verify: bool = False):
     """Run one application's complete flow in a worker process."""
     started = time.perf_counter()
     tracer = Tracer()
     with use_tracer(tracer):
-        flow = LowPowerFlow(library=library, config=config)
+        flow = LowPowerFlow(library=library, config=config, verify=verify)
         result = flow.run(payload.to_app())
     return payload.name, result, tracer.counters, \
         time.perf_counter() - started
@@ -373,6 +382,12 @@ class ExplorationEngine:
         cache: shared :class:`EvaluationCache` (one is created if omitted;
             pass your own to pool results across engines/flows).
         tracer: observability sink (defaults to a :class:`NullTracer`).
+        verify: audit every computed candidate with
+            :func:`repro.verify.verify_candidate` *before* it may enter
+            the cache — an evaluation with ERROR findings is still
+            returned (the decision stage sees it) but never memoized, so
+            a corrupted result cannot be fanned out to later sweeps.
+            Findings accumulate on :attr:`verification`.
 
     The engine keeps its worker pool alive across sweeps — use it as a
     context manager or call :meth:`close` to reap the workers.
@@ -382,7 +397,8 @@ class ExplorationEngine:
                  config: Optional[PartitionConfig] = None,
                  jobs: int = 1,
                  cache: Optional[EvaluationCache] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 verify: bool = False) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.library = library or cmos6_library()
@@ -390,6 +406,12 @@ class ExplorationEngine:
         self.jobs = jobs
         self.cache = cache if cache is not None else EvaluationCache()
         self.tracer = tracer or NullTracer()
+        self.verify = verify
+        #: Accumulated candidate-audit findings (``verify=True`` only).
+        self.verification = None
+        if verify:
+            from repro.verify import VerificationReport
+            self.verification = VerificationReport(label="explore")
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # -- lifecycle -----------------------------------------------------
@@ -470,22 +492,37 @@ class ExplorationEngine:
                 pending.append((index, key))
 
         if pending:
+            rejected: set = set()
             if self.jobs > 1 and app is not None:
                 self._evaluate_parallel(app, config, hw_clusters,
-                                        pairs, pending, outcomes)
+                                        pairs, pending, outcomes, rejected)
             else:
                 self._evaluate_serial(partitioner, profile, initial,
                                       hw_clusters, chains, pairs, pending,
-                                      outcomes)
+                                      outcomes, rejected)
             for index, key in pending:
+                if index in rejected:
+                    # Verification found a hard invariant violation: the
+                    # outcome still flows to the decision stage, but a
+                    # corrupted evaluation must never be memoized.
+                    tracer.count("verify.cache_rejected")
+                    continue
                 self.cache.put(key, outcomes[index])
         return outcomes
+
+    def _audit(self, outcome, index: int, rejected: set) -> None:
+        """Worker-equivalent in-process candidate audit (``verify=True``)."""
+        from repro.verify import verify_candidate
+        report = verify_candidate(outcome, self.library)
+        self.verification.extend(report)
+        if report.has_errors:
+            rejected.add(index)
 
     def _evaluate_serial(self, partitioner: Partitioner,
                          profile: ExecutionProfile, initial: SystemRun,
                          hw_clusters: FrozenSet[str],
                          chains: Dict[str, List[object]],
-                         pairs, pending, outcomes) -> None:
+                         pairs, pending, outcomes, rejected) -> None:
         tracer = self.tracer
         for index, _key in pending:
             cluster, resource_set = pairs[index]
@@ -496,13 +533,15 @@ class ExplorationEngine:
                         hw_clusters=hw_clusters,
                         chain=chains[cluster.function])
                 tracer.count("explore.evaluated")
+                if self.verify:
+                    self._audit(outcome, index, rejected)
             except ScheduleError as exc:
                 outcome = str(exc)
             outcomes[index] = outcome
 
     def _evaluate_parallel(self, app: AppSpec, config: PartitionConfig,
                            hw_clusters: FrozenSet[str],
-                           pairs, pending, outcomes) -> None:
+                           pairs, pending, outcomes, rejected) -> None:
         tracer = self.tracer
         payload = AppPayload.from_app(app)
         rs_index = {id(rs): i for i, rs in enumerate(config.resource_sets)}
@@ -511,18 +550,22 @@ class ExplorationEngine:
             cluster, resource_set = pairs[index]
             tasks.append((cluster.name, rs_index[id(resource_set)]))
         func = partial(_worker_evaluate_pair, payload, self.library, config,
-                       tuple(sorted(hw_clusters)))
+                       tuple(sorted(hw_clusters)), verify=self.verify)
         pool = self._ensure_pool()
         chunksize = max(1, len(tasks) // (self.jobs * 4))
         with tracer.span("explore.evaluate.parallel"):
             results = list(pool.map(func, tasks, chunksize=chunksize))
-        for (index, _key), (_pair, outcome, counters, seconds) \
+        for (index, _key), (_pair, outcome, counters, seconds, audit) \
                 in zip(pending, results):
             outcomes[index] = outcome
             tracer.merge_counters(counters)
             tracer.record("explore.evaluate", seconds)
             if not isinstance(outcome, str):
                 tracer.count("explore.evaluated")
+            if audit is not None and self.verification is not None:
+                self.verification.extend(audit)
+                if audit.has_errors:
+                    rejected.add(index)
 
     # -- whole-application entry points -------------------------------
 
@@ -555,7 +598,8 @@ class ExplorationEngine:
     def run_flow(self, app: AppSpec) -> FlowResult:
         """One application's complete flow, sweeping through this engine."""
         flow = LowPowerFlow(library=self.library, config=self.config,
-                            tracer=self.tracer, engine=self)
+                            tracer=self.tracer, engine=self,
+                            verify=self.verify)
         return flow.run(app)
 
     def run_flows(self, apps: Sequence[AppSpec]) -> Dict[str, FlowResult]:
@@ -574,7 +618,7 @@ class ExplorationEngine:
         with use_tracer(tracer), tracer.span("explore.flows.parallel"):
             futures = [
                 pool.submit(_worker_run_flow, self.library,
-                            configs[payload.name], payload)
+                            configs[payload.name], payload, self.verify)
                 for payload in payloads]
             results: Dict[str, FlowResult] = {}
             for future in futures:

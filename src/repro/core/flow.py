@@ -12,7 +12,10 @@ evaluations — the raw material for Table 1 and Figure 6.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.verify import VerificationReport
 
 from repro.core.partitioner import (
     CandidateEvaluation,
@@ -83,6 +86,9 @@ class FlowResult:
     asic_stats: Optional[AsicRunStats] = None
     partitioned: Optional[SystemRun] = None
     accepted: bool = False
+    #: Cross-layer invariant audit (populated when the flow runs with
+    #: ``verify=True``; see :mod:`repro.verify` and docs/VALIDATION.md).
+    verification: Optional["VerificationReport"] = None
 
     @property
     def functional_match(self) -> bool:
@@ -159,6 +165,13 @@ class LowPowerFlow:
             ``jobs == 1`` this enables in-process sweep memoization.
         engine: an externally owned engine to sweep through (overrides
             ``jobs``/``cache``); lets many flows share one worker pool.
+        verify: run the :mod:`repro.verify` invariant pass over the
+            finished result and attach it as ``FlowResult.verification``
+            (see docs/VALIDATION.md).
+        collect_traces: capture memory-reference traces during the system
+            evaluations so the verifier can cross-check cache accesses
+            reference by reference (``mem.trace``); implies extra memory
+            proportional to the instruction count.
     """
 
     def __init__(self, library: Optional[TechnologyLibrary] = None,
@@ -166,13 +179,17 @@ class LowPowerFlow:
                  tracer: Optional[Tracer] = None,
                  jobs: int = 1,
                  cache=None,
-                 engine=None) -> None:
+                 engine=None,
+                 verify: bool = False,
+                 collect_traces: bool = False) -> None:
         self.library = library or cmos6_library()
         self.config = config
         self.tracer = tracer or NullTracer()
         self.jobs = jobs
         self.cache = cache
         self._engine = engine
+        self.verify = verify
+        self.collect_traces = collect_traces
 
     def _sweep_engine(self):
         """The engine backing the candidate sweep, if any is warranted."""
@@ -217,7 +234,8 @@ class LowPowerFlow:
                 image, self.library, args=app.args,
                 globals_init=app.globals_init,
                 icache_cfg=app.icache, dcache_cfg=app.dcache,
-                model_caches=app.model_caches)
+                model_caches=app.model_caches,
+                collect_trace=self.collect_traces)
 
         partitioner = Partitioner(program, self.library, config)
         engine = self._sweep_engine()
@@ -228,7 +246,7 @@ class LowPowerFlow:
         result = FlowResult(app=app, program=program, profile=profile,
                             image=image, initial=initial, decision=decision)
         if decision.best is None:
-            return result
+            return self._finish(result, tracer)
 
         best = decision.best
         result.best = best
@@ -268,8 +286,18 @@ class LowPowerFlow:
                 asic_mem_writes=best.shared_mem_writes,
                 args=app.args, globals_init=app.globals_init,
                 icache_cfg=app.icache, dcache_cfg=app.dcache,
-                model_caches=app.model_caches)
+                model_caches=app.model_caches,
+                collect_trace=self.collect_traces)
 
         result.accepted = (result.partitioned.total_energy_nj
                            < initial.total_energy_nj)
+        return self._finish(result, tracer)
+
+    def _finish(self, result: FlowResult, tracer: Tracer) -> FlowResult:
+        """Optionally run the invariant audit before handing back."""
+        if self.verify:
+            from repro.verify import verify_flow_result
+            with tracer.span("flow.verify"):
+                result.verification = verify_flow_result(
+                    result, self.library)
         return result

@@ -64,6 +64,46 @@ class CacheConfig:
         return max(1, self.address_bits - self.index_bits - self.offset_bits)
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of one cache's event counters.
+
+    Hits and misses are counted *independently* on their respective code
+    paths (rather than one being derived from the other), so the identity
+    ``hits + misses == accesses`` is a genuine cross-counter invariant —
+    exactly what :mod:`repro.verify` audits (see ``docs/VALIDATION.md``,
+    ``mem.cache_accounting``).
+    """
+
+    name: str
+    config: CacheConfig
+    reads: int
+    writes: int
+    read_hits: int
+    write_hits: int
+    read_misses: int
+    write_misses: int
+    fills: int
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 1.0
+        return 1.0 - self.misses / self.accesses
+
+
 class Cache:
     """One cache core; call :meth:`access` per reference.
 
@@ -79,6 +119,8 @@ class Cache:
         self._offset_shift = config.offset_bits
         self.reads = 0
         self.writes = 0
+        self.read_hits = 0
+        self.write_hits = 0
         self.read_misses = 0
         self.write_misses = 0
         self.fills = 0
@@ -88,6 +130,8 @@ class Cache:
         self._sets = [[] for _ in range(self.config.num_sets)]
         self.reads = 0
         self.writes = 0
+        self.read_hits = 0
+        self.write_hits = 0
         self.read_misses = 0
         self.write_misses = 0
         self.fills = 0
@@ -108,6 +152,7 @@ class Cache:
             except ValueError:
                 self.write_misses += 1
                 return False
+            self.write_hits += 1
             if index:
                 tags.insert(0, tags.pop(index))
             return True
@@ -121,9 +166,19 @@ class Cache:
             if len(tags) > self.config.associativity:
                 tags.pop()
             return False
+        self.read_hits += 1
         if index:
             tags.insert(0, tags.pop(index))
         return True
+
+    def snapshot(self) -> CacheStats:
+        """Freeze the current counters into a :class:`CacheStats`."""
+        return CacheStats(
+            name=self.name, config=self.config,
+            reads=self.reads, writes=self.writes,
+            read_hits=self.read_hits, write_hits=self.write_hits,
+            read_misses=self.read_misses, write_misses=self.write_misses,
+            fills=self.fills)
 
     # ------------------------------------------------------------------
     # Statistics
@@ -132,6 +187,10 @@ class Cache:
     @property
     def accesses(self) -> int:
         return self.reads + self.writes
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
 
     @property
     def misses(self) -> int:

@@ -95,6 +95,9 @@ class Tracer:
         self.root.calls = 1
         self._stack: List[SpanNode] = [self.root]
         self.counters: Dict[str, int] = {}
+        #: Named JSON-able payloads riding along in the trace file
+        #: (e.g. a ``repro-verify`` report under ``"verification"``).
+        self.attachments: Dict[str, Any] = {}
         self._started = clock()
 
     # -- spans ---------------------------------------------------------
@@ -130,17 +133,27 @@ class Tracer:
         for name, value in counters.items():
             self.count(name, value)
 
+    # -- attachments ---------------------------------------------------
+
+    def attach(self, name: str, payload: Any) -> None:
+        """Embed a JSON-able payload in the exported trace under
+        ``attachments[name]`` (e.g. a verification report)."""
+        self.attachments[name] = payload
+
     # -- export --------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
         self.root.total_s = self._clock() - self._started
-        return {
+        data = {
             "schema": TRACE_SCHEMA_NAME,
             "version": TRACE_SCHEMA_VERSION,
             "label": self.label,
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "root": self.root.to_dict(),
         }
+        if self.attachments:
+            data["attachments"] = dict(self.attachments)
+        return data
 
     def write(self, path: str) -> None:
         """Serialize the trace to ``path`` as JSON."""
@@ -189,6 +202,9 @@ class NullTracer(Tracer):
         pass
 
     def merge_counters(self, counters: Dict[str, int]) -> None:
+        pass
+
+    def attach(self, name: str, payload: Any) -> None:
         pass
 
 
@@ -243,6 +259,9 @@ def validate_trace(data: Any) -> None:
     for name, value in counters.items():
         if not isinstance(value, int) or isinstance(value, bool):
             raise ValueError(f"counter {name!r} must be an integer")
+    attachments = data.get("attachments")
+    if attachments is not None and not isinstance(attachments, dict):
+        raise ValueError("trace 'attachments' must be an object")
     _validate_span(data.get("root"), path="root")
 
 

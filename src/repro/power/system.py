@@ -19,9 +19,10 @@ from repro.isa.energy import InstructionEnergyModel
 from repro.isa.image import ProgramImage
 from repro.isa.simulator import SimResult, Simulator
 from repro.mem.bus import SharedBus
-from repro.mem.cache import Cache, CacheConfig
+from repro.mem.cache import Cache, CacheConfig, CacheStats
 from repro.mem.cache_energy import CacheEnergyModel
 from repro.mem.main_memory import MainMemory
+from repro.mem.trace import MemoryTrace
 from repro.sched.utilization import ClusterMetrics
 from repro.synth.rtl_sim import AsicRunStats
 from repro.tech.library import TechnologyLibrary
@@ -45,6 +46,36 @@ class CoreEnergy:
 
 
 @dataclass
+class MemorySystemStats:
+    """Event-counter snapshot of the memory system after one evaluation.
+
+    These are the raw counts behind the energy numbers in
+    :class:`CoreEnergy` — :mod:`repro.verify` re-derives every reported
+    component energy and the bus/memory traffic from them (the
+    ``power.conservation`` / ``mem.traffic`` invariants in
+    ``docs/VALIDATION.md``).  ``trace_counts`` is only populated when the
+    evaluation ran with ``collect_trace=True``.
+    """
+
+    icache: Optional[CacheStats] = None
+    dcache: Optional[CacheStats] = None
+    mem_word_reads: int = 0
+    mem_word_writes: int = 0
+    bus_word_reads: int = 0
+    bus_word_writes: int = 0
+    #: μP↔ASIC shared-memory transfer words (in + out), partitioned runs.
+    transfer_words: int = 0
+    #: The ASIC's in-place accesses to oversized shared-memory arrays.
+    asic_mem_reads: int = 0
+    asic_mem_writes: int = 0
+    #: (instruction fetches, data reads, data writes) of the captured
+    #: memory-reference trace, when one was collected.
+    trace_counts: Optional[Tuple[int, int, int]] = None
+    #: The captured reference stream itself (``collect_trace=True`` only).
+    trace: Optional[MemoryTrace] = None
+
+
+@dataclass
 class SystemRun:
     """One evaluated system configuration (initial or partitioned)."""
 
@@ -60,6 +91,7 @@ class SystemRun:
     icache_hit_rate: float = 1.0
     dcache_hit_rate: float = 1.0
     transfer_words: int = 0
+    stats: Optional[MemorySystemStats] = None
 
     @property
     def total_cycles(self) -> int:
@@ -89,17 +121,46 @@ def _build_memory_system(library: TechnologyLibrary,
     return icache, dcache, memory, bus
 
 
+def _snapshot_memory_system(icache, dcache, memory, bus, trace,
+                            transfer_words: int = 0,
+                            asic_mem_reads: int = 0,
+                            asic_mem_writes: int = 0
+                            ) -> Optional[MemorySystemStats]:
+    """Freeze the memory-system counters after a run (None if no caches)."""
+    if memory is None:
+        return None
+    trace_counts = trace.counts() if trace is not None else None
+    return MemorySystemStats(
+        icache=icache.snapshot() if icache else None,
+        dcache=dcache.snapshot() if dcache else None,
+        mem_word_reads=memory.word_reads,
+        mem_word_writes=memory.word_writes,
+        bus_word_reads=bus.word_reads if bus else 0,
+        bus_word_writes=bus.word_writes if bus else 0,
+        transfer_words=transfer_words,
+        asic_mem_reads=asic_mem_reads,
+        asic_mem_writes=asic_mem_writes,
+        trace_counts=trace_counts,
+        trace=trace,
+    )
+
+
 def evaluate_initial(image: ProgramImage, library: TechnologyLibrary,
                      args: Tuple[int, ...] = (),
                      globals_init: Optional[Dict[str, List[int]]] = None,
                      icache_cfg: Optional[CacheConfig] = None,
                      dcache_cfg: Optional[CacheConfig] = None,
-                     model_caches: bool = True) -> SystemRun:
+                     model_caches: bool = True,
+                     collect_trace: bool = False) -> SystemRun:
     """Run the unpartitioned ("I") design and account every core.
 
     With ``model_caches=False`` the memory system is left out entirely —
     the treatment the paper gives its least memory-intensive application
     ("the contribution to total energy consumption could be neglected").
+    ``collect_trace=True`` additionally captures the memory-reference
+    trace (Fig. 5's "memory trace" tool) into ``SystemRun.stats`` so
+    :mod:`repro.verify` can cross-check cache accesses reference by
+    reference.
     """
     if icache_cfg is None or dcache_cfg is None:
         default_i, default_d = default_cache_configs()
@@ -110,11 +171,13 @@ def evaluate_initial(image: ProgramImage, library: TechnologyLibrary,
             library, icache_cfg, dcache_cfg)
     else:
         icache = dcache = memory = bus = None
+    trace = MemoryTrace() if (collect_trace and model_caches) else None
     sim = Simulator(image, library, icache=icache, dcache=dcache,
-                    memory_model=memory, bus=bus)
+                    memory_model=memory, bus=bus, trace=trace)
     for name, values in (globals_init or {}).items():
         sim.set_global(name, values)
     result = sim.run(*args)
+    stats = _snapshot_memory_system(icache, dcache, memory, bus, trace)
 
     energy = CoreEnergy(
         icache_nj=(CacheEnergyModel(library, icache_cfg).energy_nj(icache)
@@ -136,6 +199,7 @@ def evaluate_initial(image: ProgramImage, library: TechnologyLibrary,
         sim=result,
         icache_hit_rate=icache.hit_rate if icache else 1.0,
         dcache_hit_rate=dcache.hit_rate if dcache else 1.0,
+        stats=stats,
     )
 
 
@@ -151,7 +215,8 @@ def evaluate_partitioned(image: ProgramImage, library: TechnologyLibrary,
                          globals_init: Optional[Dict[str, List[int]]] = None,
                          icache_cfg: Optional[CacheConfig] = None,
                          dcache_cfg: Optional[CacheConfig] = None,
-                         model_caches: bool = True) -> SystemRun:
+                         model_caches: bool = True,
+                         collect_trace: bool = False) -> SystemRun:
     """Run the partitioned ("P") design.
 
     Args:
@@ -173,8 +238,10 @@ def evaluate_partitioned(image: ProgramImage, library: TechnologyLibrary,
             library, icache_cfg, dcache_cfg)
     else:
         icache = dcache = memory = bus = None
+    trace = MemoryTrace() if (collect_trace and model_caches) else None
     sim = Simulator(image, library, icache=icache, dcache=dcache,
-                    memory_model=memory, bus=bus, hw_blocks=hw_blocks)
+                    memory_model=memory, bus=bus, hw_blocks=hw_blocks,
+                    trace=trace)
     for name, values in (globals_init or {}).items():
         sim.set_global(name, values)
     result = sim.run(*args)
@@ -193,6 +260,11 @@ def evaluate_partitioned(image: ProgramImage, library: TechnologyLibrary,
         bus.read_words(words)
         bus.read_words(asic_mem_reads)
         bus.write_words(asic_mem_writes)
+    stats = _snapshot_memory_system(
+        icache, dcache, memory, bus, trace,
+        transfer_words=words,
+        asic_mem_reads=asic_mem_reads,
+        asic_mem_writes=asic_mem_writes)
     energy_model = InstructionEnergyModel(library)
     transfer_up_nj = words * 2 * energy_model.base_nj("mem")
 
@@ -222,4 +294,5 @@ def evaluate_partitioned(image: ProgramImage, library: TechnologyLibrary,
         icache_hit_rate=icache.hit_rate if icache else 1.0,
         dcache_hit_rate=dcache.hit_rate if dcache else 1.0,
         transfer_words=words,
+        stats=stats,
     )

@@ -78,24 +78,40 @@ class Schedule:
         """Operations whose execution covers control step ``step``."""
         return [e for e in self.entries if e.start <= step < e.end]
 
-    def verify(self) -> None:
-        """Check resource-capacity and dependence feasibility."""
+    def violations(self) -> List[str]:
+        """All capacity/dependence infeasibilities, as human-readable strings.
+
+        Unlike :meth:`verify` (which raises on the first problem), this
+        collects every violation — :mod:`repro.verify` turns each into a
+        structured finding (``sched.capacity`` / ``sched.precedence`` in
+        ``docs/VALIDATION.md``).  An empty list means the schedule is legal.
+        """
+        problems: List[str] = []
         usage: Dict[Tuple[int, ResourceKind], int] = {}
+        flagged: set = set()
         for entry in self.entries:
             for step in range(entry.start, entry.end):
                 key = (step, entry.resource)
                 usage[key] = usage.get(key, 0) + 1
-                if usage[key] > self.resource_set.count(entry.resource):
-                    raise ScheduleError(
+                if (usage[key] > self.resource_set.count(entry.resource)
+                        and key not in flagged):
+                    flagged.add(key)
+                    problems.append(
                         f"over-subscribed {entry.resource.value} at step {step}")
-        if self.ddg is None:
-            return
-        finish = {e.op: e.end for e in self.entries}
-        start = {e.op: e.start for e in self.entries}
-        for src, dst in self.ddg.edges():
-            if start[dst] < finish[src]:
-                raise ScheduleError(
-                    f"dependence violated: {src!r} -> {dst!r}")
+        if self.ddg is not None:
+            finish = {e.op: e.end for e in self.entries}
+            start = {e.op: e.start for e in self.entries}
+            for src, dst in self.ddg.edges():
+                if start[dst] < finish[src]:
+                    problems.append(
+                        f"dependence violated: {src!r} -> {dst!r}")
+        return problems
+
+    def verify(self) -> None:
+        """Check resource-capacity and dependence feasibility."""
+        problems = self.violations()
+        if problems:
+            raise ScheduleError(problems[0])
 
 
 def datapath_ops(ops: Iterable[Operation]) -> List[Operation]:

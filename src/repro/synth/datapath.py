@@ -45,8 +45,13 @@ class Datapath:
     geq: int
 
 
-def _max_live_registers(schedule: Schedule) -> int:
-    """Max simultaneously-live cross-step values in one block's schedule."""
+def max_live_registers(schedule: Schedule) -> int:
+    """Max simultaneously-live cross-step values in one block's schedule.
+
+    Public so :mod:`repro.verify` can recompute the lifetime-packing bound
+    and audit ``Datapath.register_count`` against it (``synth.registers``
+    in ``docs/VALIDATION.md``).
+    """
     if schedule.ddg is None or not schedule.entries:
         return 0
     start = {e.op: e.start for e in schedule.entries}
@@ -69,6 +74,10 @@ def _max_live_registers(schedule: Schedule) -> int:
         live = sum(1 for s, e in lifetimes if s <= step < e)
         peak = max(peak, live)
     return peak
+
+
+#: Backward-compatible alias (pre-verify internal name).
+_max_live_registers = max_live_registers
 
 
 def _architectural_registers(
@@ -131,7 +140,7 @@ def build_datapath(schedules: Mapping[str, Schedule],
     mux_legs = sum(min(2 * (count - 1), MAX_MUX_LEGS_PER_UNIT)
                    for count in ops_per_unit.values() if count > 1)
 
-    temp_registers = max((_max_live_registers(s) for s in schedules.values()),
+    temp_registers = max((max_live_registers(s) for s in schedules.values()),
                          default=0)
     register_count = temp_registers + _architectural_registers(schedules,
                                                                block_ops)

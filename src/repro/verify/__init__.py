@@ -1,0 +1,57 @@
+"""Cross-layer invariant verification (the validation contract).
+
+A static-analysis pass over completed pipeline artifacts: it re-derives
+reported quantities from independently captured event counters and checks
+the machine-verifiable invariants of the paper's flow — schedule legality
+(Fig. 1 line 8), binding exclusivity (Fig. 4), utilization bounds (Eq. 4),
+non-negative wasted energy (Eq. 2), component-energy conservation (Eq. 3 /
+Table 1), cache/bus/memory event accounting (Fig. 2a) and the gate-level
+re-check of the line-11 estimate (Fig. 1 lines 11/15).
+
+The complete contract — every check, its claim, tolerance and paper
+reference — is documented in ``docs/VALIDATION.md``; the registry in
+:data:`repro.verify.checks.CHECKS` and that document are kept in lockstep
+by a doc-drift test.
+"""
+
+from repro.verify.checks import (
+    CHECKS,
+    GATE_UNIT_REL_TOL,
+    REL_TOL,
+    CheckInfo,
+)
+from repro.verify.findings import (
+    REPORT_SCHEMA_NAME,
+    REPORT_SCHEMA_VERSION,
+    Finding,
+    Severity,
+    VerificationError,
+    VerificationReport,
+    load_report,
+    validate_report,
+)
+from repro.verify.verifier import (
+    assert_verified,
+    verify_candidate,
+    verify_flow_result,
+    verify_system_run,
+)
+
+__all__ = [
+    "CHECKS",
+    "CheckInfo",
+    "Finding",
+    "GATE_UNIT_REL_TOL",
+    "REL_TOL",
+    "REPORT_SCHEMA_NAME",
+    "REPORT_SCHEMA_VERSION",
+    "Severity",
+    "VerificationError",
+    "VerificationReport",
+    "assert_verified",
+    "load_report",
+    "validate_report",
+    "verify_candidate",
+    "verify_flow_result",
+    "verify_system_run",
+]

@@ -1,0 +1,216 @@
+"""Structured findings and verification reports.
+
+A :class:`Finding` is one detected (or informational) deviation from a
+cross-layer invariant: which check fired, how severe it is, which pipeline
+layer owns the numbers, the paper equation/figure the invariant comes from,
+and the offending values themselves.  A :class:`VerificationReport` is an
+ordered collection of findings plus the list of checks that actually ran —
+so "no findings" is distinguishable from "nothing was checked".
+
+Reports serialize to a small versioned JSON schema (``repro-verify``),
+mirroring the trace schema in :mod:`repro.obs.tracer`; the CLI attaches
+them to trace files and writes them with ``--json``.  The full contract —
+every check, its tolerance and its paper reference — lives in
+``docs/VALIDATION.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping
+
+#: Current version of the verification report JSON schema.
+REPORT_SCHEMA_VERSION = 1
+
+#: The ``schema`` tag every report carries.
+REPORT_SCHEMA_NAME = "repro-verify"
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ERROR breaks a hard invariant (the run's numbers cannot all be right);
+    WARNING flags a legal-but-suspicious state (e.g. the Fig. 4 feasibility
+    fallback exceeding the designer's allocation); INFO reports a measured
+    quantity with no enforced bound (e.g. the core-level gate/estimate
+    ratio).
+    """
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant deviation (or informational measurement).
+
+    Attributes:
+        check: registry id of the invariant (see ``repro.verify.checks``).
+        severity: :class:`Severity` of the deviation.
+        layer: pipeline layer owning the numbers (``ir``, ``sched``,
+            ``synth``, ``power``, ``mem``, ``core``).
+        message: human-readable statement of what is wrong.
+        paper_ref: the paper equation/figure the invariant encodes
+            (e.g. ``"Eq. 4"``, ``"Fig. 1 line 8"``).
+        subject: what was being checked (a block, a cache, a component).
+        values: the offending numbers, as a plain JSON-able mapping.
+    """
+
+    check: str
+    severity: Severity
+    layer: str
+    message: str
+    paper_ref: str = ""
+    subject: str = ""
+    values: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "check": self.check,
+            "severity": self.severity.value,
+            "layer": self.layer,
+            "message": self.message,
+            "paper_ref": self.paper_ref,
+            "subject": self.subject,
+            "values": dict(self.values),
+        }
+
+    def format(self) -> str:
+        """One terminal-friendly line."""
+        ref = f" ({self.paper_ref})" if self.paper_ref else ""
+        subject = f" [{self.subject}]" if self.subject else ""
+        vals = ""
+        if self.values:
+            vals = " " + " ".join(f"{k}={v}" for k, v in self.values.items())
+        return (f"{self.severity.value.upper():7s} {self.check}{ref}"
+                f"{subject}: {self.message}{vals}")
+
+
+class VerificationError(Exception):
+    """Raised by :func:`repro.verify.assert_verified` in strict mode."""
+
+    def __init__(self, report: "VerificationReport") -> None:
+        self.report = report
+        errors = report.errors
+        summary = "; ".join(f.format() for f in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(
+            f"{len(errors)} ERROR finding(s) in {report.label!r}: "
+            f"{summary}{more}")
+
+
+@dataclass
+class VerificationReport:
+    """All findings of one verification pass over one artifact."""
+
+    label: str
+    findings: List[Finding] = field(default_factory=list)
+    #: Check ids that actually ran (in run order, deduplicated).
+    checks_run: List[str] = field(default_factory=list)
+
+    # -- accumulation --------------------------------------------------
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def ran(self, check: str) -> None:
+        """Record that ``check`` executed (whether or not it found
+        anything)."""
+        if check not in self.checks_run:
+            self.checks_run.append(check)
+
+    def extend(self, other: "VerificationReport") -> None:
+        """Fold another report's findings and coverage into this one."""
+        self.findings.extend(other.findings)
+        for check in other.checks_run:
+            self.ran(check)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def counts(self) -> Dict[str, int]:
+        """Findings per severity value (always all three keys)."""
+        out = {sev.value: 0 for sev in Severity}
+        for finding in self.findings:
+            out[finding.severity.value] += 1
+        return out
+
+    # -- export --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA_NAME,
+            "version": REPORT_SCHEMA_VERSION,
+            "label": self.label,
+            "checks_run": list(self.checks_run),
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def write(self, path: str) -> None:
+        """Serialize the report to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+            fh.write("\n")
+
+    def format_text(self) -> str:
+        """A terminal-friendly report."""
+        counts = self.counts()
+        lines = [f"verify {self.label}: {len(self.checks_run)} checks, "
+                 f"{counts['error']} error(s), {counts['warning']} "
+                 f"warning(s), {counts['info']} info"]
+        for finding in self.findings:
+            lines.append("  " + finding.format())
+        return "\n".join(lines)
+
+
+def validate_report(data: Any) -> None:
+    """Check ``data`` against the report JSON schema (raises ValueError)."""
+    if not isinstance(data, dict):
+        raise ValueError("verification report must be a JSON object")
+    if data.get("schema") != REPORT_SCHEMA_NAME:
+        raise ValueError(f"not a {REPORT_SCHEMA_NAME} file: "
+                         f"schema={data.get('schema')!r}")
+    if data.get("version") != REPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported report version {data.get('version')!r}")
+    if not isinstance(data.get("label"), str):
+        raise ValueError("report 'label' must be a string")
+    if not isinstance(data.get("checks_run"), list):
+        raise ValueError("report 'checks_run' must be a list")
+    findings = data.get("findings")
+    if not isinstance(findings, list):
+        raise ValueError("report 'findings' must be a list")
+    severities = {sev.value for sev in Severity}
+    for i, item in enumerate(findings):
+        if not isinstance(item, dict):
+            raise ValueError(f"findings[{i}] must be an object")
+        for key in ("check", "layer", "message"):
+            if not isinstance(item.get(key), str):
+                raise ValueError(f"findings[{i}].{key} must be a string")
+        if item.get("severity") not in severities:
+            raise ValueError(
+                f"findings[{i}].severity must be one of {sorted(severities)}")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load and validate a report file (raises ValueError when
+    malformed)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    validate_report(data)
+    return data

@@ -1,0 +1,136 @@
+"""Verification entry points: candidate, system run, whole flow.
+
+Three granularities mirror where results are produced:
+
+* :func:`verify_candidate` — one (cluster, resource set) evaluation.
+  Cheap enough to run on every sweep outcome; the exploration engine runs
+  it worker-side before a result may enter the
+  :class:`~repro.core.explore.EvaluationCache` (a corrupted evaluation
+  would otherwise be memoized and fanned out everywhere).
+* :func:`verify_system_run` — one ``evaluate_initial`` /
+  ``evaluate_partitioned`` outcome (energy conservation + memory-system
+  accounting).
+* :func:`verify_flow_result` — the complete Fig. 5 artifact: IR, winning
+  candidate, synthesized datapath, gate-level cross-check, both system
+  evaluations and the accept decision.
+
+Every pass bumps ``verify.*`` counters on the current
+:mod:`repro.obs` tracer, so trace files record verification coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs import get_tracer
+from repro.tech.library import TechnologyLibrary, cmos6_library
+from repro.verify import checks
+from repro.verify.findings import (
+    VerificationError,
+    VerificationReport,
+)
+
+
+def _count_findings(report: VerificationReport) -> None:
+    tracer = get_tracer()
+    tracer.count("verify.passes")
+    tracer.count("verify.checks_run", len(report.checks_run))
+    for severity, count in report.counts().items():
+        if count:
+            tracer.count(f"verify.findings.{severity}", count)
+
+
+def verify_candidate(candidate, library: Optional[TechnologyLibrary] = None,
+                     label: Optional[str] = None,
+                     _count: bool = True) -> VerificationReport:
+    """Audit one :class:`~repro.core.partitioner.CandidateEvaluation`.
+
+    Covers schedule legality (precedence/capacity), binding exclusivity
+    and compatibility, Eq. 4 utilization bounds and Eq. 2 non-negative
+    wasted energy.
+    """
+    library = library or cmos6_library()
+    if label is None:
+        label = (f"candidate {candidate.cluster.name}"
+                 f"@{candidate.resource_set.name}")
+    report = VerificationReport(label=label)
+    for block in sorted(candidate.schedules):
+        checks.check_schedule(report, block, candidate.schedules[block])
+    checks.check_binding(report, candidate.schedules, candidate.binding)
+    checks.check_cluster_metrics(report, candidate.metrics)
+    if _count:
+        _count_findings(report)
+    return report
+
+
+def verify_system_run(run, library: Optional[TechnologyLibrary] = None,
+                      label: Optional[str] = None,
+                      asic_reference_nj: Optional[float] = None,
+                      _count: bool = True) -> VerificationReport:
+    """Audit one :class:`~repro.power.system.SystemRun`.
+
+    Covers utilization bounds, cache event accounting, memory/bus traffic
+    re-derivation, trace agreement (when a trace was collected) and
+    component-energy conservation.
+    """
+    library = library or cmos6_library()
+    report = VerificationReport(label=label or f"system {run.label}")
+    checks.check_system_utilization(report, run)
+    checks.check_cache_accounting(report, run)
+    checks.check_memory_traffic(report, run)
+    checks.check_memory_trace(report, run)
+    checks.check_energy_conservation(report, run, library,
+                                     asic_reference_nj=asic_reference_nj)
+    if _count:
+        _count_findings(report)
+    return report
+
+
+def verify_flow_result(result, library: Optional[TechnologyLibrary] = None,
+                       label: Optional[str] = None) -> VerificationReport:
+    """Audit one complete :class:`~repro.core.flow.FlowResult`."""
+    library = library or cmos6_library()
+    report = VerificationReport(label=label or f"flow {result.app.name}")
+
+    checks.check_cdfgs(report, result.program)
+    checks.check_functional(report, result)
+    checks.check_accepted(report, result)
+
+    # Sub-passes are folded into this report, which is counted once at
+    # the end — so the verify.* counters see one pass with deduplicated
+    # coverage, not three overlapping ones.
+    initial = verify_system_run(result.initial, library,
+                                label=f"{result.app.name}.initial",
+                                _count=False)
+    report.extend(initial)
+
+    if result.best is not None:
+        report.extend(verify_candidate(result.best, library, _count=False))
+        if result.datapath is not None:
+            checks.check_datapath(report, result.best.schedules,
+                                  result.datapath, library)
+        if result.gate_energy is not None:
+            checks.check_gate_level(report, result.gate_energy,
+                                    result.best.binding,
+                                    result.best.metrics, library)
+
+    if result.partitioned is not None:
+        asic_ref = (result.gate_energy.total_nj
+                    if result.gate_energy is not None else None)
+        partitioned = verify_system_run(
+            result.partitioned, library,
+            label=f"{result.app.name}.partitioned",
+            asic_reference_nj=asic_ref,
+            _count=False)
+        report.extend(partitioned)
+
+    _count_findings(report)
+    return report
+
+
+def assert_verified(report: VerificationReport) -> VerificationReport:
+    """Strict mode: raise :class:`VerificationError` on any ERROR
+    finding; returns the report unchanged otherwise."""
+    if report.has_errors:
+        raise VerificationError(report)
+    return report

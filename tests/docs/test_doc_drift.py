@@ -1,0 +1,121 @@
+"""Doc-drift guards: the numbers and contracts the docs state must match
+the live code.
+
+Two documents make quantitative or structural claims that silently rot
+when the code moves:
+
+* ``docs/MODELS.md`` prints the datapath resource table and the scalar
+  calibration anchors — parsed here and compared against
+  ``repro.tech.cmos6_library()``.
+* ``docs/VALIDATION.md`` promises one section per implemented invariant —
+  compared against the ``repro.verify.checks.CHECKS`` registry.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.tech import ResourceKind, cmos6_library
+from repro.verify.checks import CHECKS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+MODELS = (REPO_ROOT / "docs" / "MODELS.md").read_text(encoding="utf-8")
+VALIDATION = (REPO_ROOT / "docs" / "VALIDATION.md").read_text(
+    encoding="utf-8")
+
+ROW_RE = re.compile(
+    r"^\|\s*(\w+)\s*\|\s*(\d+)\s*\|\s*(\d+(?:\.\d+)?)\s*"
+    r"\|\s*(\d+(?:\.\d+)?)\s*\|\s*(\d+(?:\.\d+)?)\s*\|\s*$",
+    re.MULTILINE)
+
+
+def _documented_resource_rows():
+    rows = {}
+    for name, geq, active, idle, t_cyc in ROW_RE.findall(MODELS):
+        if name.lower() == "kind":
+            continue
+        rows[name.lower()] = (int(geq), float(active), float(idle),
+                              float(t_cyc))
+    return rows
+
+
+def test_models_table_lists_every_resource_kind():
+    rows = _documented_resource_rows()
+    assert set(rows) == {kind.value for kind in ResourceKind}
+
+
+@pytest.mark.parametrize("kind", list(ResourceKind),
+                         ids=lambda k: k.value)
+def test_models_table_matches_library_spec(kind):
+    rows = _documented_resource_rows()
+    spec = cmos6_library().spec(kind)
+    geq, active, idle, t_cyc = rows[kind.value]
+    assert geq == spec.geq
+    assert active == spec.energy_active_pj
+    assert idle == spec.energy_idle_pj
+    assert t_cyc == spec.t_cyc_ns
+
+
+def _scalar(pattern):
+    m = re.search(pattern, MODELS)
+    assert m, f"MODELS.md no longer states: {pattern!r}"
+    return tuple(float(g) for g in m.groups())
+
+
+def test_models_scalar_anchors_match_library():
+    library = cmos6_library()
+    (gate_pj,) = _scalar(r"E_gate = (\d+(?:\.\d+)?) pJ")
+    assert gate_pj == library.gate_switch_energy_pj
+    (up_nj,) = _scalar(r"~(\d+(?:\.\d+)?) nJ per average cycle")
+    assert up_nj == library.up_cycle_energy_nj
+    mem_r, mem_w = _scalar(
+        r"(\d+(?:\.\d+)?) / (\d+(?:\.\d+)?) nJ per 32-bit word")
+    assert (mem_r, mem_w) == (library.mem_read_energy_nj,
+                              library.mem_write_energy_nj)
+    bus_r, bus_w = _scalar(
+        r"bus transfers (\d+(?:\.\d+)?) / (\d+(?:\.\d+)?) nJ per\s+word")
+    assert (bus_r, bus_w) == (library.bus_read_energy_nj,
+                              library.bus_write_energy_nj)
+    (buffer_words,) = _scalar(r"`asic_local_buffer_words` \((\d+)\)")
+    assert int(buffer_words) == library.asic_local_buffer_words
+    (latency,) = _scalar(r"`asic_shared_mem_latency` = (\d+)")
+    assert int(latency) == library.asic_shared_mem_latency
+
+
+# ---------------------------------------------------------------------------
+# VALIDATION.md <-> CHECKS registry
+# ---------------------------------------------------------------------------
+
+SECTION_RE = re.compile(r"^### `([a-z_.]+)`\s*$", re.MULTILINE)
+
+
+def test_validation_sections_match_registry_exactly():
+    documented = SECTION_RE.findall(VALIDATION)
+    assert len(documented) == len(set(documented)), "duplicate sections"
+    assert set(documented) == set(CHECKS), (
+        f"undocumented checks: {sorted(set(CHECKS) - set(documented))}; "
+        f"stale sections: {sorted(set(documented) - set(CHECKS))}")
+
+
+@pytest.mark.parametrize("check", sorted(CHECKS))
+def test_validation_section_is_substantive(check):
+    sections = SECTION_RE.split(VALIDATION)
+    body = sections[sections.index(check) + 1]
+    assert "**Claim**" in body, f"{check}: section states no claim"
+    assert "**Enforced by**" in body, f"{check}: no enforcing module"
+    assert "failing finding" in body, f"{check}: no example failure"
+
+
+def test_validation_states_the_live_tolerances():
+    from repro.verify.checks import (
+        GATE_UNIT_REL_TOL,
+        REL_TOL,
+        WASTED_TOL_NJ,
+    )
+    for name, value in (("REL_TOL", REL_TOL),
+                        ("WASTED_TOL_NJ", WASTED_TOL_NJ),
+                        ("GATE_UNIT_REL_TOL", GATE_UNIT_REL_TOL)):
+        m = re.search(rf"`{name}` \| ([0-9.e+-]+)", VALIDATION)
+        assert m, f"VALIDATION.md tolerance table lost `{name}`"
+        assert float(m.group(1)) == value

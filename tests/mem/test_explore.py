@@ -107,3 +107,61 @@ def test_partitioned_design_prefers_different_caches(image, library):
             < 0.6 * best_i.memory_system_energy_nj)
     # ...and never wants a larger i-cache than the initial design does.
     assert best_p.icache.size_bytes <= best_i.icache.size_bytes
+
+
+def test_sweep_is_deterministic_point_for_point(image, library):
+    """Two independent sweeps over the same space are bit-identical —
+    the property the EvaluationCache and the verifier both lean on."""
+    space = default_search_space()[:6]
+    first = explore_cache_configs(initial_evaluator(image, library), space)
+    second = explore_cache_configs(initial_evaluator(image, library), space)
+    assert len(first) == len(second) == 6
+    for a, b in zip(first, second):
+        assert (a.icache, a.dcache) == (b.icache, b.dcache)
+        assert a.total_energy_nj == b.total_energy_nj
+        assert a.run.up_cycles == b.run.up_cycles
+        assert a.run.icache_hit_rate == b.run.icache_hit_rate
+        assert a.run.stats.icache == b.run.stats.icache
+        assert a.run.stats.dcache == b.run.stats.dcache
+
+
+def test_verifier_accepts_genuine_sweep_points(image, library):
+    from repro.verify import verify_system_run
+
+    points = explore_cache_configs(initial_evaluator(image, library),
+                                   default_search_space()[:3])
+    for point in points:
+        report = verify_system_run(point.run, library=library)
+        errors = [f.format() for f in report.errors]
+        assert not errors, errors
+        assert "mem.cache_accounting" in report.checks_run
+
+
+def test_verifier_catches_seeded_cache_accounting_fault(image, library):
+    """Seeded fault: corrupt one counter of a sweep point's d-cache
+    snapshot and the verifier must localize it to mem.cache_accounting
+    with the paper's footnote-2 reference (and flag the traffic
+    re-derivation that depends on the same counter)."""
+    import dataclasses
+
+    from repro.verify import Severity, verify_system_run
+    from repro.verify.checks import CHECKS
+
+    point = explore_cache_configs(initial_evaluator(image, library),
+                                  default_search_space()[:1])[0]
+    run = point.run
+    dcache = dataclasses.replace(run.stats.dcache,
+                                 read_misses=run.stats.dcache.read_misses + 1)
+    corrupted = dataclasses.replace(
+        run, stats=dataclasses.replace(run.stats, dcache=dcache))
+
+    report = verify_system_run(corrupted, library=library)
+    fired = [f for f in report.findings
+             if f.check == "mem.cache_accounting"
+             and f.severity is Severity.ERROR]
+    assert fired, [f.format() for f in report.findings]
+    assert all(f.paper_ref == CHECKS["mem.cache_accounting"].paper_ref
+               for f in fired)
+    # read_misses feeds the memory-traffic re-derivation too.
+    assert any(f.check == "mem.traffic" and f.severity is Severity.ERROR
+               for f in report.findings)

@@ -1,0 +1,18 @@
+"""Shared fixtures: completed flow results to audit (and to corrupt)."""
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.core import LowPowerFlow
+
+
+@pytest.fixture(scope="session")
+def ckey_result():
+    """ckey: cheapest app; runs without a modeled memory system."""
+    return LowPowerFlow(collect_traces=True).run(app_by_name("ckey"))
+
+
+@pytest.fixture(scope="session")
+def digs_result():
+    """digs: full memory system + collected reference trace."""
+    return LowPowerFlow(collect_traces=True).run(app_by_name("digs"))

@@ -1,0 +1,122 @@
+"""Finding / VerificationReport data model and JSON schema."""
+
+import pytest
+
+from repro.verify import (
+    Finding,
+    Severity,
+    VerificationError,
+    VerificationReport,
+    assert_verified,
+)
+from repro.verify.findings import (
+    REPORT_SCHEMA_NAME,
+    REPORT_SCHEMA_VERSION,
+    load_report,
+    validate_report,
+)
+
+
+def _finding(check="power.conservation", severity=Severity.ERROR,
+             **kwargs):
+    defaults = dict(layer="power", message="does not re-derive",
+                    paper_ref="Eq. 3/Table 1", subject="run.mem",
+                    values={"reported_nj": 1.0, "recomputed_nj": 2.0})
+    defaults.update(kwargs)
+    return Finding(check=check, severity=severity, **defaults)
+
+
+def test_finding_format_carries_ref_subject_and_values():
+    line = _finding().format()
+    assert "ERROR" in line
+    assert "power.conservation" in line
+    assert "(Eq. 3/Table 1)" in line
+    assert "[run.mem]" in line
+    assert "reported_nj=1.0" in line
+
+
+def test_counts_always_has_all_three_severities():
+    report = VerificationReport(label="t")
+    assert report.counts() == {"info": 0, "warning": 0, "error": 0}
+    report.add(_finding(severity=Severity.WARNING))
+    report.add(_finding())
+    report.add(_finding())
+    assert report.counts() == {"info": 0, "warning": 1, "error": 2}
+    assert len(report.errors) == 2
+    assert len(report.warnings) == 1
+    assert report.has_errors
+
+
+def test_ran_deduplicates_but_preserves_order():
+    report = VerificationReport(label="t")
+    for check in ("b.two", "a.one", "b.two", "c.three"):
+        report.ran(check)
+    assert report.checks_run == ["b.two", "a.one", "c.three"]
+
+
+def test_extend_merges_findings_and_coverage():
+    a = VerificationReport(label="a")
+    a.ran("x.one")
+    a.add(_finding())
+    b = VerificationReport(label="b")
+    b.ran("x.one")
+    b.ran("y.two")
+    b.add(_finding(severity=Severity.INFO))
+    a.extend(b)
+    assert a.checks_run == ["x.one", "y.two"]
+    assert a.counts() == {"info": 1, "warning": 0, "error": 1}
+
+
+def test_report_round_trips_through_json_file(tmp_path):
+    report = VerificationReport(label="round-trip")
+    report.ran("sched.capacity")
+    report.add(_finding(check="sched.capacity", layer="sched",
+                        paper_ref="Fig. 1 line 8"))
+    path = tmp_path / "report.json"
+    report.write(str(path))
+    data = load_report(str(path))
+    assert data["schema"] == REPORT_SCHEMA_NAME
+    assert data["version"] == REPORT_SCHEMA_VERSION
+    assert data["label"] == "round-trip"
+    assert data["checks_run"] == ["sched.capacity"]
+    assert data["counts"]["error"] == 1
+    assert data["findings"][0]["check"] == "sched.capacity"
+    assert data["findings"][0]["severity"] == "error"
+    assert data["findings"][0]["paper_ref"] == "Fig. 1 line 8"
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda d: d.update(schema="not-a-report"),
+    lambda d: d.update(version=99),
+    lambda d: d.update(label=7),
+    lambda d: d.update(checks_run="oops"),
+    lambda d: d.update(findings="oops"),
+    lambda d: d["findings"].append({"check": "x"}),
+    lambda d: d["findings"].append(
+        {"check": "x", "layer": "l", "message": "m", "severity": "fatal"}),
+])
+def test_validate_report_rejects_malformed(mutate):
+    report = VerificationReport(label="ok")
+    data = report.to_dict()
+    mutate(data)
+    with pytest.raises(ValueError):
+        validate_report(data)
+
+
+def test_assert_verified_passes_clean_report_through():
+    report = VerificationReport(label="clean")
+    report.add(_finding(severity=Severity.WARNING))
+    assert assert_verified(report) is report
+
+
+def test_assert_verified_raises_with_summary():
+    report = VerificationReport(label="dirty")
+    for _ in range(5):
+        report.add(_finding())
+    with pytest.raises(VerificationError) as exc:
+        assert_verified(report)
+    msg = str(exc.value)
+    assert "5 ERROR finding(s) in 'dirty'" in msg
+    assert "power.conservation" in msg
+    assert "+2 more" in msg
+    assert exc.value.report is report

@@ -1,0 +1,84 @@
+"""The acceptance bar: genuine flows audit clean, end to end."""
+
+import os
+import subprocess
+import sys
+
+from repro.core import ExplorationEngine, LowPowerFlow
+from repro.apps import app_by_name
+from repro.obs import Tracer, use_tracer
+from repro.verify import verify_flow_result
+from repro.verify.findings import load_report
+
+
+def _assert_clean(report):
+    errors = [f.format() for f in report.errors]
+    assert not errors, f"ERROR findings on a genuine flow: {errors}"
+    assert report.checks_run, "audit ran no checks"
+
+
+def test_ckey_flow_audits_clean(ckey_result):
+    report = verify_flow_result(ckey_result)
+    _assert_clean(report)
+    # ckey runs without a modeled memory system: the mem.* deep checks
+    # must skip, not fail.
+    assert "mem.cache_accounting" not in report.checks_run
+    assert "sched.precedence" in report.checks_run
+    assert "core.functional" in report.checks_run
+
+
+def test_digs_flow_audits_clean_including_memory_system(digs_result):
+    report = verify_flow_result(digs_result)
+    _assert_clean(report)
+    for check in ("mem.cache_accounting", "mem.traffic", "mem.trace",
+                  "power.conservation", "synth.gate_level"):
+        assert check in report.checks_run
+
+
+def test_flow_verify_flag_attaches_report():
+    tracer = Tracer("t")
+    with use_tracer(tracer):
+        result = LowPowerFlow(tracer=tracer, verify=True).run(
+            app_by_name("ckey"))
+    assert result.verification is not None
+    _assert_clean(result.verification)
+    assert tracer.counters.get("verify.passes", 0) >= 1
+    assert tracer.counters.get("verify.checks_run", 0) >= len(
+        result.verification.checks_run)
+
+
+def test_engine_verify_audits_every_computed_candidate():
+    tracer = Tracer("t")
+    engine = ExplorationEngine(tracer=tracer, verify=True)
+    with use_tracer(tracer):
+        engine.explore(app_by_name("ckey"))
+    assert engine.verification is not None
+    _assert_clean(engine.verification)
+    # No candidate was corrupted, so nothing may have been barred from
+    # the cache.
+    assert tracer.counters.get("verify.cache_rejected", 0) == 0
+
+
+def test_cli_verify_subcommand_is_clean_and_writes_report(tmp_path):
+    out = tmp_path / "report.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "..",
+                                     "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "verify", "ckey", "--strict",
+         "--json", str(out)],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    data = load_report(str(out))
+    assert data["counts"]["error"] == 0
+    assert "verify flow ckey" in proc.stdout
+
+
+def test_strict_mode_exit_code_is_documented_as_2():
+    # The CLI contract (README "CLI reference"): 2 means verification
+    # failed under --strict.  Guarded here so the docs cannot drift.
+    readme_path = os.path.join(os.path.dirname(__file__), "..", "..",
+                               "README.md")
+    with open(readme_path, "r", encoding="utf-8") as fh:
+        readme = fh.read()
+    assert "`2` verification" in readme

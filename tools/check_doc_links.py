@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Check relative markdown links (and their #anchors) in the repo docs.
+
+Scans ``README.md`` and ``docs/*.md`` for inline links ``[text](target)``
+and verifies that every *relative* target resolves to an existing file,
+and — when the target carries a ``#fragment`` — that the referenced
+heading exists in the target document (GitHub anchor slug rules:
+lowercase, spaces to dashes, punctuation stripped).
+
+External links (``http://``, ``https://``, ``mailto:``) are ignored:
+this runs in CI without network access.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link on stderr).  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown link: [text](target).  Images share the syntax
+#: (![alt](target)) and are checked the same way.
+LINK_RE = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)\)")
+
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (good enough for ASCII docs:
+    inline code/emphasis markers dropped, punctuation stripped, spaces to
+    dashes)."""
+    text = heading.strip().lower()
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    out = []
+    for ch in text:
+        if ch.isalnum():
+            out.append(ch)
+        elif ch in (" ", "-"):
+            out.append("-" if ch == "-" else " ")
+    slug = "".join(out)
+    slug = re.sub(r"\s+", "-", slug.strip())
+    return slug
+
+
+def anchors_of(path: Path) -> Set[str]:
+    """All GitHub-style anchors a markdown file exposes (with the ``-1``
+    suffixing for duplicate headings)."""
+    seen: Set[str] = set()
+    counts: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        base = github_slug(m.group(2))
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        seen.add(base if n == 0 else f"{base}-{n}")
+    return seen
+
+
+def iter_links(path: Path) -> Iterator[Tuple[int, str]]:
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path) -> List[str]:
+    problems: List[str] = []
+    rel = path.relative_to(REPO_ROOT)
+    for lineno, target in iter_links(path):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            dest = (path.parent / base).resolve()
+            if not dest.exists():
+                problems.append(f"{rel}:{lineno}: broken link -> {target}")
+                continue
+        else:
+            dest = path  # pure '#fragment' self-link
+        if fragment and dest.suffix == ".md":
+            if fragment not in anchors_of(dest):
+                problems.append(
+                    f"{rel}:{lineno}: missing anchor #{fragment} "
+                    f"in {dest.relative_to(REPO_ROOT)}")
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    problems: List[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"{len(problems)} broken link(s) across {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"doc links OK ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
