@@ -32,6 +32,10 @@ Commands
     on any ERROR finding; ``--json FILE`` writes the machine-readable
     report).  ``run``/``table1``/``explore`` accept ``--verify`` to run
     the same audit inline.
+``bench``
+    Run the standing performance suite (``docs/PERFORMANCE.md``) and
+    emit a versioned ``BENCH_<timestamp>.json``; ``--compare
+    BENCH_baseline.json`` fails on regressions past ``--threshold``.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ import sys
 from typing import List, Optional
 
 from repro.apps import ALL_APPS, app_by_name
+from repro.bench import DEFAULT_THRESHOLD
 from repro.cluster import decompose_into_clusters, estimate_transfers, preselect_clusters
 from repro.core import (
     EvaluationCache,
@@ -148,6 +153,39 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--trace", default=None, metavar="FILE",
                         help="write a trace JSON (with the report "
                              "attached) to FILE")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the standing performance suite and emit/compare "
+             "BENCH_*.json reports (docs/PERFORMANCE.md)")
+    bench.add_argument("--repeats", type=positive_int, default=3,
+                       metavar="N",
+                       help="runs per benchmark; the median is reported "
+                            "(default 3)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke mode: 1 repeat, reduced iteration "
+                            "counts")
+    bench.add_argument("--only", default=None, metavar="SUBSTR",
+                       help="run only benchmarks whose name contains "
+                            "SUBSTR")
+    bench.add_argument("--list", action="store_true",
+                       help="list the suite (name, unit, rationale) and "
+                            "exit")
+    bench.add_argument("--jobs", type=positive_int, default=2, metavar="N",
+                       help="worker processes for the e2e.explore "
+                            "benchmark (default 2)")
+    bench.add_argument("--output", default=None, metavar="FILE",
+                       help="report path (default BENCH_<timestamp>.json)")
+    bench.add_argument("--compare", default=None, metavar="FILE",
+                       help="compare against a baseline report; exit 1 "
+                            "on regressions")
+    bench.add_argument("--threshold", type=float,
+                       default=DEFAULT_THRESHOLD * 100.0,
+                       metavar="PCT",
+                       help="regression threshold in percent (default "
+                            f"{DEFAULT_THRESHOLD * 100:.0f})")
+    bench.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a timing/counter trace JSON to FILE")
 
     return parser
 
@@ -391,6 +429,17 @@ def _cmd_verify(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import run_bench_command
+    from repro.obs import use_tracer
+
+    tracer = _make_tracer(args, "bench")
+    with use_tracer(tracer):
+        status = run_bench_command(args)
+    _finish_trace(args, tracer)
+    return status
+
+
 _COMMANDS = {
     "apps": _cmd_apps,
     "run": _cmd_run,
@@ -401,6 +450,7 @@ _COMMANDS = {
     "ir": _cmd_ir,
     "multicore": _cmd_multicore,
     "verify": _cmd_verify,
+    "bench": _cmd_bench,
 }
 
 

@@ -1,0 +1,412 @@
+"""Per-image compilation of SL32 programs into Python basic-block closures.
+
+This is the fetch/decode memoisation layer behind the fast path of
+:class:`repro.isa.simulator.Simulator`.  The reference interpreter decodes
+every *dynamic* instruction: each iteration re-reads the opcode, walks an
+``if/elif`` dispatch chain, and re-indexes half a dozen parallel arrays.
+For the workloads of the paper's Table 1 that is hundreds of thousands of
+dispatches over a few hundred *static* instructions — so we decode each
+static instruction exactly once per image instead:
+
+* the program is split into basic blocks (leaders = entry pc, pc 0,
+  branch/call targets, fall-throughs of control transfers, and
+  hardware/software attribution boundaries);
+* each block is translated to one specialised Python function with the
+  operands, immediates, energy constants, and cache/bus hooks baked in as
+  literals and pre-bound locals (``exec`` of generated source — the
+  "precomputed dispatch table" is simply ``funcs[pc]``);
+* a tiny driver loop then jumps block to block: ``pc = funcs[pc](regs)``.
+
+Bit-identical observables
+-------------------------
+The generated code preserves the reference model *exactly*, not just
+approximately:
+
+* integer counters (cycles, stalls, instruction counts, taken branches)
+  are derived from per-block execution counters by identities that hold
+  exactly over the integers;
+* float accumulation keeps the reference model's per-slot event order —
+  per-instruction cache-miss and class-transition energies are emitted as
+  the same sequence of ``extra_nj[pc] += constant`` additions, never
+  algebraically combined, so IEEE-754 rounding is identical;
+* straight-line fetches that share an icache line are batched through
+  :meth:`repro.mem.cache.Cache.record_read_hits`, which is provably
+  equivalent (the first access of the run makes the line MRU; the
+  remaining accesses of the same block iteration can only hit way 0);
+* memory-trace events are recorded in the reference event order, with
+  runs of static fetch events pre-built as constant tuples
+  (:meth:`repro.mem.trace.MemoryTrace.record_batch` semantics).
+
+Jumps into the middle of a block (e.g. a ``RET`` through a hand-crafted
+``r31``) cannot be ruled out statically, so the driver *deoptimises*: it
+reconstructs the interpreter's state from the block counters and resumes
+in the reference interpreter, which is always correct.
+
+``tests/golden/test_golden_values.py`` pins the end-to-end outputs of all
+bundled apps and ``tests/isa/test_engine_equivalence.py`` cross-checks
+the two engines instruction for instruction; ``repro.verify`` audits the
+cross-layer invariants at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.isa.image import CODE_BASE, MEMORY_BYTES
+from repro.isa.instructions import Opcode, TAKEN_BRANCH_PENALTY, WORD_BYTES
+
+#: Control-transfer opcodes: a basic block ends at (and includes) one.
+_CTRL = frozenset((Opcode.BNZ, Opcode.BEZ, Opcode.JMP, Opcode.CALL,
+                   Opcode.RET, Opcode.HALT))
+
+_BINOPS = {
+    Opcode.ADD: "+", Opcode.SUB: "-", Opcode.MUL: "*",
+    Opcode.AND: "&", Opcode.OR: "|", Opcode.XOR: "^",
+}
+_CMPOPS = {
+    Opcode.SLT: "<", Opcode.SLE: "<=", Opcode.SGT: ">",
+    Opcode.SGE: ">=", Opcode.SEQ: "==", Opcode.SNE: "!=",
+}
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _wrap32(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _wrap_expr(expr: str) -> str:
+    """Branch-free two's-complement wrap, identical to ``_wrap32``."""
+    return f"((({expr}) & 4294967295 ^ 2147483648) - 2147483648)"
+
+
+class CompiledProgram:
+    """One image compiled to block closures plus its run-state arrays.
+
+    The per-run accumulator arrays (``counts``/``extra_cycles``/
+    ``extra_nj``/``bx``/``st``) are captured by the generated closures, so
+    they are allocated once here and reset by slice assignment per run.
+    ``st`` is the scalar state vector:
+    ``[taken_branches, fuel_left, prev_class_id, in_hw, hw_instructions,
+    hw_entries]``.
+    """
+
+    __slots__ = ("funcs", "blocks", "size", "counts", "extra_cycles",
+                 "extra_nj", "bx", "st", "nop_cid", "class_names",
+                 "key_ids", "key_refs", "source", "zero_i", "zero_f",
+                 "zero_b")
+
+    def __init__(self, funcs: List[Optional[Callable]],
+                 blocks: List[Tuple[int, int, int, bool]], size: int,
+                 counts: List[int], extra_cycles: List[int],
+                 extra_nj: List[float], bx: List[int], st: List[int],
+                 nop_cid: int, class_names: List[str],
+                 key_ids: tuple, key_refs: tuple, source: str) -> None:
+        self.funcs = funcs
+        self.blocks = blocks
+        self.size = size
+        self.counts = counts
+        self.extra_cycles = extra_cycles
+        self.extra_nj = extra_nj
+        self.bx = bx
+        self.st = st
+        self.nop_cid = nop_cid
+        self.class_names = class_names
+        self.key_ids = key_ids
+        self.key_refs = key_refs
+        self.source = source
+        self.zero_i = [0] * size
+        self.zero_f = [0.0] * size
+        self.zero_b = [0] * len(blocks)
+
+
+def _find_blocks(opcode, target_arr, is_hw, entry: int,
+                 size: int) -> List[Tuple[int, int, int, bool]]:
+    """Split the image into ``(start, end, index, is_hw)`` basic blocks."""
+    if size == 0:
+        return []
+    leaders = {0}
+    if 0 <= entry < size:
+        leaders.add(entry)
+    for p in range(size):
+        op = opcode[p]
+        if op in _CTRL:
+            if p + 1 < size:
+                leaders.add(p + 1)
+            if op in (Opcode.BNZ, Opcode.BEZ, Opcode.JMP, Opcode.CALL):
+                target = target_arr[p]
+                if 0 <= target < size:
+                    leaders.add(target)
+    for p in range(1, size):
+        if is_hw[p] != is_hw[p - 1]:
+            leaders.add(p)
+    ordered = sorted(leaders)
+    blocks = []
+    for index, start in enumerate(ordered):
+        limit = ordered[index + 1] if index + 1 < len(ordered) else size
+        end = start
+        while end < limit:
+            end += 1
+            if opcode[end - 1] in _CTRL:
+                break
+        blocks.append((start, end, index, is_hw[start]))
+    return blocks
+
+
+def compile_program(sim) -> CompiledProgram:
+    """Compile ``sim``'s image for its current caches/trace/fuel binding."""
+    from repro.isa.simulator import SimError
+
+    opcode = sim._opcode
+    rd_arr, rs1_arr, rs2_arr = sim._rd, sim._rs1, sim._rs2
+    imm_arr, target_arr = sim._imm, sim._target
+    cls_arr = sim._class
+    is_hw = sim._is_hw
+    size = len(opcode)
+    entry = sim.image.entry_pc
+    icache, dcache = sim.icache, sim.dcache
+    memory_model, bus = sim.memory_model, sim.bus
+    trace = sim.trace
+    fuel = sim.max_instructions
+    have_hw = any(is_hw)
+
+    class_names = sorted(set(cls_arr) | {"nop"})
+    cid = {name: index for index, name in enumerate(class_names)}
+
+    overhead = repr(sim.energy_model.overhead_nj("alu", "mul"))
+    stall_nj = sim.energy_model.stall_nj
+    i_pen = icache.config.miss_penalty if icache else 0
+    i_words = icache.config.line_words if icache else 0
+    i_nj = repr(i_pen * stall_nj)
+    i_shift = icache.config.offset_bits if icache else 0
+    d_pen = dcache.config.miss_penalty if dcache else 0
+    d_words = dcache.config.line_words if dcache else 0
+    d_nj = repr(d_pen * stall_nj)
+    word_shift = WORD_BYTES.bit_length() - 1
+    assert (1 << word_shift) == WORD_BYTES
+
+    blocks = _find_blocks(opcode, target_arr, is_hw, entry, size)
+
+    body: List[str] = []
+    consts: List[str] = []
+    tc_counter = [0]
+
+    def emit(depth: int, text: str) -> None:
+        body.append("    " * depth + text)
+
+    for start, end, bidx, hw in blocks:
+        n = end - start
+        emit(1, f"def _b{start}(regs):")
+        if hw:
+            # Hardware-shadow block: functional execution only; the ASIC
+            # cost model accounts for this work (paper footnote 2).
+            emit(2, "if st[3] == 0:")
+            emit(3, "st[3] = 1")
+            emit(3, "st[5] += 1")
+            emit(2, f"st[4] += {n}")
+        else:
+            if have_hw:
+                emit(2, "st[3] = 0")
+            emit(2, f"bx[{bidx}] += 1")
+        emit(2, f"st[1] -= {n}")
+        emit(2, "if st[1] < 0:")
+        emit(3, f'raise SimError("fuel exhausted after {fuel} instructions")')
+
+        if not hw and icache is not None:
+            # Fetch the block's icache lines; consecutive fetches that
+            # share a line after the first are guaranteed MRU hits.
+            p = start
+            while p < end:
+                address = CODE_BASE + p * WORD_BYTES
+                line = address >> i_shift
+                q = p + 1
+                while (q < end
+                       and (CODE_BASE + q * WORD_BYTES) >> i_shift == line):
+                    q += 1
+                emit(2, f"if not ic({address}):")
+                emit(3, f"extra_cycles[{p}] += {i_pen}")
+                emit(3, f"extra_nj[{p}] += {i_nj}")
+                if memory_model is not None:
+                    emit(3, f"mm_refill({i_words})")
+                if bus is not None:
+                    emit(3, f"bus_read({i_words})")
+                if q - p > 1:
+                    emit(2, f"icb({q - p - 1})")
+                p = q
+
+        pending: List[int] = []
+
+        def flush_pending() -> None:
+            if not pending:
+                return
+            name = f"_tc{tc_counter[0]}"
+            tc_counter[0] += 1
+            items = ", ".join(f"(IF, {address})" for address in pending)
+            if len(pending) == 1:
+                items += ","
+            consts.append(f"{name} = ({items})")
+            emit(2, f"t_ext({name})")
+            pending.clear()
+
+        prev_cid: Optional[int] = None
+        for p in range(start, end):
+            op = opcode[p]
+            if not hw:
+                if trace is not None:
+                    pending.append(CODE_BASE + p * WORD_BYTES)
+                klass = cid[cls_arr[p]]
+                if prev_cid is None:
+                    emit(2, f"if st[2] != {klass}:")
+                    emit(3, f"extra_nj[{p}] += {overhead}")
+                elif klass != prev_cid:
+                    emit(2, f"extra_nj[{p}] += {overhead}")
+                prev_cid = klass
+            if op in _CTRL:
+                continue  # control transfer emitted after the block footer
+            dst = f"regs[{rd_arr[p] or 32}]"
+            a = f"regs[{rs1_arr[p]}]"
+            b = f"regs[{rs2_arr[p]}]"
+            imm = imm_arr[p]
+            if op in _BINOPS:
+                emit(2, f"{dst} = {_wrap_expr(f'{a} {_BINOPS[op]} {b}')}")
+            elif op in _CMPOPS:
+                emit(2, f"{dst} = 1 if {a} {_CMPOPS[op]} {b} else 0")
+            elif op is Opcode.ADDI:
+                emit(2, f"{dst} = {_wrap_expr(f'{a} + ({imm})')}")
+            elif op is Opcode.LI:
+                emit(2, f"{dst} = {_wrap32(imm)}")
+            elif op is Opcode.MOV:
+                emit(2, f"{dst} = {a}")
+            elif op is Opcode.LW:
+                emit(2, f"_a = {a} + ({imm})" if imm else f"_a = {a}")
+                emit(2, f"if _a < 0 or _a >= {MEMORY_BYTES}:")
+                emit(3, 'raise SimError(f"load fault at pc '
+                        f'{p}: address {{_a:#x}}")')
+                emit(2, f"{dst} = memory[_a >> {word_shift}]")
+                if not hw:
+                    if trace is not None:
+                        flush_pending()
+                        emit(2, "t_ap((RD, _a))")
+                    if dcache is not None:
+                        emit(2, "if not dc(_a):")
+                        emit(3, f"extra_cycles[{p}] += {d_pen}")
+                        emit(3, f"extra_nj[{p}] += {d_nj}")
+                        if memory_model is not None:
+                            emit(3, f"mm_refill({d_words})")
+                        if bus is not None:
+                            emit(3, f"bus_read({d_words})")
+            elif op is Opcode.SW:
+                emit(2, f"_a = {a} + ({imm})" if imm else f"_a = {a}")
+                emit(2, f"if _a < 0 or _a >= {MEMORY_BYTES}:")
+                emit(3, 'raise SimError(f"store fault at pc '
+                        f'{p}: address {{_a:#x}}")')
+                emit(2, f"memory[_a >> {word_shift}] = {b}")
+                if not hw:
+                    if trace is not None:
+                        flush_pending()
+                        emit(2, "t_ap((WR, _a))")
+                    if dcache is not None:
+                        emit(2, "dc(_a, True)")
+                        # Write-through: the word always reaches memory.
+                        if memory_model is not None:
+                            emit(2, "mm_write()")
+                        if bus is not None:
+                            emit(2, "bus_write(1)")
+            elif op is Opcode.NOT:
+                emit(2, f"{dst} = {_wrap_expr(f'~{a}')}")
+            elif op is Opcode.NEG:
+                emit(2, f"{dst} = {_wrap_expr(f'-{a}')}")
+            elif op is Opcode.SLL:
+                emit(2, f"{dst} = {_wrap_expr(f'{a} << ({b} & 31)')}")
+            elif op is Opcode.SRL:
+                emit(2, f"{dst} = "
+                        f"{_wrap_expr(f'({a} & 4294967295) >> ({b} & 31)')}")
+            elif op is Opcode.SLLI:
+                emit(2, f"{dst} = {_wrap_expr(f'{a} << {imm & 31}')}")
+            elif op in (Opcode.DIV, Opcode.REM):
+                what = "division" if op is Opcode.DIV else "modulo"
+                emit(2, f"_d = {b}")
+                emit(2, "if _d == 0:")
+                emit(3, f'raise SimError("{what} by zero at pc {p}")')
+                emit(2, f"_n = {a}")
+                emit(2, "_q = abs(_n) // abs(_d)")
+                emit(2, "if (_n < 0) != (_d < 0):")
+                emit(3, "_q = -_q")
+                if op is Opcode.DIV:
+                    emit(2, f"{dst} = {_wrap_expr('_q')}")
+                else:
+                    emit(2, f"{dst} = {_wrap_expr('_n - _d * _q')}")
+            elif op is Opcode.NOP:
+                pass
+            else:  # pragma: no cover - decode is exhaustive
+                raise ValueError(f"cannot compile {op}")
+
+        if not hw:
+            if trace is not None:
+                flush_pending()
+            emit(2, f"st[2] = {prev_cid}")
+
+        last = end - 1
+        op = opcode[last]
+        if op in (Opcode.BNZ, Opcode.BEZ):
+            relation = "!=" if op is Opcode.BNZ else "=="
+            emit(2, f"if regs[{rs1_arr[last]}] {relation} 0:")
+            if not hw:
+                emit(3, "st[0] += 1")
+                emit(3, f"extra_cycles[{last}] += {TAKEN_BRANCH_PENALTY}")
+            emit(3, f"return {target_arr[last]}")
+            emit(2, f"return {end}")
+        elif op is Opcode.JMP:
+            emit(2, f"return {target_arr[last]}")
+        elif op is Opcode.CALL:
+            emit(2, f"regs[31] = {end}")
+            emit(2, f"return {target_arr[last]}")
+        elif op is Opcode.RET:
+            emit(2, "return regs[31]")
+        elif op is Opcode.HALT:
+            emit(2, "return None")
+        else:
+            emit(2, f"return {end}")
+
+    lines = [
+        "def _build(counts, extra_cycles, extra_nj, bx, st, memory,",
+        "           SimError, ic, icb, dc, mm_refill, mm_write,",
+        "           bus_read, bus_write, t_ext, t_ap, IF, RD, WR):",
+    ]
+    lines.extend("    " + const for const in consts)
+    lines.extend(body)
+    lines.append(f"    funcs = [None] * {size}")
+    lines.extend(f"    funcs[{start}] = _b{start}"
+                 for start, _end, _bidx, _hw in blocks)
+    lines.append("    return funcs")
+    source = "\n".join(lines) + "\n"
+
+    namespace: dict = {}
+    exec(compile(source, "<repro-simcompile>", "exec"), namespace)
+
+    counts = [0] * size
+    extra_cycles = [0] * size
+    extra_nj = [0.0] * size
+    bx = [0] * len(blocks)
+    st = [0] * 6
+
+    from repro.mem.trace import Access
+    funcs = namespace["_build"](
+        counts, extra_cycles, extra_nj, bx, st, sim.memory, SimError,
+        icache.access if icache is not None else None,
+        icache.record_read_hits if icache is not None else None,
+        dcache.access if dcache is not None else None,
+        memory_model.refill if memory_model is not None else None,
+        memory_model.write_word if memory_model is not None else None,
+        bus.read_words if bus is not None else None,
+        bus.write_words if bus is not None else None,
+        trace.events.extend if trace is not None else None,
+        trace.events.append if trace is not None else None,
+        Access.IFETCH, Access.READ, Access.WRITE)
+
+    key_refs = (icache, dcache, memory_model, bus, trace)
+    key_ids = tuple(id(ref) for ref in key_refs) + (fuel,)
+    return CompiledProgram(funcs, blocks, size, counts, extra_cycles,
+                           extra_nj, bx, st, cid["nop"], class_names,
+                           key_ids, key_refs, source)

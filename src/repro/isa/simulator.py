@@ -11,6 +11,30 @@ same methodology as in [Tiwari et al.]".  Per run it produces:
   ``U_μP^core`` (Eq. 1/4) that ASIC candidates must beat;
 * instruction- and data-reference streams into the cache cores, whose
   misses stall the pipeline and generate main-memory/bus traffic.
+
+Execution engines
+-----------------
+Two engines produce **bit-identical** observable results:
+
+* ``engine="reference"`` — the original decode-per-dynamic-instruction
+  interpreter below (:meth:`Simulator._interp_from`).  It is the model of
+  record: simple, obviously faithful to the paper's semantics, and the
+  oracle the fast path is checked against.
+* ``engine="auto"``/``"compiled"`` (default) — the per-image basic-block
+  compiler in :mod:`repro.isa.simcompile`.  Each *static* instruction is
+  decoded once into specialised Python closures (the precomputed dispatch
+  table is ``funcs[pc]``); integer counters are derived from per-block
+  execution counts by exact identities and float energies keep the
+  reference model's per-slot accumulation order, so cycles, energy_nj,
+  per-block attribution, cache counters and trace events match the
+  reference bit for bit.  Jumps into a block interior (only reachable
+  through unusual hand-written images) deoptimise back into the reference
+  interpreter mid-run with full state reconstruction.
+
+The equivalence is enforced by ``tests/golden/test_golden_values.py``
+(frozen pre-optimisation outputs of every bundled app) and
+``tests/isa/test_engine_equivalence.py`` (both engines on the same
+images); ``repro.verify`` audits the cross-layer invariants on real runs.
 """
 
 from __future__ import annotations
@@ -117,7 +141,10 @@ class Simulator:
                  bus: Optional[SharedBus] = None,
                  max_instructions: int = 100_000_000,
                  hw_blocks: Optional[set] = None,
-                 trace: Optional[object] = None) -> None:
+                 trace: Optional[object] = None,
+                 engine: str = "auto") -> None:
+        if engine not in ("auto", "compiled", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.image = image
         self.library = library
         self.icache = icache
@@ -129,8 +156,14 @@ class Simulator:
         #: Optional :class:`~repro.mem.trace.MemoryTrace` capturing the μP
         #: side's references (fetches + data) for the trace-driven profiler.
         self.trace = trace
+        #: Execution engine: "auto"/"compiled" use the per-image block
+        #: compiler (bit-identical results), "reference" forces the
+        #: original interpreter (the model of record, kept for oracle
+        #: testing and benchmarking).
+        self.engine = engine
         self.energy_model = InstructionEnergyModel(library)
         self.memory: List[int] = [0] * (MEMORY_BYTES // WORD_BYTES)
+        self._compiled = None
         self._decode()
 
     def _decode(self) -> None:
@@ -173,10 +206,128 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def run(self, *args: int) -> SimResult:
+        if self.engine == "reference":
+            return self._run_reference(*args)
+        return self._run_compiled(*args)
+
+    # -- compiled engine ------------------------------------------------
+
+    def _run_compiled(self, *args: int) -> SimResult:
+        prog = self._compiled
+        key = (id(self.icache), id(self.dcache), id(self.memory_model),
+               id(self.bus), id(self.trace), self.max_instructions)
+        if prog is None or prog.key_ids != key:
+            from repro.isa.simcompile import compile_program
+            prog = compile_program(self)
+            self._compiled = prog
+        counts = prog.counts
+        counts[:] = prog.zero_i
+        extra_cycles = prog.extra_cycles
+        extra_cycles[:] = prog.zero_i
+        extra_nj = prog.extra_nj
+        extra_nj[:] = prog.zero_f
+        prog.bx[:] = prog.zero_b
+        st = prog.st
+        st[:] = (0, self.max_instructions, prog.nop_cid, 0, 0, 0)
+
+        memory = self.memory
+        regs = [0] * 33  # regs[32] is the write sink for rd=0
+        regs[29] = STACK_TOP
+        # Seed entry arguments into the stub's outgoing-arg slots.
+        for index, value in enumerate(args):
+            memory[(STACK_TOP - WORD_BYTES * (index + 1)) // WORD_BYTES] = \
+                _wrap32(value)
+
+        funcs = prog.funcs
+        size = prog.size
+        pc = self.image.entry_pc
+        while pc is not None:
+            if 0 <= pc < size:
+                fn = funcs[pc]
+                if fn is not None:
+                    pc = fn(regs)
+                    continue
+                # Jump into a block interior (hand-written r31 games):
+                # reconstruct interpreter state and finish there.
+                return self._deopt_resume(prog, pc, regs)
+            raise SimError(f"pc out of range: {pc}")
+
+        cycles, stall_cycles, instructions = self._reconstruct(prog)
+        result = self._aggregate(counts, extra_cycles, extra_nj, cycles,
+                                 stall_cycles, instructions, st[0], regs[1])
+        result.hw_instructions = st[4]
+        result.hw_entries = st[5]
+        return result
+
+    def _reconstruct(self, prog) -> Tuple[int, int, int]:
+        """Derive the interpreter's scalar counters from block counters.
+
+        Exact integer identities: every instruction of an executed block
+        executes, so per-pc counts equal the block's execution count;
+        ``cycles`` is the dot product with per-pc base cycles plus the
+        taken-branch penalties; ``stall_cycles`` is everything in
+        ``extra_cycles`` that is not a taken-branch penalty.
+        """
+        counts = prog.counts
+        bx = prog.bx
+        st = prog.st
+        cyc_arr = self._cycles
+        taken = st[0]
+        cycles = TAKEN_BRANCH_PENALTY * taken
+        sw_executed = 0
+        for start, end, bidx, hw in prog.blocks:
+            if hw:
+                continue
+            count = bx[bidx]
+            if count:
+                sw_executed += count * (end - start)
+                for p in range(start, end):
+                    counts[p] = count
+                    cycles += cyc_arr[p] * count
+        stall_cycles = sum(prog.extra_cycles) - TAKEN_BRANCH_PENALTY * taken
+        return cycles, stall_cycles, sw_executed + st[4]
+
+    def _deopt_resume(self, prog, pc: int, regs: List[int]) -> SimResult:
+        cycles, stall_cycles, instructions = self._reconstruct(prog)
+        st = prog.st
+        return self._interp_from(pc, regs[:32], prog.counts,
+                                 prog.extra_cycles, prog.extra_nj, cycles,
+                                 stall_cycles, instructions, st[0], st[4],
+                                 st[5], bool(st[3]),
+                                 prog.class_names[st[2]])
+
+    # -- reference engine -----------------------------------------------
+
+    def _run_reference(self, *args: int) -> SimResult:
+        size = len(self._opcode)
+        counts = [0] * size
+        extra_cycles = [0] * size
+        extra_nj = [0.0] * size
+        regs = [0] * 32
+        regs[29] = STACK_TOP
+        # Seed entry arguments into the stub's outgoing-arg slots.
+        for index, value in enumerate(args):
+            self.memory[(STACK_TOP - WORD_BYTES * (index + 1)) // WORD_BYTES] \
+                = _wrap32(value)
+        return self._interp_from(self.image.entry_pc, regs, counts,
+                                 extra_cycles, extra_nj, 0, 0, 0, 0, 0, 0,
+                                 False, "nop")
+
+    def _interp_from(self, pc: int, regs: List[int], counts: List[int],
+                     extra_cycles: List[int], extra_nj: List[float],
+                     cycles: int, stall_cycles: int, instructions: int,
+                     taken_branches: int, hw_instructions: int,
+                     hw_entries: int, in_hw: bool,
+                     prev_class: str) -> SimResult:
+        """The reference interpreter, resumable from any machine state.
+
+        Fresh runs enter through :meth:`_run_reference`; the compiled
+        engine enters mid-run when it deoptimises.
+        """
         opcode = self._opcode
         rd_arr, rs1_arr, rs2_arr = self._rd, self._rs1, self._rs2
         imm_arr, target_arr = self._imm, self._target
-        cyc_arr, cls_arr, base_nj_arr = self._cycles, self._class, self._base_nj
+        cyc_arr, cls_arr = self._cycles, self._class
         memory = self.memory
         icache, dcache = self.icache, self.dcache
         memory_model, bus = self.memory_model, self.bus
@@ -189,16 +340,6 @@ class Simulator:
         d_line_words = dcache.config.line_words if dcache else 0
 
         size = len(opcode)
-        counts = [0] * size
-        extra_cycles = [0] * size
-        extra_nj = [0.0] * size
-
-        regs = [0] * 32
-        regs[29] = STACK_TOP
-        # Seed entry arguments into the stub's outgoing-arg slots.
-        for index, value in enumerate(args):
-            memory[(STACK_TOP - WORD_BYTES * (index + 1)) // WORD_BYTES] = \
-                _wrap32(value)
 
         if self.trace is not None:
             from repro.mem.trace import Access
@@ -208,15 +349,6 @@ class Simulator:
             trace_events = None
 
         is_hw = self._is_hw
-        pc = self.image.entry_pc
-        cycles = 0
-        stall_cycles = 0
-        instructions = 0
-        taken_branches = 0
-        hw_instructions = 0
-        hw_entries = 0
-        in_hw = False
-        prev_class = "nop"
         fuel = self.max_instructions
         OP = Opcode  # local alias
 

@@ -4,6 +4,27 @@ Write-through with no write-allocate matches the embedded cores of the
 paper's era (e.g. SPARCLite): write misses go straight to memory without
 disturbing the array, writes are buffered (no stall), read misses stall the
 pipeline for ``miss_penalty`` cycles while the line refills.
+
+Optimised data layout
+---------------------
+:class:`Cache` is on the hot path of every simulated reference (one call
+per instruction fetch plus one per data access), so the tag store is a
+single flat list of ``num_sets * associativity`` entries — each set owns
+the contiguous segment ``[set * assoc, (set + 1) * assoc)`` in MRU-first
+order, with ``None`` marking an invalid way.  Geometry that the previous
+implementation recomputed from :class:`CacheConfig` properties on every
+access (set mask, index shift, offset shift) is frozen into instance
+attributes at construction, the hit scan is a bounded C-level
+``list.index``, and LRU rotation is a small slice move within the set's
+segment — no per-access allocation.
+
+The observable results are bit-identical to the reference model: every
+counter (reads/writes, hits/misses counted independently on their own
+code paths, fills) and every hit/miss decision matches the per-set
+list-of-tags implementation exactly.  ``tests/golden/test_golden_values.py``
+pins the end-to-end counters for all bundled apps and
+``repro.verify`` audits the ``hits + misses == accesses`` invariant at
+runtime (``mem.cache_accounting``).
 """
 
 from __future__ import annotations
@@ -113,10 +134,15 @@ class Cache:
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.config = config
         self.name = name
-        # Per set: list of tags in MRU-first order.
-        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        # Flat tag store: set ``s`` owns ``_tags[s*assoc:(s+1)*assoc]`` in
+        # MRU-first order; ``None`` marks an invalid way.  Geometry is
+        # frozen here so the hot :meth:`access` path never touches the
+        # (computed) CacheConfig properties.
+        self._assoc = config.associativity
         self._set_mask = config.num_sets - 1
         self._offset_shift = config.offset_bits
+        self._index_shift = config.index_bits
+        self._tags: List[object] = [None] * (config.num_sets * self._assoc)
         self.reads = 0
         self.writes = 0
         self.read_hits = 0
@@ -127,7 +153,7 @@ class Cache:
 
     def reset(self) -> None:
         """Clear contents and statistics."""
-        self._sets = [[] for _ in range(self.config.num_sets)]
+        self._tags = [None] * (self.config.num_sets * self._assoc)
         self.reads = 0
         self.writes = 0
         self.read_hits = 0
@@ -143,33 +169,57 @@ class Cache:
         (no-write-allocate, write-through).
         """
         line = address >> self._offset_shift
-        tags = self._sets[line & self._set_mask]
-        tag = line >> self.config.index_bits if self.config.num_sets > 1 else line
+        assoc = self._assoc
+        base = (line & self._set_mask) * assoc
+        end = base + assoc
+        tag = line >> self._index_shift
+        tags = self._tags
+        try:
+            way = tags.index(tag, base, end)
+        except ValueError:
+            way = -1
         if is_write:
             self.writes += 1
-            try:
-                index = tags.index(tag)
-            except ValueError:
+            if way < 0:
                 self.write_misses += 1
                 return False
             self.write_hits += 1
-            if index:
-                tags.insert(0, tags.pop(index))
-            return True
-        self.reads += 1
-        try:
-            index = tags.index(tag)
-        except ValueError:
-            self.read_misses += 1
-            self.fills += 1
-            tags.insert(0, tag)
-            if len(tags) > self.config.associativity:
-                tags.pop()
-            return False
-        self.read_hits += 1
-        if index:
-            tags.insert(0, tags.pop(index))
+        else:
+            self.reads += 1
+            if way < 0:
+                self.read_misses += 1
+                self.fills += 1
+                # Insert at MRU; the set's LRU way falls off the segment.
+                tags[base + 1:end] = tags[base:end - 1]
+                tags[base] = tag
+                return False
+            self.read_hits += 1
+        if way > base:
+            # Rotate the hit way to the MRU slot of its set segment.
+            tags[base + 1:way + 1] = tags[base:way]
+            tags[base] = tag
         return True
+
+    def set_contents(self) -> List[List[int]]:
+        """Valid tags per set, MRU-first (introspection/testing only)."""
+        assoc = self._assoc
+        return [[tag for tag in self._tags[base:base + assoc]
+                 if tag is not None]
+                for base in range(0, len(self._tags), assoc)]
+
+    def record_read_hits(self, count: int) -> None:
+        """Record ``count`` guaranteed read hits without a tag lookup.
+
+        Contract: the caller must have just accessed the same line via
+        :meth:`access` (so it is resident and already in the MRU way) with
+        no intervening reference to this cache.  Under that precondition a
+        real :meth:`access` per reference would bump ``reads``/``read_hits``
+        and leave the LRU order untouched — exactly what this does.  The
+        compiled ISS engine (:mod:`repro.isa.simcompile`) uses this to
+        batch the fetches of straight-line code that sits on one line.
+        """
+        self.reads += count
+        self.read_hits += count
 
     def snapshot(self) -> CacheStats:
         """Freeze the current counters into a :class:`CacheStats`."""

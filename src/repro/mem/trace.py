@@ -8,13 +8,24 @@ simple dinero-like text format::
     i 0x00000040        # instruction fetch
     r 0x00010008        # data read
     w 0x000ffff0        # data write
+
+Recording is on the simulator's hot path, so next to the one-at-a-time
+:meth:`MemoryTrace.record` there is :meth:`MemoryTrace.record_batch`
+(one ``list.extend`` per basic block — the compiled ISS engine flushes
+its precomputed per-block fetch batches through it) and
+:meth:`MemoryTrace.counts` tallies kinds in a single C-level
+:class:`collections.Counter` pass.  Both leave the stored event sequence
+byte-identical to per-event recording;
+``tests/golden/test_golden_values.py`` and the engine-equivalence tests
+pin the exact event order.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import IO, Iterator, List, Tuple
+from typing import IO, Iterable, Iterator, List, Tuple
 
 
 class Access(enum.IntEnum):
@@ -41,6 +52,16 @@ class MemoryTrace:
     def record(self, kind: Access, address: int) -> None:
         self.events.append((kind, address))
 
+    def record_batch(self, events: Iterable[TraceEvent]) -> None:
+        """Append many events in one C-level ``list.extend``.
+
+        The compiled ISS engine precomputes the (static) fetch-event runs
+        of each basic block as constant tuples and records them with a
+        single call instead of one :meth:`record` per instruction.  Event
+        order is exactly the per-reference order of the reference model.
+        """
+        self.events.extend(events)
+
     def __len__(self) -> int:
         return len(self.events)
 
@@ -52,16 +73,15 @@ class MemoryTrace:
     # ------------------------------------------------------------------
 
     def counts(self) -> Tuple[int, int, int]:
-        """(instruction fetches, data reads, data writes)."""
-        fetches = reads = writes = 0
-        for kind, _ in self.events:
-            if kind is Access.IFETCH:
-                fetches += 1
-            elif kind is Access.READ:
-                reads += 1
-            else:
-                writes += 1
-        return fetches, reads, writes
+        """(instruction fetches, data reads, data writes).
+
+        Any kind that is neither IFETCH nor READ counts as a write, as in
+        the original per-event loop.
+        """
+        tally = Counter(kind for kind, _ in self.events)
+        fetches = tally.get(Access.IFETCH, 0)
+        reads = tally.get(Access.READ, 0)
+        return fetches, reads, len(self.events) - fetches - reads
 
     def footprint_bytes(self, granularity: int = 4) -> int:
         """Distinct bytes touched, at ``granularity``-byte resolution."""

@@ -6,12 +6,27 @@ component with G combinational gates at switching activity ``a``, one clock
 cycle costs ``G * a * E_gate`` — with ``a = active_activity`` while the
 component computes and ``a = idle_activity`` otherwise (no gated clocks).
 Sequential gates toggle every cycle (clock input) at a reduced weight.
+
+Optimised evaluation
+--------------------
+:class:`GateEnergyEvaluator` levelises the netlist once per
+(netlist, binding) pair: per-component gate-energy coefficients
+(``G_comb * E_gate`` and ``G_seq * E_gate * 0.5``) and each functional
+unit's (block, busy-cycles) schedule are precomputed, so re-evaluating
+against a new execution profile touches only the per-component closed
+form.  The grouping mirrors the reference expression's left-to-right
+association exactly, so the floats are bit-identical to evaluating the
+original formula — ``tests/golden/test_golden_values.py`` pins the
+per-component energies of every bundled app against fixtures captured
+from the pre-optimisation model.  :func:`estimate_gate_energy` keeps the
+original one-shot API on top, caching the evaluator per netlist.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.sched.binding import BindingResult
 from repro.synth.netlist import Netlist
@@ -32,6 +47,100 @@ class GateLevelEnergy:
         return sum(self.component_nj.values())
 
 
+class GateEnergyEvaluator:
+    """Reusable evaluator for one synthesized core.
+
+    Precomputes, per netlist component: the combinational and sequential
+    gate-energy coefficients and — for components that map to a bound
+    functional unit — the unit's ``(block, busy_cycles)`` schedule.
+    :meth:`evaluate` then prices any execution profile without touching
+    the netlist or binding again.
+    """
+
+    def __init__(self, netlist: Netlist, binding: BindingResult,
+                 library: TechnologyLibrary) -> None:
+        e_gate = library.gate_switch_energy_pj
+        self._active_activity = library.active_activity
+        self._idle_activity = library.idle_activity
+        self._idle_factor = library.asic_idle_factor
+
+        schedules: Dict[str, List[Tuple[str, int]]] = {}
+        blocks = list(binding.block_makespans)
+        for inst in binding.instances:
+            schedules[f"{inst.kind.value}{inst.index}"] = [
+                (block, inst.busy_cycles(block)) for block in blocks]
+
+        #: Per component: (name, G_comb*E_gate, G_seq*E_gate*0.5, schedule
+        #: or None).  The coefficient products replicate the reference
+        #: expression's left-to-right association, so evaluation rounds
+        #: identically.
+        self._components: List[
+            Tuple[str, float, float, Optional[List[Tuple[str, int]]]]] = [
+            (comp.name,
+             comp.combinational_gates * e_gate,
+             comp.sequential_gates * e_gate * _SEQ_CLOCK_ACTIVITY,
+             schedules.get(comp.name))
+            for comp in netlist.components]
+
+    def evaluate(self, ex_times: Mapping[str, int],
+                 total_cycles: int) -> GateLevelEnergy:
+        """Price one run: block execution counts × the frozen schedule."""
+        energy = GateLevelEnergy()
+        component_nj = energy.component_nj
+        active_activity = self._active_activity
+        idle_activity = self._idle_activity
+        idle_factor = self._idle_factor
+        get = ex_times.get
+        for name, comb_coeff, seq_coeff, schedule in self._components:
+            if schedule is None:
+                # Registers, muxes, controller: busy whenever the core runs.
+                active = total_cycles
+            else:
+                active = 0
+                for block, busy in schedule:
+                    active += busy * get(block, 0)
+                if active > total_cycles:
+                    active = total_cycles
+            idle = total_cycles - active
+            if idle < 0:
+                idle = 0
+            comb_pj = comb_coeff * (active * active_activity
+                                    + idle * idle_activity * idle_factor)
+            # Sequential gates see the clock every active cycle; during
+            # idle cycles the clock is gated down to the idle factor.
+            seq_pj = seq_coeff * (active + idle * idle_factor)
+            component_nj[name] = (comb_pj + seq_pj) / 1000.0
+        return energy
+
+
+#: id(netlist) -> (netlist ref, binding ref, library ref, evaluator).
+#: Keyed by id because Netlist is an (unhashable) mutable dataclass; the
+#: weakrefs both evict dead entries and guard against id reuse — every
+#: input is identity-checked before a cached evaluator is reused.
+_EVALUATOR_CACHE: Dict[int, tuple] = {}
+
+
+def get_evaluator(netlist: Netlist, binding: BindingResult,
+                  library: TechnologyLibrary) -> GateEnergyEvaluator:
+    """Evaluator for (netlist, binding, library), cached per netlist."""
+    key = id(netlist)
+    cached = _EVALUATOR_CACHE.get(key)
+    if cached is not None:
+        netlist_ref, binding_ref, library_ref, evaluator = cached
+        if (netlist_ref() is netlist and binding_ref() is binding
+                and library_ref() is library):
+            return evaluator
+    evaluator = GateEnergyEvaluator(netlist, binding, library)
+    try:
+        _EVALUATOR_CACHE[key] = (
+            weakref.ref(netlist,
+                        lambda _ref: _EVALUATOR_CACHE.pop(key, None)),
+            weakref.ref(binding), weakref.ref(library), evaluator)
+    except TypeError:  # pragma: no cover - non-weakrefable inputs
+        pass
+    return evaluator
+
+
 def estimate_gate_energy(netlist: Netlist,
                          binding: BindingResult,
                          ex_times: Mapping[str, int],
@@ -46,29 +155,5 @@ def estimate_gate_energy(netlist: Netlist,
         total_cycles: the cluster's total execution cycles ``N_cyc^c``.
         library: switching-energy constants.
     """
-    energy = GateLevelEnergy()
-    e_gate = library.gate_switch_energy_pj
-
-    active_by_unit: Dict[str, int] = {}
-    for inst in binding.instances:
-        cycles = sum(inst.busy_cycles(block) * ex_times.get(block, 0)
-                     for block in binding.block_makespans)
-        active_by_unit[f"{inst.kind.value}{inst.index}"] = cycles
-
-    idle_factor = library.asic_idle_factor
-    for comp in netlist.components:
-        active = active_by_unit.get(comp.name)
-        if active is None:
-            # Registers, muxes, controller: busy whenever the core runs.
-            active = total_cycles
-        active = min(active, total_cycles)
-        idle = max(0, total_cycles - active)
-        comb_pj = comp.combinational_gates * e_gate * (
-            active * library.active_activity
-            + idle * library.idle_activity * idle_factor)
-        # Sequential gates see the clock every active cycle; during idle
-        # cycles the clock is gated down to the library's idle factor.
-        seq_pj = (comp.sequential_gates * e_gate * _SEQ_CLOCK_ACTIVITY
-                  * (active + idle * idle_factor))
-        energy.component_nj[comp.name] = (comb_pj + seq_pj) / 1000.0
-    return energy
+    return get_evaluator(netlist, binding, library).evaluate(
+        ex_times, total_cycles)

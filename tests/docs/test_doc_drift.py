@@ -9,6 +9,8 @@ when the code moves:
   ``repro.tech.cmos6_library()``.
 * ``docs/VALIDATION.md`` promises one section per implemented invariant —
   compared against the ``repro.verify.checks.CHECKS`` registry.
+* ``docs/PERFORMANCE.md`` states the ``repro-bench`` schema version and
+  enumerates the standing suite — compared against ``repro.bench``.
 """
 
 import re
@@ -22,6 +24,8 @@ from repro.verify.checks import CHECKS
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 MODELS = (REPO_ROOT / "docs" / "MODELS.md").read_text(encoding="utf-8")
 VALIDATION = (REPO_ROOT / "docs" / "VALIDATION.md").read_text(
+    encoding="utf-8")
+PERFORMANCE = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text(
     encoding="utf-8")
 
 ROW_RE = re.compile(
@@ -119,3 +123,56 @@ def test_validation_states_the_live_tolerances():
         m = re.search(rf"`{name}` \| ([0-9.e+-]+)", VALIDATION)
         assert m, f"VALIDATION.md tolerance table lost `{name}`"
         assert float(m.group(1)) == value
+
+
+# ---------------------------------------------------------------------------
+# PERFORMANCE.md <-> repro.bench
+# ---------------------------------------------------------------------------
+
+#: Rows of the suite table: | `name` | unit | ...
+BENCH_ROW_RE = re.compile(r"^\| `([a-zA-Z0-9._]+)` \| (ops/s|s) \|",
+                          re.MULTILINE)
+
+PERFORMANCE_HEADINGS = [
+    "## The suite",
+    "## Running it",
+    "## Report schema (`repro-bench` version 1)",
+    "## Baselines",
+    "## Measured effect of the current optimisations",
+]
+
+
+def test_performance_states_current_schema_version():
+    from repro.bench import BENCH_SCHEMA_NAME, BENCH_SCHEMA_VERSION
+    m = re.search(r"## Report schema \(`([a-z-]+)` version (\d+)\)",
+                  PERFORMANCE)
+    assert m, "PERFORMANCE.md lost its schema section heading"
+    assert m.group(1) == BENCH_SCHEMA_NAME
+    assert int(m.group(2)) == BENCH_SCHEMA_VERSION
+    m = re.search(r"schema version, currently `(\d+)`", PERFORMANCE)
+    assert m and int(m.group(1)) == BENCH_SCHEMA_VERSION
+
+
+def test_performance_has_the_contract_sections():
+    for heading in PERFORMANCE_HEADINGS:
+        assert f"\n{heading}\n" in PERFORMANCE, (
+            f"PERFORMANCE.md lost its '{heading}' section")
+
+
+def test_performance_suite_table_matches_live_suite():
+    from repro.bench import iter_specs
+    documented = BENCH_ROW_RE.findall(PERFORMANCE)
+    assert documented, "PERFORMANCE.md suite table not found"
+    live = {(s.name, s.unit) for s in iter_specs()}
+    assert set(documented) == live, (
+        f"undocumented benchmarks: {sorted(live - set(documented))}; "
+        f"stale rows: {sorted(set(documented) - live)}")
+
+
+def test_performance_states_the_baseline_filename_and_threshold():
+    from repro.bench import BASELINE_FILENAME, DEFAULT_THRESHOLD
+    assert BASELINE_FILENAME in PERFORMANCE
+    assert (REPO_ROOT / BASELINE_FILENAME).is_file(), (
+        "committed baseline missing; record it per docs/PERFORMANCE.md")
+    m = re.search(r"percent; default (\d+)", PERFORMANCE)
+    assert m and int(m.group(1)) == int(DEFAULT_THRESHOLD * 100)

@@ -1,0 +1,62 @@
+"""Golden-value regression tests for the optimised simulation substrate.
+
+``fixtures/<app>.json`` freezes the observable outputs of the full
+low-power flow — SimResult counters and per-block attribution, per-cache
+CacheStats, memory/bus word counters, and the gate-level energy breakdown
+— as captured from the *reference* (pre-optimisation) models.  The
+optimised fast paths (compiled ISS engine, flat-array cache, cached
+gate-energy evaluator) must reproduce every value exactly: integers
+equal, floats bit-equal (fixtures round-trip through ``repr`` so JSON
+preserves them losslessly).
+
+Regenerate fixtures only on an *intentional* model change::
+
+    PYTHONPATH=src python tools/capture_golden.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from capture_golden import FIXTURE_DIR, capture  # noqa: E402
+
+from repro.apps import ALL_APPS  # noqa: E402
+
+APP_NAMES = sorted(ALL_APPS)
+
+
+def _flatten(prefix, value, out):
+    if isinstance(value, dict):
+        for key in value:
+            _flatten(f"{prefix}.{key}", value[key], out)
+    else:
+        out[prefix] = value
+
+
+@pytest.mark.parametrize("app_name", APP_NAMES)
+def test_flow_reproduces_golden_fixture(app_name):
+    fixture_path = FIXTURE_DIR / f"{app_name}.json"
+    want = json.loads(fixture_path.read_text(encoding="utf-8"))
+    got = capture(app_name)
+    if got != want:  # flatten first so the diff names the exact field
+        got_flat, want_flat = {}, {}
+        _flatten(app_name, got, got_flat)
+        _flatten(app_name, want, want_flat)
+        diffs = [f"{key}: got={got_flat.get(key)!r} "
+                 f"want={want_flat.get(key)!r}"
+                 for key in sorted(set(got_flat) | set(want_flat))
+                 if got_flat.get(key) != want_flat.get(key)]
+        pytest.fail("golden mismatch (bit-exactness violated):\n  "
+                    + "\n  ".join(diffs[:40]))
+
+
+def test_fixtures_exist_for_every_app():
+    for app_name in APP_NAMES:
+        assert (FIXTURE_DIR / f"{app_name}.json").is_file(), (
+            f"missing golden fixture for {app_name}; run "
+            "PYTHONPATH=src python tools/capture_golden.py")

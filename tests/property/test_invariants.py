@@ -92,7 +92,7 @@ def test_cache_occupancy_bounded(config, accesses):
     cache = Cache(config)
     for address, is_write in accesses:
         cache.access(address, is_write)
-    for tags in cache._sets:
+    for tags in cache.set_contents():
         assert len(tags) <= config.associativity
         assert len(set(tags)) == len(tags)  # no duplicate lines in a set
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the standing benchmark harness.
+
+Equivalent to ``PYTHONPATH=src python -m repro bench ...`` but runnable
+directly (CI and local shells that have not set ``PYTHONPATH``)::
+
+    python tools/bench.py --quick --compare BENCH_baseline.json
+
+See ``docs/PERFORMANCE.md`` for the suite contract and the
+``BENCH_*.json`` schema.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main() -> int:
+    from repro.cli import main as cli_main
+    return cli_main(["bench"] + sys.argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Check relative markdown links (and their #anchors) in the repo docs.
 
-Scans ``README.md`` and ``docs/*.md`` for inline links ``[text](target)``
+Scans the root markdown files (``README.md``, ``DESIGN.md``,
+``EXPERIMENTS.md``, ``ROADMAP.md``) and ``docs/*.md`` for inline links
+``[text](target)``
 and verifies that every *relative* target resolves to an existing file,
 and — when the target carries a ``#fragment`` — that the referenced
 heading exists in the target document (GitHub anchor slug rules:
@@ -34,8 +36,14 @@ FENCE_RE = re.compile(r"^\s*(```|~~~)")
 EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 
 
+#: Root-level documents under the link contract.  PAPER/PAPERS/SNIPPETS
+#: and CHANGES are working notes with external or historical references,
+#: not part of the curated doc set.
+ROOT_DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+
+
 def doc_files() -> List[Path]:
-    files = [REPO_ROOT / "README.md"]
+    files = [REPO_ROOT / name for name in ROOT_DOCS]
     files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
     return [f for f in files if f.is_file()]
 
