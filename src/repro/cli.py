@@ -36,6 +36,23 @@ Commands
     Run the standing performance suite (``docs/PERFORMANCE.md``) and
     emit a versioned ``BENCH_<timestamp>.json``; ``--compare
     BENCH_baseline.json`` fails on regressions past ``--threshold``.
+``fuzz``
+    Run the differential fuzzing campaign (``docs/TESTING.md``): seeded
+    random BDL programs cross-checked interpreter vs reference ISS vs
+    compiled engine vs full flow, with mismatches shrunk to minimal
+    reproducers.  ``--replay DIR`` re-runs a corpus instead of
+    generating.
+
+Exit codes
+----------
+
+All commands exit ``0`` on success and ``1`` on generic failure (no
+beneficial partition, bench regression, bad arguments caught late).
+Two commands reserve dedicated statuses so CI can tell *what* failed:
+``verify --strict`` (and ``run``/``table1``/``explore`` with
+``--verify --strict``) exits ``2`` when the invariant audit has ERROR
+findings; ``fuzz`` exits ``3`` when the differential oracle found a
+mismatch between engines.
 """
 
 from __future__ import annotations
@@ -186,6 +203,41 @@ def _build_parser() -> argparse.ArgumentParser:
                             f"{DEFAULT_THRESHOLD * 100:.0f})")
     bench.add_argument("--trace", default=None, metavar="FILE",
                        help="write a timing/counter trace JSON to FILE")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random BDL programs cross-checked "
+             "across every execution engine (docs/TESTING.md); exits 3 "
+             "on mismatch")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (default 0); output is "
+                           "byte-identical for a fixed seed/count")
+    fuzz.add_argument("--count", type=positive_int, default=200,
+                      metavar="N",
+                      help="programs to generate and check (default 200)")
+    fuzz.add_argument("--flow-every", type=int, default=20, metavar="N",
+                      help="run the full partition flow + verifier on "
+                           "every Nth program (0 disables; default 20)")
+    fuzz.add_argument("--inject-bug", default=None, metavar="NAME",
+                      help="deliberately wire a known bug into one engine "
+                           "to exercise detection/shrinking (see "
+                           "'repro fuzz --list-bugs')")
+    fuzz.add_argument("--list-bugs", action="store_true",
+                      help="list the injectable bugs and exit")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report mismatches without shrinking them")
+    fuzz.add_argument("--out", default=None, metavar="DIR",
+                      help="write shrunken reproducers as corpus entries "
+                           "into DIR")
+    fuzz.add_argument("--replay", default=None, metavar="DIR",
+                      help="replay the corpus in DIR instead of "
+                           "generating programs")
+    fuzz.add_argument("--max-mismatches", type=positive_int, default=5,
+                      metavar="N",
+                      help="stop after N distinct mismatching programs "
+                           "(default 5)")
+    fuzz.add_argument("--trace", default=None, metavar="FILE",
+                      help="write a timing/counter trace JSON to FILE")
 
     return parser
 
@@ -440,6 +492,23 @@ def _cmd_bench(args) -> int:
     return status
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import KNOWN_BUGS, run_fuzz_command
+
+    if args.list_bugs:
+        for name, bug in sorted(KNOWN_BUGS.items()):
+            print(f"{name:20s} {bug.description}")
+        return 0
+    tracer = _make_tracer(args, "fuzz")
+    status = run_fuzz_command(
+        seed=args.seed, count=args.count, flow_every=args.flow_every,
+        inject_bug=args.inject_bug, shrink=not args.no_shrink,
+        out_dir=args.out, replay=args.replay,
+        max_mismatches=args.max_mismatches, tracer=tracer)
+    _finish_trace(args, tracer)
+    return status
+
+
 _COMMANDS = {
     "apps": _cmd_apps,
     "run": _cmd_run,
@@ -451,6 +520,7 @@ _COMMANDS = {
     "multicore": _cmd_multicore,
     "verify": _cmd_verify,
     "bench": _cmd_bench,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -1,0 +1,73 @@
+"""Differential fuzzing: random BDL programs cross-checked engine vs engine.
+
+The paper's energy comparisons (Eq. 2-4) only mean anything if every
+layer agrees about the computation itself — the behavioral description,
+the SL32 software execution and the partitioned hardware/software system
+must produce identical values.  This package is the standing adversary
+for that property:
+
+* :mod:`repro.fuzz.generator` — a seeded random-program generator that
+  emits *valid-by-construction* BDL (in-bounds array accesses, guarded
+  division, bounded loops), biased toward the nested-loop shapes the
+  cluster decomposition feeds on;
+* :mod:`repro.fuzz.oracle` — the differential oracle stack: CDFG
+  interpreter vs reference ISS vs compiled-block ISS engine vs the full
+  partitioning flow under ``verify``/``strict``, comparing results,
+  memory state, trace/cache counters and energy accounting, and
+  classifying any disagreement;
+* :mod:`repro.fuzz.shrink` — an AST-level delta-debugging shrinker that
+  reduces a failing program to a minimal reproducer with the same
+  mismatch classification;
+* :mod:`repro.fuzz.corpus` — the replayable regression corpus under
+  ``tests/fuzz/corpus/`` (shrunken reproducers of past bugs, replayed
+  deterministically by the tier-1 suite);
+* :mod:`repro.fuzz.campaign` — the campaign driver behind the
+  ``repro fuzz`` CLI subcommand, with a coverage signal (IR op kinds,
+  scheduler paths, cache geometries) steering generation.
+
+Everything is deterministic for a fixed seed: two runs of
+``repro fuzz --seed 0 --count 200`` produce byte-identical stdout.
+
+See ``docs/TESTING.md`` for how the fuzzer fits the test-tier contract.
+"""
+
+from repro.fuzz.campaign import (
+    EXIT_MISMATCH,
+    CampaignConfig,
+    FuzzCampaign,
+    FuzzReport,
+    run_fuzz_command,
+)
+from repro.fuzz.corpus import CorpusEntry, load_corpus, write_entry
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.generator import FuzzProgram, GeneratorConfig, ProgramGenerator
+from repro.fuzz.oracle import (
+    KNOWN_BUGS,
+    Mismatch,
+    OracleConfig,
+    OracleOutcome,
+    OracleStack,
+)
+from repro.fuzz.shrink import Shrinker, shrink_program
+
+__all__ = [
+    "EXIT_MISMATCH",
+    "CampaignConfig",
+    "CorpusEntry",
+    "CoverageMap",
+    "FuzzCampaign",
+    "FuzzProgram",
+    "FuzzReport",
+    "GeneratorConfig",
+    "KNOWN_BUGS",
+    "Mismatch",
+    "OracleConfig",
+    "OracleOutcome",
+    "OracleStack",
+    "ProgramGenerator",
+    "Shrinker",
+    "load_corpus",
+    "run_fuzz_command",
+    "shrink_program",
+    "write_entry",
+]

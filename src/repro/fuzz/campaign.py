@@ -1,0 +1,267 @@
+"""The fuzzing campaign driver behind ``repro fuzz``.
+
+A campaign is a deterministic loop: generate program ``i`` from
+``seed``, pick a cache geometry round-robin, run the differential oracle
+stack, fold the outcome into the coverage map, and — on a mismatch —
+shrink to a minimal reproducer and (optionally) write it into a corpus
+directory for check-in.
+
+Determinism is the contract that makes the fuzzer CI-friendly: for a
+fixed ``--seed``/``--count`` the campaign visits the same programs in
+the same order with the same geometries, so two runs produce
+byte-identical reports (timings, if wanted, go to stderr — never
+stdout).  Coverage-guided steering respects this: the steering decision
+for program ``i`` depends only on programs ``0..i-1``.
+
+Exit codes (see ``repro fuzz --help`` and docs/TESTING.md):
+
+* ``0`` — every program agreed across all engines;
+* ``3`` (:data:`EXIT_MISMATCH`) — at least one classified mismatch.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.obs import NullTracer, Tracer
+
+from repro.fuzz.corpus import load_corpus, write_entry
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.generator import (
+    FuzzProgram,
+    GeneratorConfig,
+    ProgramGenerator,
+)
+from repro.fuzz.oracle import (
+    CACHE_GEOMETRIES,
+    KNOWN_BUGS,
+    OracleConfig,
+    OracleStack,
+)
+from repro.fuzz.shrink import Shrinker, _preferred_kind
+
+#: ``repro fuzz`` exit status when the oracle found any mismatch.
+EXIT_MISMATCH = 3
+
+#: After this many consecutive programs with no new coverage feature,
+#: the campaign re-weights the generator toward uncovered op kinds.
+_STALE_WINDOW = 25
+
+
+@dataclass
+class CampaignConfig:
+    """Everything one campaign run is parameterized by."""
+
+    seed: int = 0
+    count: int = 200
+    #: Run the full partition flow + verifier on every Nth program
+    #: (0 disables flow checks entirely).
+    flow_every: int = 20
+    #: Deliberate bug to inject (a :data:`KNOWN_BUGS` key) or None.
+    inject_bug: Optional[str] = None
+    #: Shrink mismatching programs to minimal reproducers.
+    shrink: bool = True
+    #: Oracle-invocation budget per shrink.
+    shrink_attempts: int = 3000
+    #: Stop the campaign after this many distinct mismatching programs
+    #: (the fuzzer's job is finding *a* bug, not cataloguing one bug
+    #: hundreds of times).
+    max_mismatches: int = 5
+    #: Directory to write shrunken reproducers into (None: don't write).
+    out_dir: Optional[Path] = None
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+
+
+@dataclass
+class MismatchRecord:
+    """One mismatching program, plus its shrunken reproducer."""
+
+    index: int
+    program: FuzzProgram
+    kinds: tuple
+    geometry: str
+    detail: str
+    reduced: Optional[FuzzProgram] = None
+    reduced_path: Optional[Path] = None
+    shrink_attempts: int = 0
+
+
+@dataclass
+class FuzzReport:
+    """Campaign result: counts, coverage, and every mismatch found."""
+
+    config: CampaignConfig
+    programs: int = 0
+    skips: int = 0
+    flow_checks: int = 0
+    mismatches: List[MismatchRecord] = field(default_factory=list)
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    replayed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else EXIT_MISMATCH
+
+    def format_text(self) -> str:
+        lines = [f"fuzz: seed={self.config.seed} programs={self.programs} "
+                 f"skips={self.skips} flow-checks={self.flow_checks} "
+                 f"mismatches={len(self.mismatches)}"]
+        if self.replayed:
+            lines.append(f"fuzz: replayed {self.replayed} corpus entries")
+        lines.append(self.coverage.summary())
+        for record in self.mismatches:
+            lines.append(
+                f"MISMATCH program #{record.index} "
+                f"[{record.geometry}] {', '.join(record.kinds)}: "
+                f"{record.detail}")
+            if record.reduced is not None:
+                lines.append(
+                    f"  shrunk {record.program.source_lines} -> "
+                    f"{record.reduced.source_lines} lines "
+                    f"({record.shrink_attempts} attempts)")
+                if record.reduced_path is not None:
+                    lines.append(f"  reproducer: {record.reduced_path}")
+                lines.extend("  | " + line for line in
+                             record.reduced.source.rstrip("\n").splitlines())
+        lines.append("fuzz: " + ("OK" if self.ok else
+                                 f"FAIL ({len(self.mismatches)} mismatching "
+                                 f"program(s), exit {EXIT_MISMATCH})"))
+        return "\n".join(lines)
+
+
+class FuzzCampaign:
+    """Drives generation, the oracle, coverage steering and shrinking."""
+
+    def __init__(self, config: Optional[CampaignConfig] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.config = config or CampaignConfig()
+        self.tracer = tracer or NullTracer()
+        self._geometries = list(CACHE_GEOMETRIES)
+        if self.config.inject_bug is not None \
+                and self.config.inject_bug not in KNOWN_BUGS:
+            known = ", ".join(sorted(KNOWN_BUGS))
+            raise ValueError(f"unknown --inject-bug "
+                             f"{self.config.inject_bug!r}; known: {known}")
+
+    def _oracle(self, run_flow: bool) -> OracleStack:
+        return OracleStack(OracleConfig(
+            run_flow=run_flow, inject_bug=self.config.inject_bug))
+
+    def run(self) -> FuzzReport:
+        """Generate and check ``config.count`` programs."""
+        cfg = self.config
+        report = FuzzReport(config=cfg)
+        generator = ProgramGenerator(cfg.seed, cfg.generator)
+        steered = False
+        with self.tracer.span("fuzz.campaign"):
+            for index in range(cfg.count):
+                if len(report.mismatches) >= cfg.max_mismatches:
+                    break
+                if not steered \
+                        and report.coverage.stale_streak >= _STALE_WINDOW:
+                    weights = report.coverage.steering_weights()
+                    if weights:
+                        generator = ProgramGenerator(
+                            cfg.seed, cfg.generator.with_op_weights(weights))
+                        steered = True
+                program = generator.generate(index)
+                geometry = self._geometries[index % len(self._geometries)]
+                run_flow = (cfg.flow_every > 0
+                            and index % cfg.flow_every == cfg.flow_every - 1)
+                self._check_one(report, index, program, geometry, run_flow)
+        self.tracer.count("fuzz.programs", report.programs)
+        self.tracer.count("fuzz.mismatches", len(report.mismatches))
+        return report
+
+    def replay(self, corpus_dir: Path) -> FuzzReport:
+        """Re-run every corpus entry through the oracle stack."""
+        report = FuzzReport(config=self.config)
+        entries = load_corpus(corpus_dir)
+        with self.tracer.span("fuzz.replay"):
+            for index, entry in enumerate(entries):
+                geometry = self._geometries[index % len(self._geometries)]
+                self._check_one(report, index, entry.program, geometry,
+                                run_flow=False, shrink=False)
+                report.replayed += 1
+        self.tracer.count("fuzz.replayed", report.replayed)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _check_one(self, report: FuzzReport, index: int,
+                   program: FuzzProgram, geometry: str, run_flow: bool,
+                   shrink: Optional[bool] = None) -> None:
+        oracle = self._oracle(run_flow)
+        with self.tracer.span("fuzz.oracle"):
+            outcome = oracle.check(program, geometry=geometry)
+        report.programs += 1
+        if outcome.flow_checked:
+            report.flow_checks += 1
+        report.coverage.observe(outcome)
+        if outcome.status == "skip":
+            report.skips += 1
+            return
+        if not outcome.failed:
+            return
+        record = MismatchRecord(
+            index=index, program=program, kinds=outcome.kinds,
+            geometry=geometry, detail=outcome.mismatches[0].detail)
+        do_shrink = self.config.shrink if shrink is None else shrink
+        if do_shrink:
+            with self.tracer.span("fuzz.shrink"):
+                # Shrink against a flow-free oracle: flow checks are two
+                # orders of magnitude slower and the interesting kinds
+                # (result/engine/fault) never need them.
+                target = _preferred_kind(outcome.kinds)
+                shrink_oracle = (oracle if target.startswith("flow")
+                                 else self._oracle(run_flow=False))
+                shrinker = Shrinker(shrink_oracle, geometry=geometry,
+                                    max_attempts=self.config.shrink_attempts)
+                result = shrinker.shrink(program, outcome=outcome)
+                record.reduced = result.program
+                record.shrink_attempts = result.attempts
+                if self.config.out_dir is not None:
+                    reduced = FuzzProgram(
+                        name=f"shrink-{self.config.inject_bug or 'found'}"
+                             f"-{index}",
+                        source=result.program.source,
+                        args=result.program.args,
+                        globals_init=result.program.globals_init,
+                        seed=self.config.seed)
+                    record.reduced_path = write_entry(
+                        self.config.out_dir, reduced, kind=result.kind,
+                        note=f"shrunken from generated program #{index} "
+                             f"(seed {self.config.seed})")
+        report.mismatches.append(record)
+
+
+def run_fuzz_command(seed: int = 0, count: int = 200, flow_every: int = 20,
+                     inject_bug: Optional[str] = None, shrink: bool = True,
+                     out_dir: Optional[str] = None,
+                     replay: Optional[str] = None,
+                     max_mismatches: int = 5,
+                     tracer: Optional[Tracer] = None,
+                     stdout: Optional[TextIO] = None) -> int:
+    """The ``repro fuzz`` entry point; returns the process exit code."""
+    if stdout is None:
+        # Resolved at call time, not import time, so stream redirection
+        # (pytest's capsys, shell pipes set up late) is honoured.
+        stdout = sys.stdout
+    config = CampaignConfig(
+        seed=seed, count=count, flow_every=flow_every, inject_bug=inject_bug,
+        shrink=shrink, max_mismatches=max_mismatches,
+        out_dir=Path(out_dir) if out_dir else None)
+    campaign = FuzzCampaign(config, tracer=tracer)
+    if replay is not None:
+        report = campaign.replay(Path(replay))
+    else:
+        report = campaign.run()
+    print(report.format_text(), file=stdout)
+    return report.exit_code

@@ -1,0 +1,129 @@
+"""The replayable regression corpus (``tests/fuzz/corpus/*.bdl``).
+
+Every bug the fuzzer ever finds is checked in as its *shrunken*
+reproducer, so the whole history of past differential bugs replays
+deterministically inside the tier-1 suite.  An entry is a plain ``.bdl``
+file the BDL frontend can compile directly; the workload (entry-function
+arguments, global-array initial contents) and provenance ride along in a
+comment header the corpus loader parses back out::
+
+    # repro-fuzz corpus v1
+    # meta: {"args": [3, -7], "globals_init": {"G0": [1, 2]}, ...}
+    func main(a: int, b: int) -> int {
+        return (a - b);
+    }
+
+The ``meta`` line is a single-line JSON object with keys ``args``,
+``globals_init`` and optionally ``seed``, ``kind`` (the mismatch
+classification the entry reproduced when it was found) and ``note``
+(one sentence of human context).  Replay must be *clean*: the tier-1
+test ``tests/fuzz/test_corpus_replay.py`` runs every entry through the
+full oracle stack and fails on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.fuzz.generator import FuzzProgram
+
+HEADER = "# repro-fuzz corpus v1"
+_META_RE = re.compile(r"^#\s*meta:\s*(\{.*\})\s*$")
+
+
+class CorpusError(ValueError):
+    """A corpus file is malformed (bad header or meta line)."""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus file, parsed."""
+
+    path: Path
+    program: FuzzProgram
+    #: Mismatch classification this entry originally reproduced ("" for
+    #: hand-written seed entries).
+    kind: str = ""
+    note: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.path.stem
+
+
+def load_entry(path: Path) -> CorpusEntry:
+    """Parse one ``.bdl`` corpus file."""
+    text = Path(path).read_text()
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != HEADER:
+        raise CorpusError(f"{path}: missing '{HEADER}' header line")
+    meta: Optional[Dict] = None
+    body_start = 1
+    for i, line in enumerate(lines[1:], start=1):
+        match = _META_RE.match(line)
+        if match:
+            try:
+                meta = json.loads(match.group(1))
+            except json.JSONDecodeError as exc:
+                raise CorpusError(f"{path}: bad meta JSON: {exc}") from exc
+            body_start = i + 1
+            break
+        if line.strip() and not line.lstrip().startswith("#"):
+            break
+    if meta is None:
+        raise CorpusError(f"{path}: missing '# meta: {{...}}' line")
+    source = "\n".join(lines[body_start:]).lstrip("\n")
+    if not source.endswith("\n"):
+        source += "\n"
+    program = FuzzProgram(
+        name=Path(path).stem,
+        source=source,
+        args=tuple(int(a) for a in meta.get("args", [])),
+        globals_init={str(k): [int(v) for v in vs]
+                      for k, vs in meta.get("globals_init", {}).items()},
+        seed=meta.get("seed"))
+    return CorpusEntry(path=Path(path), program=program,
+                       kind=str(meta.get("kind", "")),
+                       note=str(meta.get("note", "")))
+
+
+def load_corpus(directory: Path) -> List[CorpusEntry]:
+    """Load every ``.bdl`` entry under ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [load_entry(path) for path in sorted(directory.glob("*.bdl"))]
+
+
+def write_entry(directory: Path, program: FuzzProgram, kind: str = "",
+                note: str = "") -> Path:
+    """Write ``program`` as a corpus entry; returns the file path.
+
+    The filename is the program name (made filesystem-safe); an existing
+    entry with the same name is overwritten — corpus names are expected
+    to be unique and descriptive (e.g. ``shrink-iss-sub-swap``).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = {"args": list(program.args),
+            "globals_init": {k: list(v)
+                             for k, v in sorted(program.globals_init.items())}}
+    if program.seed is not None:
+        meta["seed"] = program.seed
+    if kind:
+        meta["kind"] = kind
+    if note:
+        meta["note"] = note
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "-", program.name) or "entry"
+    path = directory / f"{safe}.bdl"
+    payload = "\n".join([
+        HEADER,
+        f"# meta: {json.dumps(meta, sort_keys=True)}",
+        program.source.rstrip("\n"),
+    ]) + "\n"
+    path.write_text(payload)
+    return path

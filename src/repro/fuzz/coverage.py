@@ -1,0 +1,88 @@
+"""A lightweight coverage signal steering the fuzzing campaign.
+
+Three feature families, all cheap to observe from an oracle pass:
+
+* **IR op kinds** dynamically executed by the interpreter (from
+  :attr:`repro.lang.ExecutionProfile.op_counts`);
+* **cache geometries** the differential stack ran under;
+* **scheduler paths** from the periodic full-flow check (cluster counts,
+  whether a partition was accepted, rejection reasons).
+
+The campaign calls :meth:`CoverageMap.observe` after every program.  When
+a window of programs yields no new feature, :meth:`steering_weights`
+returns an operator-weight boost for op kinds the campaign has *not* seen
+yet — nudging the generator toward uncovered semantics without ever
+touching the seeded RNG stream (determinism is preserved because the
+boost depends only on already-observed programs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+#: Binary-operator token -> IR op kind name it lowers to.
+_OP_TOKEN_KINDS: Dict[str, str] = {
+    "+": "ADD", "-": "SUB", "*": "MUL", "/": "DIV", "%": "MOD",
+    "&": "AND", "|": "OR", "^": "XOR", "<<": "SHL", ">>": "SHR",
+    "<": "LT", "<=": "LE", ">": "GT", ">=": "GE", "==": "EQ", "!=": "NE",
+    # Short-circuit operators lower to branches plus comparisons; credit
+    # them to the comparison kinds they most often exercise.
+    "&&": "NE", "||": "NE",
+}
+
+
+class CoverageMap:
+    """Accumulates campaign-wide coverage features."""
+
+    def __init__(self) -> None:
+        self.op_kinds: Set[str] = set()
+        self.geometries: Set[str] = set()
+        self.flow_paths: Set[str] = set()
+        self.programs = 0
+        self.flow_checks = 0
+        #: Programs since the last new feature (the staleness signal).
+        self.stale_streak = 0
+
+    def observe(self, outcome) -> int:
+        """Fold one :class:`~repro.fuzz.oracle.OracleOutcome` in.
+
+        Returns how many *new* features this program contributed.
+        """
+        self.programs += 1
+        if outcome.flow_checked:
+            self.flow_checks += 1
+        new = 0
+        for kind in outcome.op_kinds:
+            if kind not in self.op_kinds:
+                self.op_kinds.add(kind)
+                new += 1
+        if outcome.geometry not in self.geometries:
+            self.geometries.add(outcome.geometry)
+            new += 1
+        for path in outcome.flow_paths:
+            if path not in self.flow_paths:
+                self.flow_paths.add(path)
+                new += 1
+        self.stale_streak = 0 if new else self.stale_streak + 1
+        return new
+
+    def steering_weights(self, boost: int = 8) -> Optional[Dict[str, int]]:
+        """Operator-weight overrides favouring uncovered op kinds.
+
+        Returns ``None`` while every steerable op kind has been covered
+        (no steering needed).
+        """
+        missing = {token: boost
+                   for token, kind in _OP_TOKEN_KINDS.items()
+                   if kind not in self.op_kinds}
+        return missing or None
+
+    def feature_counts(self) -> Tuple[int, int, int]:
+        return (len(self.op_kinds), len(self.geometries),
+                len(self.flow_paths))
+
+    def summary(self) -> str:
+        ops, geos, paths = self.feature_counts()
+        return (f"coverage: {ops} op kinds, {geos} cache geometries, "
+                f"{paths} scheduler paths over {self.programs} programs "
+                f"({self.flow_checks} full-flow checks)")

@@ -1,0 +1,375 @@
+"""AST-level delta debugging: reduce a failing program to its essence.
+
+Given a program the oracle flags and the mismatch ``kind`` it was flagged
+with, the shrinker searches for a smaller program with the *same
+classification*.  It never needs the candidate to be semantically
+meaningful — any candidate that fails to compile, faults, or mismatches
+differently is simply rejected by the predicate — so the passes can be
+aggressive:
+
+* drop helper functions, global declarations and (always-redundant)
+  ``const`` declarations;
+* delta-debug statement lists (contiguous chunks, halving granularity);
+* hoist loop/conditional bodies over their headers;
+* collapse expressions onto one operand or a literal;
+* zero the entry function's arguments and global initial values.
+
+Passes repeat to a fixpoint under an oracle-invocation budget.  The
+result is what lands in ``tests/fuzz/corpus/`` — a reproducer a human
+can read in one screen.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_program
+from repro.lang.unparse import unparse_module
+
+from repro.fuzz.generator import FuzzProgram
+from repro.fuzz.oracle import OracleOutcome, OracleStack
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrinking run."""
+
+    program: FuzzProgram
+    #: The preserved mismatch classification.
+    kind: str
+    #: Oracle invocations spent (accepted + rejected candidates).
+    attempts: int = 0
+    accepted: int = 0
+    original_lines: int = 0
+
+    @property
+    def reduced_lines(self) -> int:
+        return self.program.source_lines
+
+
+# ---------------------------------------------------------------------------
+# Deterministic AST addressing
+#
+# Edits are addressed positionally (list number, statement index, ...)
+# against a deterministic traversal order, so the same address can be
+# resolved on a fresh deep copy of the module.
+# ---------------------------------------------------------------------------
+
+def _lists_in(body: List[ast.Stmt]) -> Iterator[List[ast.Stmt]]:
+    yield body
+    for stmt in body:
+        if isinstance(stmt, ast.If):
+            yield from _lists_in(stmt.then_body)
+            yield from _lists_in(stmt.else_body)
+        elif isinstance(stmt, (ast.While, ast.ForRange)):
+            yield from _lists_in(stmt.body)
+
+
+def _stmt_lists(module: ast.Module) -> List[List[ast.Stmt]]:
+    out: List[List[ast.Stmt]] = []
+    for func in module.funcs:
+        out.extend(_lists_in(func.body))
+    return out
+
+
+#: One expression location: (holder, field name, index-in-list or None).
+_ExprSlot = Tuple[object, str, Optional[int]]
+
+
+def _expr_slots(module: ast.Module) -> List[_ExprSlot]:
+    """Every expression position in the module, outermost first."""
+    slots: List[_ExprSlot] = []
+
+    def visit_expr(holder: object, fname: str, idx: Optional[int],
+                   expr: Optional[ast.Expr]) -> None:
+        if expr is None:
+            return
+        slots.append((holder, fname, idx))
+        if isinstance(expr, ast.Index):
+            visit_expr(expr, "index", None, expr.index)
+        elif isinstance(expr, ast.Unary):
+            visit_expr(expr, "operand", None, expr.operand)
+        elif isinstance(expr, ast.Binary):
+            visit_expr(expr, "left", None, expr.left)
+            visit_expr(expr, "right", None, expr.right)
+        elif isinstance(expr, ast.Call):
+            for i, arg in enumerate(expr.args):
+                visit_expr(expr.args, "", i, arg)
+
+    def visit_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            visit_expr(stmt, "init", None, stmt.init)
+        elif isinstance(stmt, ast.Assign):
+            visit_expr(stmt, "value", None, stmt.value)
+        elif isinstance(stmt, ast.StoreStmt):
+            visit_expr(stmt, "index", None, stmt.index)
+            visit_expr(stmt, "value", None, stmt.value)
+        elif isinstance(stmt, ast.If):
+            visit_expr(stmt, "cond", None, stmt.cond)
+            for inner in stmt.then_body:
+                visit_stmt(inner)
+            for inner in stmt.else_body:
+                visit_stmt(inner)
+        elif isinstance(stmt, ast.While):
+            visit_expr(stmt, "cond", None, stmt.cond)
+            for inner in stmt.body:
+                visit_stmt(inner)
+        elif isinstance(stmt, ast.ForRange):
+            visit_expr(stmt, "lo", None, stmt.lo)
+            visit_expr(stmt, "hi", None, stmt.hi)
+            for inner in stmt.body:
+                visit_stmt(inner)
+        elif isinstance(stmt, ast.Return):
+            visit_expr(stmt, "value", None, stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            visit_expr(stmt, "expr", None, stmt.expr)
+
+    for func in module.funcs:
+        for stmt in func.body:
+            visit_stmt(stmt)
+    return slots
+
+
+def _slot_get(slot: _ExprSlot) -> ast.Expr:
+    holder, fname, idx = slot
+    return holder[idx] if idx is not None else getattr(holder, fname)
+
+
+def _slot_set(slot: _ExprSlot, expr: ast.Expr) -> None:
+    holder, fname, idx = slot
+    if idx is not None:
+        holder[idx] = expr
+    else:
+        setattr(holder, fname, expr)
+
+
+def _replacements(expr: ast.Expr) -> List[ast.Expr]:
+    """Smaller expressions a slot may collapse onto, best first."""
+    out: List[ast.Expr] = []
+    if isinstance(expr, ast.Binary):
+        out.extend((expr.left, expr.right))
+    elif isinstance(expr, ast.Unary):
+        out.append(expr.operand)
+    elif isinstance(expr, ast.Index):
+        out.append(expr.index)
+    elif isinstance(expr, ast.Call) and expr.args:
+        out.append(expr.args[0])
+    if not (isinstance(expr, ast.IntLit) and expr.value == 0):
+        out.append(ast.IntLit(value=0))
+    if isinstance(expr, ast.IntLit) and expr.value not in (0, 1):
+        out.append(ast.IntLit(value=1))
+    return [e for e in out if e is not None]
+
+
+# ---------------------------------------------------------------------------
+# The shrinker
+# ---------------------------------------------------------------------------
+
+#: Preferred shrink targets, sturdiest first.  When an outcome carries
+#: several mismatch kinds, reductions survive best against results and
+#: faults (a wrong answer stays wrong as code is removed) and worst
+#: against cache/trace statistics, which evaporate as soon as a removed
+#: chunk held the relevant memory traffic — chasing those makes most
+#: candidates fail to reproduce and the fixpoint loop crawl through its
+#: attempt budget at full per-check cost.
+_KIND_PRIORITY = ("result.iss", "globals.iss", "fault.iss",
+                  "fault.disagree", "engine.counter:result",
+                  "engine.globals")
+
+
+def _preferred_kind(kinds: Sequence[str]) -> str:
+    for kind in _KIND_PRIORITY:
+        if kind in kinds:
+            return kind
+    for kind in kinds:
+        if kind.startswith("engine.counter:"):
+            return kind
+    return kinds[0]
+
+
+class Shrinker:
+    """Reduces a failing :class:`FuzzProgram` under a fixed oracle."""
+
+    def __init__(self, oracle: OracleStack, geometry: str = "none",
+                 max_attempts: int = 3000) -> None:
+        self.oracle = oracle
+        self.geometry = geometry
+        self.max_attempts = max_attempts
+        self.attempts = 0
+        self.accepted = 0
+
+    # -- candidate plumbing ---------------------------------------------
+
+    def _candidate(self, module: ast.Module, base: FuzzProgram,
+                   args: Tuple[int, ...]) -> FuzzProgram:
+        arrays = {g.name for g in module.globals_ if g.array_size is not None}
+        globals_init = {name: values
+                        for name, values in base.globals_init.items()
+                        if name in arrays}
+        return FuzzProgram(name=base.name, source=unparse_module(module),
+                           args=args, globals_init=globals_init,
+                           seed=base.seed)
+
+    def _still_fails(self, candidate: FuzzProgram, kind: str) -> bool:
+        if self.attempts >= self.max_attempts:
+            return False
+        self.attempts += 1
+        outcome = self.oracle.check(candidate, geometry=self.geometry)
+        return outcome.failed and kind in outcome.kinds
+
+    # -- passes ----------------------------------------------------------
+    #
+    # Each pass takes (module, base, args, kind) and returns an accepted
+    # smaller (module, args) or None.  The driver loops passes to a
+    # fixpoint, restarting after every acceptance so addresses stay valid.
+
+    def _try(self, module: ast.Module, base: FuzzProgram,
+             args: Tuple[int, ...], kind: str):
+        candidate = self._candidate(module, base, args)
+        if self._still_fails(candidate, kind):
+            self.accepted += 1
+            return module, args
+        return None
+
+    def _pass_drop_consts(self, module, base, args, kind):
+        if not module.consts:
+            return None
+        trimmed = copy.deepcopy(module)
+        trimmed.consts = []
+        return self._try(trimmed, base, args, kind)
+
+    def _pass_drop_funcs(self, module, base, args, kind):
+        for i in range(len(module.funcs) - 1):  # never drop the entry (last)
+            trimmed = copy.deepcopy(module)
+            del trimmed.funcs[i]
+            accepted = self._try(trimmed, base, args, kind)
+            if accepted:
+                return accepted
+        return None
+
+    def _pass_drop_globals(self, module, base, args, kind):
+        for i in range(len(module.globals_)):
+            trimmed = copy.deepcopy(module)
+            del trimmed.globals_[i]
+            accepted = self._try(trimmed, base, args, kind)
+            if accepted:
+                return accepted
+        return None
+
+    def _pass_remove_stmts(self, module, base, args, kind):
+        for list_no, stmts in enumerate(_stmt_lists(module)):
+            size = len(stmts)
+            chunk = size
+            while chunk >= 1:
+                start = 0
+                while start < size:
+                    trimmed = copy.deepcopy(module)
+                    target = _stmt_lists(trimmed)[list_no]
+                    del target[start:start + chunk]
+                    accepted = self._try(trimmed, base, args, kind)
+                    if accepted:
+                        return accepted
+                    start += chunk
+                chunk //= 2
+        return None
+
+    def _pass_hoist_bodies(self, module, base, args, kind):
+        for list_no, stmts in enumerate(_stmt_lists(module)):
+            for i, stmt in enumerate(stmts):
+                bodies: List[List[ast.Stmt]] = []
+                if isinstance(stmt, ast.If):
+                    bodies = [stmt.then_body, stmt.else_body]
+                elif isinstance(stmt, (ast.While, ast.ForRange)):
+                    bodies = [stmt.body]
+                for which in range(len(bodies)):
+                    trimmed = copy.deepcopy(module)
+                    target = _stmt_lists(trimmed)[list_no]
+                    copied = target[i]
+                    if isinstance(copied, ast.If):
+                        replacement = (copied.then_body if which == 0
+                                       else copied.else_body)
+                    else:
+                        replacement = copied.body
+                    target[i:i + 1] = replacement
+                    accepted = self._try(trimmed, base, args, kind)
+                    if accepted:
+                        return accepted
+        return None
+
+    def _pass_simplify_exprs(self, module, base, args, kind):
+        for slot_no in range(len(_expr_slots(module))):
+            current = _slot_get(_expr_slots(module)[slot_no])
+            for option_no in range(len(_replacements(current))):
+                trimmed = copy.deepcopy(module)
+                slot = _expr_slots(trimmed)[slot_no]
+                replacement = _replacements(_slot_get(slot))[option_no]
+                _slot_set(slot, replacement)
+                accepted = self._try(trimmed, base, args, kind)
+                if accepted:
+                    return accepted
+        return None
+
+    def _pass_zero_inputs(self, module, base, args, kind):
+        for i, value in enumerate(args):
+            if value == 0:
+                continue
+            candidate_args = args[:i] + (0,) + args[i + 1:]
+            accepted = self._try(copy.deepcopy(module), base,
+                                 candidate_args, kind)
+            if accepted:
+                return accepted
+        return None
+
+    _PASSES = (_pass_drop_consts, _pass_drop_funcs, _pass_remove_stmts,
+               _pass_hoist_bodies, _pass_simplify_exprs, _pass_drop_globals,
+               _pass_zero_inputs)
+
+    # -- driver ----------------------------------------------------------
+
+    def shrink(self, program: FuzzProgram,
+               outcome: Optional[OracleOutcome] = None,
+               kind: Optional[str] = None) -> ShrinkResult:
+        """Reduce ``program`` while preserving mismatch ``kind``.
+
+        ``kind`` defaults to the sturdiest classification of ``outcome``
+        (or of a fresh oracle pass when neither is given) — see
+        :func:`_preferred_kind`.
+        """
+        if kind is None:
+            if outcome is None:
+                outcome = self.oracle.check(program, geometry=self.geometry)
+            if not outcome.failed:
+                raise ValueError(
+                    f"program {program.name!r} does not fail the oracle; "
+                    "nothing to shrink")
+            kind = _preferred_kind(outcome.kinds)
+
+        module = parse_program(program.source)
+        args = tuple(program.args)
+        original_lines = program.source_lines
+
+        progress = True
+        while progress and self.attempts < self.max_attempts:
+            progress = False
+            for pass_fn in self._PASSES:
+                accepted = pass_fn(self, module, program, args, kind)
+                while accepted:
+                    module, args = accepted
+                    progress = True
+                    accepted = pass_fn(self, module, program, args, kind)
+
+        reduced = self._candidate(module, program, args)
+        return ShrinkResult(program=reduced, kind=kind,
+                            attempts=self.attempts, accepted=self.accepted,
+                            original_lines=original_lines)
+
+
+def shrink_program(program: FuzzProgram, oracle: OracleStack,
+                   geometry: str = "none", kind: Optional[str] = None,
+                   max_attempts: int = 3000) -> ShrinkResult:
+    """One-call convenience wrapper around :class:`Shrinker`."""
+    return Shrinker(oracle, geometry=geometry,
+                    max_attempts=max_attempts).shrink(program, kind=kind)

@@ -17,6 +17,7 @@ from repro.lang.semantics import check_program, SemanticError
 from repro.lang.lowering import lower_program
 from repro.lang.program import Program, compile_source
 from repro.lang.interp import Interpreter, ExecutionProfile, InterpError
+from repro.lang.unparse import unparse_expr, unparse_module
 
 __all__ = [
     "Lexer",
@@ -32,4 +33,6 @@ __all__ = [
     "Interpreter",
     "ExecutionProfile",
     "InterpError",
+    "unparse_expr",
+    "unparse_module",
 ]

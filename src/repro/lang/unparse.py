@@ -1,0 +1,113 @@
+"""AST -> BDL source text (the inverse of :mod:`repro.lang.parser`).
+
+The fuzzing shrinker (:mod:`repro.fuzz.shrink`) reduces programs by
+transforming the AST and re-emitting source, so the unparser must produce
+text that parses back to an equivalent module.  Two caveats keep the
+round-trip honest:
+
+* ``const`` declarations are folded into literals at parse time, so a
+  parsed module's const *uses* are already :class:`~repro.lang.ast_nodes.
+  IntLit` nodes.  Re-emitting the (now unused) declarations is still
+  valid, but the shrinker simply drops them.
+* Expressions are emitted fully parenthesized — precedence never has to
+  be reconstructed, and ``parse(unparse(parse(s)))`` is structurally
+  identical to ``parse(s)`` up to the ``line`` fields.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast_nodes as ast
+
+
+def unparse_expr(expr: ast.Expr) -> str:
+    """Emit one expression, fully parenthesized."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.NameRef):
+        return expr.name
+    if isinstance(expr, ast.Index):
+        return f"{expr.base}[{unparse_expr(expr.index)}]"
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{unparse_expr(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        return (f"({unparse_expr(expr.left)} {expr.op} "
+                f"{unparse_expr(expr.right)})")
+    if isinstance(expr, ast.Call):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})"
+    raise TypeError(f"cannot unparse expression {type(expr).__name__}")
+
+
+def _emit_stmt(stmt: ast.Stmt, out: List[str], depth: int) -> None:
+    pad = "    " * depth
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.array_size is not None:
+            out.append(f"{pad}var {stmt.name}: int[{stmt.array_size}];")
+        elif stmt.init is not None:
+            out.append(f"{pad}var {stmt.name}: int = "
+                       f"{unparse_expr(stmt.init)};")
+        else:
+            out.append(f"{pad}var {stmt.name}: int;")
+    elif isinstance(stmt, ast.Assign):
+        out.append(f"{pad}{stmt.name} = {unparse_expr(stmt.value)};")
+    elif isinstance(stmt, ast.StoreStmt):
+        out.append(f"{pad}{stmt.base}[{unparse_expr(stmt.index)}] = "
+                   f"{unparse_expr(stmt.value)};")
+    elif isinstance(stmt, ast.If):
+        out.append(f"{pad}if {unparse_expr(stmt.cond)} {{")
+        for inner in stmt.then_body:
+            _emit_stmt(inner, out, depth + 1)
+        if stmt.else_body:
+            out.append(f"{pad}}} else {{")
+            for inner in stmt.else_body:
+                _emit_stmt(inner, out, depth + 1)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, ast.While):
+        out.append(f"{pad}while {unparse_expr(stmt.cond)} {{")
+        for inner in stmt.body:
+            _emit_stmt(inner, out, depth + 1)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, ast.ForRange):
+        out.append(f"{pad}for {stmt.var} in {unparse_expr(stmt.lo)} .. "
+                   f"{unparse_expr(stmt.hi)} {{")
+        for inner in stmt.body:
+            _emit_stmt(inner, out, depth + 1)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            out.append(f"{pad}return;")
+        else:
+            out.append(f"{pad}return {unparse_expr(stmt.value)};")
+    elif isinstance(stmt, ast.Break):
+        out.append(f"{pad}break;")
+    elif isinstance(stmt, ast.Continue):
+        out.append(f"{pad}continue;")
+    elif isinstance(stmt, ast.ExprStmt):
+        out.append(f"{pad}{unparse_expr(stmt.expr)};")
+    else:
+        raise TypeError(f"cannot unparse statement {type(stmt).__name__}")
+
+
+def unparse_module(module: ast.Module) -> str:
+    """Emit a whole module as parseable BDL source."""
+    out: List[str] = []
+    for const in module.consts:
+        out.append(f"const {const.name} = {const.value};")
+    for decl in module.globals_:
+        if decl.array_size is not None:
+            out.append(f"global {decl.name}: int[{decl.array_size}];")
+        else:
+            out.append(f"global {decl.name}: int;")
+    for func in module.funcs:
+        params = ", ".join(
+            f"{p.name}: int[{p.array_size}]" if p.array_size is not None
+            else f"{p.name}: int"
+            for p in func.params)
+        ret = "int" if func.returns_value else "void"
+        out.append(f"func {func.name}({params}) -> {ret} {{")
+        for stmt in func.body:
+            _emit_stmt(stmt, out, 1)
+        out.append("}")
+    return "\n".join(out) + "\n"

@@ -19,12 +19,14 @@ association exactly, so the floats are bit-identical to evaluating the
 original formula — ``tests/golden/test_golden_values.py`` pins the
 per-component energies of every bundled app against fixtures captured
 from the pre-optimisation model.  :func:`estimate_gate_energy` keeps the
-original one-shot API on top, caching the evaluator per netlist.
+original one-shot API on top, caching evaluators by a content digest of
+the (netlist, binding, library) inputs — see :func:`_evaluator_digest`.
 """
 
 from __future__ import annotations
 
-import weakref
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -113,31 +115,59 @@ class GateEnergyEvaluator:
         return energy
 
 
-#: id(netlist) -> (netlist ref, binding ref, library ref, evaluator).
-#: Keyed by id because Netlist is an (unhashable) mutable dataclass; the
-#: weakrefs both evict dead entries and guard against id reuse — every
-#: input is identity-checked before a cached evaluator is reused.
-_EVALUATOR_CACHE: Dict[int, tuple] = {}
+def _evaluator_digest(netlist: Netlist, binding: BindingResult,
+                      library: TechnologyLibrary) -> str:
+    """Content digest over every input the evaluator actually consumes.
+
+    Netlist and BindingResult are mutable dataclasses, so caching by
+    object identity is unsound: a candidate sweep that mutates a netlist
+    in place (or a recycled object id) would silently return energies
+    priced against stale gate counts.  Hashing the consumed content —
+    component gate counts, block makespans in schedule order, every
+    instance's busy intervals, and the library's energy constants —
+    makes the cache exact: equal digest implies bit-identical evaluator
+    output.
+    """
+    hasher = hashlib.sha256()
+    write = hasher.update
+    for comp in netlist.components:
+        write(f"c|{comp.name}|{comp.combinational_gates}"
+              f"|{comp.sequential_gates}\n".encode())
+    # Iteration order matters: it defines the evaluator's schedule order.
+    for block, makespan in binding.block_makespans.items():
+        write(f"m|{block}|{makespan}\n".encode())
+    for inst in binding.instances:
+        write(f"i|{inst.kind.value}|{inst.index}\n".encode())
+        for block in sorted(inst.intervals):
+            spans = ",".join(f"{s}:{e}"
+                             for s, e in sorted(inst.intervals[block]))
+            write(f"s|{block}|{spans}\n".encode())
+    write(f"L|{library.gate_switch_energy_pj!r}"
+          f"|{library.active_activity!r}|{library.idle_activity!r}"
+          f"|{library.asic_idle_factor!r}\n".encode())
+    return hasher.hexdigest()
+
+
+#: content digest -> evaluator, LRU-bounded.  Keying on content (not
+#: object identity) means a mutated-but-same-id netlist or binding can
+#: never alias a stale entry; the bound keeps long exploration sweeps
+#: from accumulating evaluators for every candidate ever priced.
+_EVALUATOR_CACHE: "OrderedDict[str, GateEnergyEvaluator]" = OrderedDict()
+_EVALUATOR_CACHE_MAX = 128
 
 
 def get_evaluator(netlist: Netlist, binding: BindingResult,
                   library: TechnologyLibrary) -> GateEnergyEvaluator:
-    """Evaluator for (netlist, binding, library), cached per netlist."""
-    key = id(netlist)
-    cached = _EVALUATOR_CACHE.get(key)
-    if cached is not None:
-        netlist_ref, binding_ref, library_ref, evaluator = cached
-        if (netlist_ref() is netlist and binding_ref() is binding
-                and library_ref() is library):
-            return evaluator
+    """Evaluator for (netlist, binding, library), cached by content."""
+    key = _evaluator_digest(netlist, binding, library)
+    evaluator = _EVALUATOR_CACHE.get(key)
+    if evaluator is not None:
+        _EVALUATOR_CACHE.move_to_end(key)
+        return evaluator
     evaluator = GateEnergyEvaluator(netlist, binding, library)
-    try:
-        _EVALUATOR_CACHE[key] = (
-            weakref.ref(netlist,
-                        lambda _ref: _EVALUATOR_CACHE.pop(key, None)),
-            weakref.ref(binding), weakref.ref(library), evaluator)
-    except TypeError:  # pragma: no cover - non-weakrefable inputs
-        pass
+    _EVALUATOR_CACHE[key] = evaluator
+    while len(_EVALUATOR_CACHE) > _EVALUATOR_CACHE_MAX:
+        _EVALUATOR_CACHE.popitem(last=False)
     return evaluator
 
 

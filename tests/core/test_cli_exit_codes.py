@@ -1,0 +1,147 @@
+"""Exit-code contract of the CLI (documented in ``repro.cli``).
+
+0 = success, 1 = generic failure (including benchmark regressions under
+``bench --compare``), 2 = ``verify --strict`` with ERROR findings,
+3 = ``fuzz`` found a differential mismatch.  CI keys off these numbers,
+so they are pinned here end to end through ``main()`` — with the
+expensive inner machinery (benchmark bodies, the invariant audit)
+monkeypatched at exactly the seams the real commands use.
+"""
+
+import pytest
+
+import repro.bench as bench
+import repro.verify
+from repro.cli import main
+from repro.verify.findings import Finding, Severity, VerificationReport
+
+
+# ---------------------------------------------------------------------------
+# bench --compare: regression -> 1
+# ---------------------------------------------------------------------------
+
+
+def _bench_report(best):
+    return {
+        "schema": bench.BENCH_SCHEMA_NAME,
+        "version": bench.BENCH_SCHEMA_VERSION,
+        "created": "2026-01-01T00:00:00Z",
+        "repeats": 1,
+        "environment": {},
+        "results": {
+            "stub": {
+                "unit": "s",
+                "higher_is_better": False,
+                "median": best,
+                "best": best,
+                "worst": best,
+                "dispersion": 0.0,
+                "runs": [best],
+                "meta": {},
+            },
+        },
+    }
+
+
+@pytest.fixture()
+def stubbed_bench(monkeypatch):
+    """Replace the benchmark bodies: the current run always takes 2.0 s."""
+    monkeypatch.setattr(bench, "iter_specs", lambda only=None: ["stub"])
+    monkeypatch.setattr(
+        bench, "run_suite",
+        lambda specs, repeats=3, ctx=None, progress=None: _bench_report(2.0))
+
+
+def test_bench_compare_regression_exits_1(stubbed_bench, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    bench.write_report(_bench_report(1.0), str(baseline))  # was 2x faster
+    status = main(["bench", "--compare", str(baseline), "--threshold", "5",
+                   "--output", str(tmp_path / "current.json")])
+    assert status == 1
+    captured = capsys.readouterr()
+    assert "regressed" in captured.err
+
+
+def test_bench_compare_clean_exits_0(stubbed_bench, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    bench.write_report(_bench_report(2.0), str(baseline))  # same speed
+    status = main(["bench", "--compare", str(baseline),
+                   "--output", str(tmp_path / "current.json")])
+    assert status == 0
+    assert "regressed" not in capsys.readouterr().err
+
+
+def test_bench_compare_unreadable_baseline_exits_1(stubbed_bench, tmp_path,
+                                                   capsys):
+    status = main(["bench", "--compare", str(tmp_path / "missing.json"),
+                   "--output", str(tmp_path / "current.json")])
+    assert status == 1
+    assert "cannot load baseline" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# verify --strict: ERROR findings -> 2
+# ---------------------------------------------------------------------------
+
+
+def _inject_error_finding(monkeypatch):
+    """Patch the audit at the seam ``LowPowerFlow._finish`` imports from:
+    every verification now reports one fabricated hard-invariant break."""
+
+    def fake_verify(result, library=None, **_):
+        report = VerificationReport(label="injected")
+        report.add(Finding(
+            check="test.injected", severity=Severity.ERROR, layer="core",
+            message="fabricated invariant break for exit-code test"))
+        return report
+
+    monkeypatch.setattr(repro.verify, "verify_flow_result", fake_verify)
+
+
+def test_verify_strict_with_errors_exits_2(monkeypatch, capsys):
+    _inject_error_finding(monkeypatch)
+    status = main(["verify", "ckey", "--strict"])
+    assert status == 2
+    captured = capsys.readouterr()
+    assert "1 error(s)" in captured.out
+    assert "fabricated invariant break" in captured.out
+
+
+def test_verify_without_strict_reports_but_exits_0(monkeypatch, capsys):
+    _inject_error_finding(monkeypatch)
+    status = main(["verify", "ckey"])
+    assert status == 0
+    assert "1 error(s)" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# fuzz: differential mismatch -> 3
+# ---------------------------------------------------------------------------
+
+
+def test_fuzz_mismatch_exits_3(tmp_path, capsys):
+    status = main(["fuzz", "--seed", "0", "--count", "8",
+                   "--flow-every", "0", "--inject-bug", "iss-sub-swap",
+                   "--max-mismatches", "1", "--no-shrink",
+                   "--out", str(tmp_path)])
+    assert status == 3
+    out = capsys.readouterr().out
+    assert "MISMATCH" in out
+    assert out.strip().splitlines()[-1].startswith("fuzz: FAIL")
+
+
+def test_fuzz_clean_campaign_exits_0(capsys):
+    assert main(["fuzz", "--seed", "0", "--count", "3",
+                 "--flow-every", "0"]) == 0
+    assert capsys.readouterr().out.strip().endswith("fuzz: OK")
+
+
+def test_fuzz_unknown_bug_is_rejected(capsys):
+    with pytest.raises(ValueError, match="unknown --inject-bug"):
+        main(["fuzz", "--inject-bug", "no-such-bug", "--count", "1"])
+
+
+def test_fuzz_list_bugs_exits_0(capsys):
+    assert main(["fuzz", "--list-bugs"]) == 0
+    out = capsys.readouterr().out
+    assert "iss-sub-swap" in out

@@ -68,12 +68,14 @@ def parallel_results():
         return engine.run_flows(apps)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(ALL_APPS))
 def test_parallel_flow_matches_serial(name, serial_results, parallel_results):
     assert _fingerprint(parallel_results[name]) \
         == _fingerprint(serial_results[name])
 
 
+@pytest.mark.slow
 def test_parallel_candidate_sweep_matches_serial(serial_results):
     # The other parallel level: one app, candidates fanned over workers.
     app = app_by_name("ckey")
@@ -241,7 +243,7 @@ def test_null_tracer_is_inert():
 
 
 # ---------------------------------------------------------------------------
-# CLI smoke checks (run as part of the default suite)
+# CLI smoke checks (serial runs by default; the subprocess one is slow)
 # ---------------------------------------------------------------------------
 
 def test_cli_explore_serial(capsys, tmp_path):
@@ -253,6 +255,7 @@ def test_cli_explore_serial(capsys, tmp_path):
     load_trace(str(trace_file))  # schema-validates
 
 
+@pytest.mark.slow
 def test_cli_explore_parallel_subprocess_smoke(tmp_path):
     """The acceptance smoke check: a real ``python -m repro explore
     ckey --jobs 2 --trace ...`` subprocess whose trace validates."""

@@ -176,3 +176,52 @@ def test_performance_states_the_baseline_filename_and_threshold():
         "committed baseline missing; record it per docs/PERFORMANCE.md")
     m = re.search(r"percent; default (\d+)", PERFORMANCE)
     assert m and int(m.group(1)) == int(DEFAULT_THRESHOLD * 100)
+
+
+# ---------------------------------------------------------------------------
+# TESTING.md <-> repro.fuzz
+# ---------------------------------------------------------------------------
+
+TESTING = (REPO_ROOT / "docs" / "TESTING.md").read_text(encoding="utf-8")
+
+#: Rows of the geometry / known-bug tables: | `name` | ...
+BACKTICK_ROW_RE = re.compile(r"^\| `([a-z0-9-]+)` \|", re.MULTILINE)
+
+
+def test_testing_geometry_table_matches_live_geometries():
+    from repro.fuzz.oracle import CACHE_GEOMETRIES
+    documented = BACKTICK_ROW_RE.findall(
+        TESTING.split("| Geometry | Shape |")[1].split("###")[0])
+    assert set(documented) == set(CACHE_GEOMETRIES), (
+        f"undocumented geometries: "
+        f"{sorted(set(CACHE_GEOMETRIES) - set(documented))}; "
+        f"stale rows: {sorted(set(documented) - set(CACHE_GEOMETRIES))}")
+
+
+def test_testing_bug_table_matches_known_bugs_registry():
+    from repro.fuzz import KNOWN_BUGS
+    documented = BACKTICK_ROW_RE.findall(
+        TESTING.split("| Bug | Where it is wired |")[1].split("###")[0])
+    assert set(documented) == set(KNOWN_BUGS), (
+        f"undocumented bugs: {sorted(set(KNOWN_BUGS) - set(documented))}; "
+        f"stale rows: {sorted(set(documented) - set(KNOWN_BUGS))}")
+
+
+def test_testing_states_the_corpus_header_and_exit_code():
+    from repro.fuzz import EXIT_MISMATCH
+    from repro.fuzz.corpus import HEADER
+    assert HEADER in TESTING, "TESTING.md lost the corpus header line"
+    m = re.search(r"\| (\d+) \| `fuzz` found a differential mismatch",
+                  TESTING)
+    assert m and int(m.group(1)) == EXIT_MISMATCH
+
+
+def test_testing_slow_marker_contract_matches_pyproject():
+    pyproject = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert '"slow' in pyproject, (
+        "pyproject.toml lost the slow-marker registration TESTING.md "
+        "documents")
+    assert "not slow" in pyproject, (
+        "pyproject.toml addopts no longer deselect slow tests by default")
+    assert "-m slow" in TESTING, (
+        "TESTING.md no longer explains how to run the slow tier")

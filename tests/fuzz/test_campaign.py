@@ -1,0 +1,114 @@
+"""The campaign driver: determinism, coverage, exit codes, reproducers."""
+
+import io
+
+import pytest
+
+from repro.fuzz import (
+    EXIT_MISMATCH,
+    CampaignConfig,
+    CoverageMap,
+    FuzzCampaign,
+    load_corpus,
+    run_fuzz_command,
+)
+from repro.obs import Tracer
+
+
+def _run(**kwargs):
+    stdout = io.StringIO()
+    code = run_fuzz_command(stdout=stdout, **kwargs)
+    return code, stdout.getvalue()
+
+
+@pytest.mark.slow
+def test_small_campaign_is_clean_and_deterministic():
+    first = _run(seed=0, count=12, flow_every=6)
+    second = _run(seed=0, count=12, flow_every=6)
+    assert first == second
+    code, text = first
+    assert code == 0
+    assert "programs=12" in text
+    assert "flow-checks=2" in text
+    assert text.strip().endswith("fuzz: OK")
+
+
+def test_injected_bug_exits_with_mismatch_status(tmp_path):
+    code, text = _run(seed=0, count=10, flow_every=0,
+                      inject_bug="iss-sub-swap", max_mismatches=1,
+                      out_dir=str(tmp_path))
+    assert code == EXIT_MISMATCH == 3
+    assert "MISMATCH" in text and "result.iss" in text
+    # The shrunken reproducer landed as a loadable corpus entry ...
+    entries = load_corpus(tmp_path)
+    assert len(entries) == 1
+    assert entries[0].kind == "result.iss"
+    assert entries[0].program.source_lines <= 15
+    # ... and the report shows the size reduction.
+    assert "shrunk" in text
+
+
+def test_no_shrink_skips_reduction():
+    code, text = _run(seed=0, count=10, flow_every=0,
+                      inject_bug="iss-sub-swap", max_mismatches=1,
+                      shrink=False)
+    assert code == EXIT_MISMATCH
+    assert "shrunk" not in text
+
+
+def test_max_mismatches_stops_the_campaign():
+    config = CampaignConfig(seed=0, count=50, flow_every=0,
+                            inject_bug="iss-sub-swap", shrink=False,
+                            max_mismatches=2)
+    report = FuzzCampaign(config).run()
+    assert len(report.mismatches) == 2
+    assert report.programs < 50
+
+
+def test_campaign_counters_reach_the_tracer():
+    tracer = Tracer("fuzz-test")
+    config = CampaignConfig(seed=0, count=5, flow_every=0)
+    FuzzCampaign(config, tracer=tracer).run()
+    assert tracer.counters["fuzz.programs"] == 5
+    assert tracer.counters["fuzz.mismatches"] == 0
+
+
+@pytest.mark.slow
+def test_coverage_map_accumulates_and_steers():
+    config = CampaignConfig(seed=0, count=15, flow_every=5)
+    report = FuzzCampaign(config).run()
+    ops, geometries, paths = report.coverage.feature_counts()
+    assert ops >= 15          # generated programs exercise most op kinds
+    assert geometries == 4    # round-robin hits every geometry
+    assert paths >= 1         # flow checks contribute scheduler paths
+    assert report.flow_checks == 3
+
+
+def test_steering_weights_target_uncovered_ops():
+    coverage = CoverageMap()
+
+    class FakeOutcome:
+        op_kinds = ("ADD", "SUB")
+        geometry = "none"
+        flow_paths = ()
+        flow_checked = False
+
+    coverage.observe(FakeOutcome())
+    weights = coverage.steering_weights(boost=9)
+    assert weights is not None
+    assert "+" not in weights and "-" not in weights
+    assert weights["/"] == 9 and weights["*"] == 9
+    # Staleness counts programs that contribute nothing new.
+    coverage.observe(FakeOutcome())
+    assert coverage.stale_streak == 1
+
+
+def test_replay_mode_reports_entry_count(tmp_path):
+    from repro.fuzz import write_entry
+    from repro.fuzz.generator import FuzzProgram
+
+    write_entry(tmp_path, FuzzProgram(
+        name="entry", source="func main() -> int { return 3; }\n"))
+    code, text = _run(replay=str(tmp_path))
+    assert code == 0
+    assert "replayed 1 corpus entries" in text

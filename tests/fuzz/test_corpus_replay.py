@@ -1,0 +1,95 @@
+"""The committed corpus: format invariants and clean deterministic replay.
+
+Every ``tests/fuzz/corpus/*.bdl`` entry is the shrunken reproducer of a
+past (or deliberately injected) differential bug, or a hand-written
+semantic edge case.  The tier-1 contract is that replaying the whole
+corpus through the full oracle stack is *clean* — any mismatch here
+means a real engine regression.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import FuzzCampaign, OracleStack, load_corpus, write_entry
+from repro.fuzz.corpus import HEADER, CorpusError, load_entry
+from repro.fuzz.generator import FuzzProgram
+from repro.fuzz.oracle import CACHE_GEOMETRIES
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = load_corpus(CORPUS_DIR)
+GEOMETRIES = sorted(CACHE_GEOMETRIES)
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 6
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_corpus_entry_replays_clean(entry):
+    # Rotate geometries deterministically by position, like the campaign.
+    geometry = GEOMETRIES[ENTRIES.index(entry) % len(GEOMETRIES)]
+    outcome = OracleStack().check(entry.program, geometry=geometry)
+    assert outcome.status == "ok", \
+        f"{entry.name}: {[m.detail for m in outcome.mismatches]}"
+
+
+def test_campaign_replay_of_committed_corpus_is_clean():
+    report = FuzzCampaign().replay(CORPUS_DIR)
+    assert report.ok
+    assert report.replayed == len(ENTRIES)
+    assert report.exit_code == 0
+
+
+def test_shrunken_reproducers_stay_small():
+    for entry in ENTRIES:
+        if entry.name.startswith("shrink-"):
+            assert entry.program.source_lines <= 15, \
+                f"{entry.name} has {entry.program.source_lines} lines"
+
+
+def test_every_entry_declares_its_workload():
+    for entry in ENTRIES:
+        # Hand-written entries carry a note; shrunken ones carry a kind.
+        assert entry.note or entry.kind, f"{entry.name} has no provenance"
+
+
+def test_write_then_load_round_trips(tmp_path):
+    program = FuzzProgram(
+        name="round trip/entry",  # unsafe characters get sanitized
+        source="func main(a: int) -> int {\n    return (a + 1);\n}\n",
+        args=(41,), globals_init={"G": [1, 2]}, seed=9)
+    path = write_entry(tmp_path, program, kind="result.iss", note="test")
+    assert path.name == "round-trip-entry.bdl"
+    entry = load_entry(path)
+    assert entry.program.source == program.source
+    assert entry.program.args == program.args
+    assert entry.program.globals_init == program.globals_init
+    assert entry.program.seed == 9
+    assert entry.kind == "result.iss"
+    assert entry.note == "test"
+
+
+def test_missing_header_is_rejected(tmp_path):
+    bad = tmp_path / "bad.bdl"
+    bad.write_text("func main() -> int { return 0; }\n")
+    with pytest.raises(CorpusError, match="header"):
+        load_entry(bad)
+
+
+def test_missing_meta_is_rejected(tmp_path):
+    bad = tmp_path / "bad.bdl"
+    bad.write_text(f"{HEADER}\nfunc main() -> int {{ return 0; }}\n")
+    with pytest.raises(CorpusError, match="meta"):
+        load_entry(bad)
+
+
+def test_malformed_meta_json_is_rejected(tmp_path):
+    bad = tmp_path / "bad.bdl"
+    bad.write_text(f"{HEADER}\n# meta: {{not json}}\n")
+    with pytest.raises(CorpusError, match="JSON"):
+        load_entry(bad)
+
+
+def test_load_corpus_on_missing_directory_is_empty(tmp_path):
+    assert load_corpus(tmp_path / "nope") == []

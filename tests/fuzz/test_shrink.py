@@ -1,0 +1,83 @@
+"""The shrinker: preserves the mismatch classification, shrinks hard.
+
+The acceptance bar from the subsystem's design: a deliberately injected
+ISS bug must reduce to a reproducer of at most 15 source lines.
+"""
+
+import pytest
+
+from repro.fuzz import (
+    OracleConfig,
+    OracleStack,
+    ProgramGenerator,
+    Shrinker,
+    shrink_program,
+)
+from repro.fuzz.generator import FuzzProgram
+
+
+def _buggy_stack():
+    return OracleStack(OracleConfig(inject_bug="iss-sub-swap"))
+
+
+def _first_failing(stack, limit=30):
+    generator = ProgramGenerator(seed=0)
+    for index in range(limit):
+        program = generator.generate(index)
+        outcome = stack.check(program)
+        if outcome.failed:
+            return program, outcome
+    raise AssertionError("no failing program found")
+
+
+def test_shrinks_injected_iss_bug_to_at_most_15_lines():
+    stack = _buggy_stack()
+    program, outcome = _first_failing(stack)
+    result = Shrinker(stack).shrink(program, outcome=outcome)
+    assert result.kind == "result.iss"
+    assert result.reduced_lines <= 15
+    assert result.reduced_lines < result.original_lines
+    # The reduced program still reproduces the same classification ...
+    final = stack.check(result.program)
+    assert final.failed and result.kind in final.kinds
+    # ... and is clean without the injected bug (it is a harness bug,
+    # not a real one — exactly what a corpus entry must look like).
+    assert OracleStack().check(result.program).status == "ok"
+
+
+@pytest.mark.slow
+def test_shrink_is_deterministic():
+    first = shrink_program(_first_failing(_buggy_stack())[0], _buggy_stack())
+    second = shrink_program(_first_failing(_buggy_stack())[0],
+                            _buggy_stack())
+    assert first.program.source == second.program.source
+    assert first.program.args == second.program.args
+
+
+def test_shrink_refuses_passing_programs():
+    passing = FuzzProgram(name="ok",
+                          source="func main() -> int { return 1; }\n")
+    with pytest.raises(ValueError, match="does not fail"):
+        Shrinker(_buggy_stack()).shrink(passing)
+
+
+@pytest.mark.slow
+def test_attempt_budget_is_respected():
+    stack = _buggy_stack()
+    program, outcome = _first_failing(stack)
+    shrinker = Shrinker(stack, max_attempts=10)
+    result = shrinker.shrink(program, outcome=outcome)
+    assert result.attempts <= 10
+    # Even a tiny budget must not lose the failure.
+    final = stack.check(result.program)
+    assert final.failed
+
+
+def test_shrunken_globals_init_only_covers_surviving_globals():
+    stack = _buggy_stack()
+    program, outcome = _first_failing(stack)
+    result = Shrinker(stack).shrink(program, outcome=outcome)
+    import re
+    surviving = set(re.findall(r"^global (\w+)", result.program.source,
+                               re.MULTILINE))
+    assert set(result.program.globals_init) <= surviving

@@ -29,6 +29,10 @@ from repro.apps import ALL_APPS  # noqa: E402
 
 APP_NAMES = sorted(ALL_APPS)
 
+# Each case runs a full flow twice (reference capture vs optimised run);
+# the whole matrix belongs to the slow tier (docs/TESTING.md).
+pytestmark = pytest.mark.slow
+
 
 def _flatten(prefix, value, out):
     if isinstance(value, dict):

@@ -12,6 +12,9 @@ import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
+# Each example runs real flows end to end: slow tier (docs/TESTING.md).
+pytestmark = pytest.mark.slow
+
 
 def load(name):
     spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")

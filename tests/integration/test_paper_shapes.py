@@ -15,6 +15,9 @@ import pytest
 from repro.apps import app_by_name, ALL_APPS
 from repro.core import LowPowerFlow
 
+# Full flows over all six apps: slow tier (docs/TESTING.md).
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def results():

@@ -1,0 +1,125 @@
+"""The evaluator cache must key on *content*, never object identity.
+
+Netlist and BindingResult are mutable dataclasses.  The old cache keyed
+on ``id(netlist)``, so mutating a netlist in place (or a recycled object
+id landing on a live entry) could return energies priced against stale
+gate counts.  These are fault-injection tests: they mutate inputs while
+keeping identities fixed and assert the cache can never serve the stale
+evaluator.
+"""
+
+import pytest
+
+from repro.ir.ops import Operation, OpKind, Value
+from repro.sched.binding import bind_schedule
+from repro.sched.list_scheduler import list_schedule
+from repro.synth.datapath import build_datapath
+from repro.synth.fsm import build_controller
+from repro.synth.gatesim import (
+    GateEnergyEvaluator,
+    _evaluator_digest,
+    estimate_gate_energy,
+    get_evaluator,
+)
+from repro.synth.netlist import expand_netlist
+from repro.tech.resources import ResourceKind, ResourceSet
+
+EX_TIMES = {"body": 10}
+TOTAL_CYCLES = 100
+
+
+def _ops():
+    ops = []
+    for i in range(4):
+        ops.append(Operation(OpKind.CONST, result=Value(f"c{i}"), const=i))
+        ops.append(Operation(OpKind.MUL, result=Value(f"m{i}"),
+                             operands=(Value(f"c{i}"), Value(f"c{i}"))))
+        ops.append(Operation(OpKind.ADD, result=Value(f"a{i}"),
+                             operands=(Value(f"m{i}"), Value(f"c{i}"))))
+    return ops
+
+
+@pytest.fixture()
+def synthesized(library):
+    rs = ResourceSet("m", {ResourceKind.ALU: 1, ResourceKind.MULTIPLIER: 1})
+    schedules = {"body": list_schedule(_ops(), rs)}
+    binding = bind_schedule(schedules, library)
+    dp = build_datapath(schedules, binding, library)
+    netlist = expand_netlist(dp, build_controller(schedules, 1), library)
+    return netlist, binding
+
+
+def test_mutated_netlist_same_identity_reprices(synthesized, library):
+    """The headline fault injection: double a component's gate count in
+    place and the (same-identity) netlist must not return stale energy."""
+    netlist, binding = synthesized
+    before = estimate_gate_energy(netlist, binding, EX_TIMES, TOTAL_CYCLES,
+                                  library)
+    victim = netlist.components[0]
+    victim.combinational_gates *= 2
+    after = estimate_gate_energy(netlist, binding, EX_TIMES, TOTAL_CYCLES,
+                                 library)
+    assert after.component_nj[victim.name] > \
+        before.component_nj[victim.name]
+    # And the exact expected value: a fresh evaluator agrees bit-for-bit.
+    fresh = GateEnergyEvaluator(netlist, binding, library).evaluate(
+        EX_TIMES, TOTAL_CYCLES)
+    assert after.component_nj == fresh.component_nj
+
+
+def test_mutated_binding_same_identity_reprices(synthesized, library):
+    netlist, binding = synthesized
+    before = estimate_gate_energy(netlist, binding, EX_TIMES, TOTAL_CYCLES,
+                                  library)
+    # Stretch one instance's busy intervals in place: its unit now shows
+    # more active (higher-activity) cycles.
+    inst = binding.instances[0]
+    for block, spans in inst.intervals.items():
+        inst.intervals[block] = [(s, e + 1) for s, e in spans]
+    after = estimate_gate_energy(netlist, binding, EX_TIMES, TOTAL_CYCLES,
+                                 library)
+    fresh = GateEnergyEvaluator(netlist, binding, library).evaluate(
+        EX_TIMES, TOTAL_CYCLES)
+    assert after.component_nj == fresh.component_nj
+    assert after.component_nj != before.component_nj
+
+
+def test_identical_content_hits_cache_across_identities(synthesized,
+                                                        library):
+    """Structurally equal inputs share one evaluator even when they are
+    different objects — the digest ignores identity in both directions."""
+    import copy
+
+    netlist, binding = synthesized
+    first = get_evaluator(netlist, binding, library)
+    clone_netlist = copy.deepcopy(netlist)
+    clone_binding = copy.deepcopy(binding)
+    assert _evaluator_digest(clone_netlist, clone_binding, library) == \
+        _evaluator_digest(netlist, binding, library)
+    assert get_evaluator(clone_netlist, clone_binding, library) is first
+
+
+def test_digest_covers_library_constants(synthesized, library):
+    import dataclasses
+
+    netlist, binding = synthesized
+    hotter = dataclasses.replace(
+        library, active_activity=library.active_activity * 2)
+    assert _evaluator_digest(netlist, binding, hotter) != \
+        _evaluator_digest(netlist, binding, library)
+
+
+def test_cache_is_bounded(synthesized, library):
+    from repro.synth import gatesim
+
+    netlist, binding = synthesized
+    get_evaluator(netlist, binding, library)
+    victim = netlist.components[0]
+    original = victim.combinational_gates
+    try:
+        for bump in range(gatesim._EVALUATOR_CACHE_MAX + 10):
+            victim.combinational_gates = original + bump
+            get_evaluator(netlist, binding, library)
+        assert len(gatesim._EVALUATOR_CACHE) <= gatesim._EVALUATOR_CACHE_MAX
+    finally:
+        victim.combinational_gates = original
