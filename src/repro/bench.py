@@ -222,6 +222,40 @@ def _bench_gatesim(ctx: BenchContext):
     return run_once
 
 
+def _bench_checkpoint_journal(ctx: BenchContext):
+    """Journaled persistence overhead (``--checkpoint``): put+flush every
+    record, then replay the journal cold — records/sec."""
+    import os
+    import shutil
+    import tempfile
+
+    from repro.core.checkpoint import PersistentEvaluationCache
+
+    count = 500 if ctx.quick else 5_000
+    payload = {"objective": 0.4217, "asic_cells": 12860,
+               "vector": list(range(32))}
+
+    def run_once():
+        directory = tempfile.mkdtemp(prefix="bench-ckpt-")
+        path = os.path.join(directory, "cache.journal")
+        try:
+            start = time.perf_counter()
+            cache = PersistentEvaluationCache(path)
+            for i in range(count):
+                cache.put(f"key-{i:06d}", (i, payload))
+            cache.close()
+            replayed = PersistentEvaluationCache(path)
+            replayed.close()
+            elapsed = time.perf_counter() - start
+            loaded = replayed.loaded
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        return (count + loaded) / elapsed, {
+            "records": count, "replayed": loaded}
+
+    return run_once
+
+
 def _bench_flow(app_name: str):
     def make(ctx: BenchContext):
         from repro.apps import app_by_name
@@ -279,6 +313,11 @@ def _specs() -> List[BenchSpec]:
                   "Fig. 1 line 15 re-estimates gate-level energy per "
                   "synthesized candidate",
                   _bench_gatesim, disable_gc=True),
+        BenchSpec("micro.checkpoint.journal", "ops/s", True,
+                  "--checkpoint journals (and --resume replays) every "
+                  "memoized outcome; this bounds its per-candidate "
+                  "overhead",
+                  _bench_checkpoint_journal, disable_gc=True),
     ]
     for name in sorted(ALL_APPS):
         specs.append(BenchSpec(

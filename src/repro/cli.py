@@ -16,7 +16,11 @@ Commands
     Sweep the application's design space — every pre-selected cluster
     against every designer resource set — and print the candidate
     landscape, cache statistics and rejection reasons.  Supports
-    ``--jobs``/``--trace`` like ``run``.
+    ``--jobs``/``--trace`` like ``run``, plus ``--checkpoint DIR`` to
+    journal every evaluation to disk and ``--resume`` to replay a
+    checkpoint (after the ``explore.checkpoint`` consistency audit)
+    into an identical decision; ``--inject-fault KIND@SEQ`` scripts
+    deliberate worker faults to exercise the recovery paths.
 ``clusters APP``
     Show the cluster decomposition, pre-selection and per-cluster
     bus-transfer estimates (paper Figs. 2/3).
@@ -94,10 +98,34 @@ def _build_parser() -> argparse.ArgumentParser:
                 f"must be a positive integer, got {value}")
         return value
 
+    def positive_float(text: str) -> float:
+        value = float(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive number, got {value}")
+        return value
+
+    def nonnegative_int(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"must be >= 0, got {value}")
+        return value
+
     def add_explore_options(p) -> None:
         p.add_argument("--jobs", type=positive_int, default=1, metavar="N",
                        help="worker processes for the candidate sweep "
                             "(default 1 = serial)")
+        p.add_argument("--timeout", type=positive_float, default=None,
+                       metavar="SEC",
+                       help="per-candidate evaluation timeout in seconds; "
+                            "a pair exceeding it is retried on a rebuilt "
+                            "worker pool (default: wait forever)")
+        p.add_argument("--retries", type=nonnegative_int, default=2,
+                       metavar="N",
+                       help="re-submissions a candidate may consume after "
+                            "worker failures before degrading to "
+                            "in-process evaluation (default 2)")
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="write a timing/counter trace JSON to FILE")
         p.add_argument("--verify", action="store_true",
@@ -129,6 +157,21 @@ def _build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--optimize", action="store_true")
     explore.add_argument("--top", type=int, default=10,
                          help="candidates to print (default 10)")
+    explore.add_argument("--checkpoint", default=None, metavar="DIR",
+                         help="journal every candidate evaluation into DIR "
+                              "so a killed sweep can be resumed; without "
+                              "--resume any existing checkpoint in DIR is "
+                              "discarded first")
+    explore.add_argument("--resume", action="store_true",
+                         help="with --checkpoint: verify DIR's consistency "
+                              "(explore.checkpoint) and replay its "
+                              "journaled outcomes as cache hits")
+    explore.add_argument("--inject-fault", action="append", default=None,
+                         metavar="KIND@SEQ",
+                         help="deliberately fault the worker handling "
+                              "dispatch sequence SEQ (KIND: kill, hang, "
+                              "raise); repeatable — exercises the "
+                              "timeout/retry/rebuild recovery paths")
     add_explore_options(explore)
 
     clusters = sub.add_parser("clusters",
@@ -290,7 +333,8 @@ def _cmd_run(args) -> int:
         app.optimize = True
     tracer = _make_tracer(args, f"run {args.app}")
     with ExplorationEngine(jobs=args.jobs, tracer=tracer,
-                           verify=args.verify) as engine:
+                           verify=args.verify, timeout=args.timeout,
+                           retries=args.retries) as engine:
         result = engine.run_flow(app)
     print(result.summary())
     status = _report_verification(args, tracer, [result.verification])
@@ -304,7 +348,8 @@ def _cmd_table1(args) -> int:
     tracer = _make_tracer(args, "table1")
     apps = [app_by_name(name, scale=args.scale) for name in ALL_APPS]
     with ExplorationEngine(jobs=args.jobs, tracer=tracer,
-                           verify=args.verify) as engine:
+                           verify=args.verify, timeout=args.timeout,
+                           retries=args.retries) as engine:
         if args.jobs > 1:
             print(f"running {len(apps)} applications on {args.jobs} "
                   f"workers ...", file=sys.stderr)
@@ -327,13 +372,62 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_explore(args) -> int:
+    from repro.core import FaultPlan, FaultPlanError
+
     app = app_by_name(args.app, scale=args.scale)
     if args.optimize:
         app.optimize = True
+    fault_plan = None
+    if args.inject_fault:
+        try:
+            fault_plan = FaultPlan.parse(args.inject_fault)
+        except FaultPlanError as exc:
+            print(f"bad --inject-fault: {exc}", file=sys.stderr)
+            return 1
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint DIR", file=sys.stderr)
+        return 1
     tracer = Tracer(f"explore {args.app}")
-    with ExplorationEngine(jobs=args.jobs, cache=EvaluationCache(),
-                           tracer=tracer, verify=args.verify) as engine:
-        report = engine.explore(app)
+    checkpoint = None
+    cache: EvaluationCache = EvaluationCache()
+    if args.checkpoint:
+        import os
+
+        from repro.core import SweepCheckpoint, checkpoint_context_key
+        from repro.core.checkpoint import JOURNAL_FILENAME, META_FILENAME
+        from repro.obs import use_tracer
+        from repro.verify import verify_checkpoint
+
+        library = cmos6_library()
+        context = checkpoint_context_key(app, library, app.config)
+        if args.resume:
+            audit = verify_checkpoint(args.checkpoint,
+                                      expected_context=context)
+            print(audit.format_text())
+            if audit.has_errors:
+                print("cannot resume: checkpoint failed the "
+                      "explore.checkpoint audit", file=sys.stderr)
+                return 1
+        else:
+            # A fresh --checkpoint must not inherit a previous sweep's
+            # journal (it may even belong to another app).
+            for stale in (JOURNAL_FILENAME, META_FILENAME):
+                path = os.path.join(args.checkpoint, stale)
+                if os.path.exists(path):
+                    os.remove(path)
+        checkpoint = SweepCheckpoint(args.checkpoint)
+        checkpoint.bind(app, library, app.config)
+        with use_tracer(tracer):
+            cache = checkpoint.cache  # replays the journal under the tracer
+    try:
+        with ExplorationEngine(jobs=args.jobs, cache=cache,
+                               tracer=tracer, verify=args.verify,
+                               timeout=args.timeout, retries=args.retries,
+                               fault_plan=fault_plan) as engine:
+            report = engine.explore(app)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     decision = report.decision
     print(f"{app.name}: U_uP = {decision.up_utilization:.3f}, "
           f"{len(decision.preselected)} clusters pre-selected, "

@@ -13,7 +13,12 @@
   average-power allocator.
 * :mod:`repro.core.explore` — the parallel design-space exploration
   engine: fans candidate evaluations over a worker pool and memoizes
-  every outcome under stable content keys.
+  every outcome under stable content keys, surviving worker crashes,
+  hangs and pool breakage with bounded retries and pool rebuilds.
+* :mod:`repro.core.checkpoint` — journaled on-disk evaluation cache and
+  resumable sweep checkpoints (``repro explore --checkpoint/--resume``).
+* :mod:`repro.core.faults` — deterministic worker-fault injection
+  (:class:`FaultPlan`) for testing the engine's recovery paths.
 """
 
 from repro.core.objective import ObjectiveConfig, objective_value
@@ -40,6 +45,13 @@ from repro.core.explore import (
     ExploreReport,
     candidate_cache_key,
 )
+from repro.core.checkpoint import (
+    CheckpointMismatch,
+    PersistentEvaluationCache,
+    SweepCheckpoint,
+    checkpoint_context_key,
+)
+from repro.core.faults import FaultInjected, FaultPlan, FaultPlanError
 
 __all__ = [
     "ObjectiveConfig",
@@ -53,6 +65,13 @@ __all__ = [
     "ExplorationEngine",
     "ExploreReport",
     "candidate_cache_key",
+    "CheckpointMismatch",
+    "PersistentEvaluationCache",
+    "SweepCheckpoint",
+    "checkpoint_context_key",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultPlanError",
     "AppSpec",
     "FlowResult",
     "LowPowerFlow",

@@ -1,0 +1,325 @@
+"""Journaled on-disk evaluation cache and resumable sweep checkpoints.
+
+The in-memory :class:`~repro.core.explore.EvaluationCache` makes repeated
+sweeps cheap *within* a process; this module makes them cheap *across*
+processes and crashes.  Two pieces:
+
+* :class:`PersistentEvaluationCache` — an ``EvaluationCache`` whose every
+  ``put`` is appended to an on-disk journal before the sweep continues,
+  so a killed run loses at most the record being written.  The journal is
+  **append-only** and **corruption-tolerant**: loading stops at the first
+  truncated or checksum-failing record (the tail a ``kill -9`` can leave)
+  and the file is truncated back to the last intact record so new appends
+  never sit behind garbage.
+* :class:`SweepCheckpoint` — a directory bundling the journal with a
+  ``checkpoint.json`` metadata file that pins *whose* results these are
+  (application payload, technology library and designer config, all as
+  content digests).  ``repro explore APP --checkpoint DIR`` writes one;
+  ``--resume`` reloads it — after the ``explore.checkpoint`` consistency
+  check (:func:`repro.verify.verify_checkpoint`) confirms the metadata
+  matches the live sweep — and replays every journaled outcome as cache
+  hits, reproducing the identical
+  :class:`~repro.core.partitioner.PartitionDecision`.
+
+Journal format (``cache.journal``)::
+
+    REPRO-EVALCACHE v1\\n                      # magic line
+    [4-byte LE length][8-byte SHA-256 prefix][pickle blob]   # repeated
+
+Each blob is ``pickle.dumps((key, outcome))`` — outcomes are the same
+:class:`~repro.core.partitioner.CandidateEvaluation` objects (or
+rejection strings) that already cross process boundaries in parallel
+sweeps, so picklability is an existing invariant, not a new one.  Keys
+are the SHA-256 content digests of
+:func:`~repro.core.explore.candidate_cache_key`, which embed workload,
+library and config — a journal can therefore be shared across sweeps
+without collisions, exactly like the in-memory cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import struct
+from typing import Any, Dict, Optional
+
+from repro.core.explore import (
+    AppPayload,
+    EvaluationCache,
+    _sha,
+    config_digest,
+    library_digest,
+)
+from repro.core.partitioner import PartitionConfig
+from repro.obs import get_tracer
+
+#: Magic first line of every evaluation-cache journal.
+JOURNAL_MAGIC = b"REPRO-EVALCACHE v1\n"
+
+#: Journal filename inside a checkpoint directory.
+JOURNAL_FILENAME = "cache.journal"
+
+#: Metadata filename inside a checkpoint directory.
+META_FILENAME = "checkpoint.json"
+
+#: The ``schema`` tag of the checkpoint metadata file.
+CHECKPOINT_SCHEMA_NAME = "repro-checkpoint"
+
+#: Current version of the checkpoint metadata schema.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_RECORD_HEADER = struct.Struct("<I8s")
+
+
+def _record_digest(blob: bytes) -> bytes:
+    return hashlib.sha256(blob).digest()[:8]
+
+
+def checkpoint_context_key(app, library, config: Optional[PartitionConfig]
+                           ) -> str:
+    """Content digest of everything a checkpointed sweep depends on.
+
+    Computable *before* the sweep runs (unlike the full
+    ``sweep_context_digest``, which needs the profile and initial run):
+    the application payload, the technology library and the designer
+    config determine those deterministically, so this key is exactly as
+    discriminating while being cheap enough to validate a ``--resume``
+    up front.
+    """
+    payload = AppPayload.from_app(app)
+    return _sha("checkpoint", payload.digest(), library_digest(library),
+                config_digest(config or PartitionConfig()))
+
+
+def scan_journal(path: str) -> Dict[str, Any]:
+    """Read-only audit of a journal file: ``{ok, records, corrupt,
+    keys, bytes_good, bytes_total}``.
+
+    Unlike :class:`PersistentEvaluationCache`, scanning never truncates
+    or rewrites — this is what :func:`repro.verify.verify_checkpoint`
+    calls, and a verification pass must not mutate its subject.
+    ``ok`` is False when the magic header is missing entirely.
+    """
+    records = 0
+    corrupt = 0
+    keys = []
+    with open(path, "rb") as fh:
+        magic = fh.read(len(JOURNAL_MAGIC))
+        bytes_total = os.fstat(fh.fileno()).st_size
+        if magic != JOURNAL_MAGIC:
+            return {"ok": False, "records": 0, "corrupt": 1, "keys": [],
+                    "bytes_good": 0, "bytes_total": bytes_total}
+        good_end = fh.tell()
+        while True:
+            header = fh.read(_RECORD_HEADER.size)
+            if not header:
+                break
+            if len(header) < _RECORD_HEADER.size:
+                corrupt += 1
+                break
+            length, digest = _RECORD_HEADER.unpack(header)
+            blob = fh.read(length)
+            if len(blob) < length or _record_digest(blob) != digest:
+                corrupt += 1
+                break
+            try:
+                key, _outcome = pickle.loads(blob)
+            except Exception:
+                corrupt += 1
+                break
+            keys.append(key)
+            records += 1
+            good_end = fh.tell()
+    return {"ok": True, "records": records, "corrupt": corrupt,
+            "keys": keys, "bytes_good": good_end,
+            "bytes_total": bytes_total}
+
+
+class PersistentEvaluationCache(EvaluationCache):
+    """An :class:`EvaluationCache` journaled to disk on every ``put``.
+
+    Args:
+        path: journal file (created, with magic, if absent).
+        max_entries: in-memory bound, as on the base class.  The journal
+            itself is append-only and unbounded; eviction only trims the
+            in-memory view.
+
+    Attributes:
+        loaded: intact records replayed from the journal on open.
+        corrupt: truncated/checksum-failing tail records discarded on
+            open (the journal is truncated back to the last intact
+            record).
+    """
+
+    def __init__(self, path: str,
+                 max_entries: Optional[int] = None) -> None:
+        super().__init__(max_entries=max_entries)
+        self.path = path
+        self.loaded = 0
+        self.corrupt = 0
+        tracer = get_tracer()
+        with tracer.span("explore.checkpoint.load"):
+            self._open()
+        tracer.count("explore.checkpoint.loaded", self.loaded)
+        if self.corrupt:
+            tracer.count("explore.checkpoint.corrupt", self.corrupt)
+
+    # -- journal I/O ---------------------------------------------------
+
+    def _open(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        if not os.path.exists(self.path):
+            with open(self.path, "wb") as fh:
+                fh.write(JOURNAL_MAGIC)
+        else:
+            self._replay()
+        self._journal = open(self.path, "ab")
+
+    def _replay(self) -> None:
+        """Load every intact record; truncate any corrupt tail."""
+        with open(self.path, "rb") as fh:
+            magic = fh.read(len(JOURNAL_MAGIC))
+            if magic != JOURNAL_MAGIC:
+                # Not a journal (or a torn header): start over rather
+                # than appending records a future load would skip.
+                self.corrupt += 1
+                with open(self.path, "wb") as out:
+                    out.write(JOURNAL_MAGIC)
+                return
+            good_end = fh.tell()
+            while True:
+                header = fh.read(_RECORD_HEADER.size)
+                if not header:
+                    break  # clean EOF
+                if len(header) < _RECORD_HEADER.size:
+                    self.corrupt += 1
+                    break
+                length, digest = _RECORD_HEADER.unpack(header)
+                blob = fh.read(length)
+                if len(blob) < length or _record_digest(blob) != digest:
+                    self.corrupt += 1
+                    break
+                try:
+                    key, outcome = pickle.loads(blob)
+                except Exception:
+                    self.corrupt += 1
+                    break
+                self._entries[key] = outcome
+                self.loaded += 1
+                good_end = fh.tell()
+        if self.corrupt:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+
+    # -- cache interface ----------------------------------------------
+
+    def put(self, key: str, outcome: object) -> None:
+        is_new = key not in self._entries
+        super().put(key, outcome)
+        if not is_new:
+            return  # already journaled; keep the journal append-only
+        blob = pickle.dumps((key, outcome), protocol=4)
+        self._journal.write(
+            _RECORD_HEADER.pack(len(blob), _record_digest(blob)))
+        self._journal.write(blob)
+        # Push to the kernel so a SIGKILL loses at most the in-flight
+        # record (fsync durability is not worth its cost per candidate).
+        self._journal.flush()
+        get_tracer().count("explore.checkpoint.appended")
+
+    def clear(self) -> None:
+        super().clear()
+        self._journal.close()
+        with open(self.path, "wb") as fh:
+            fh.write(JOURNAL_MAGIC)
+        self._journal = open(self.path, "ab")
+
+    def close(self) -> None:
+        self._journal.close()
+
+    def __enter__(self) -> "PersistentEvaluationCache":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class SweepCheckpoint:
+    """A checkpoint directory: journaled cache + identifying metadata.
+
+    Usage (the CLI's ``--checkpoint``/``--resume`` path)::
+
+        ckpt = SweepCheckpoint(directory)
+        ckpt.bind(app, library, config)       # write/validate metadata
+        engine = ExplorationEngine(cache=ckpt.cache, ...)
+        ... sweep ...
+        ckpt.close()
+
+    ``bind`` writes ``checkpoint.json`` on first use and, on reuse,
+    raises :class:`CheckpointMismatch` when the directory belongs to a
+    different (app, library, config) triple — the cheap in-line guard;
+    the full audit with findings is
+    :func:`repro.verify.verify_checkpoint`.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.meta_path = os.path.join(directory, META_FILENAME)
+        self.journal_path = os.path.join(directory, JOURNAL_FILENAME)
+        self._cache: Optional[PersistentEvaluationCache] = None
+
+    @property
+    def cache(self) -> PersistentEvaluationCache:
+        if self._cache is None:
+            self._cache = PersistentEvaluationCache(self.journal_path)
+        return self._cache
+
+    def load_meta(self) -> Optional[Dict[str, Any]]:
+        """The metadata dict, or ``None`` when absent/unreadable."""
+        try:
+            with open(self.meta_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def bind(self, app, library, config: Optional[PartitionConfig]) -> str:
+        """Pin (or validate) the checkpoint's identity; returns the
+        context key."""
+        context = checkpoint_context_key(app, library, config)
+        meta = self.load_meta()
+        if meta is None:
+            with open(self.meta_path, "w", encoding="utf-8") as fh:
+                json.dump({
+                    "schema": CHECKPOINT_SCHEMA_NAME,
+                    "version": CHECKPOINT_SCHEMA_VERSION,
+                    "app": app.name,
+                    "context": context,
+                }, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            return context
+        if meta.get("context") != context:
+            raise CheckpointMismatch(
+                f"checkpoint {self.directory!r} belongs to "
+                f"app={meta.get('app')!r} context={meta.get('context')!r}, "
+                f"not this sweep's context {context!r}")
+        return context
+
+    def close(self) -> None:
+        if self._cache is not None:
+            self._cache.close()
+            self._cache = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class CheckpointMismatch(ValueError):
+    """A checkpoint directory belongs to a different sweep context."""

@@ -13,7 +13,26 @@ metrics, transfer estimate, objective — is a pure function of its inputs.
   under a *stable content key* (cluster digest × resource set × library ×
   workload), so repeated candidates — ``table1`` after ``run``, the
   multicore iteration's first pass, cache-adaptation sweeps, benchmark
-  reruns — are never re-scheduled.
+  reruns — are never re-scheduled;
+* **fault tolerance** — worker processes are treated as fallible.  Every
+  pair evaluation carries an optional per-candidate ``timeout``; a
+  failed, hung or killed worker triggers a bounded retry with
+  exponential backoff (``retries``/``backoff_s``); a
+  ``BrokenProcessPool`` tears the dead pool down, rebuilds it and
+  requeues every in-flight pair (``explore.pool.rebuilds``); and after
+  ``max_pool_rebuilds`` rebuilds — or a pair exhausting its retries —
+  the remaining pairs degrade to in-process serial evaluation
+  (``explore.degraded``).  Because every evaluation is a pure function
+  and outcomes are reassembled in canonical sweep order, recovery never
+  changes the decision: it is still bit-identical to the serial path.
+  Each recovery path is deterministically testable through the
+  :class:`~repro.core.faults.FaultPlan` hook (worker-side kill / hang /
+  raise scripts, ``repro explore --inject-fault``).  Completed outcomes
+  survive process death when the engine is given a
+  :class:`~repro.core.checkpoint.PersistentEvaluationCache`: every
+  outcome is journaled to disk the moment it is audited-and-accepted,
+  which is what makes ``repro explore --checkpoint DIR`` / ``--resume``
+  kill-safe.
 
 Cache keys are built exclusively from sorted content digests
 (:func:`candidate_cache_key`), never from ``id()``, ``hash()`` or set
@@ -34,11 +53,15 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.core.faults import FaultPlan
 from repro.core.flow import AppSpec, FlowResult, LowPowerFlow
 from repro.core.partitioner import (
     CandidateEvaluation,
@@ -303,14 +326,24 @@ def _worker_evaluate_pair(payload: AppPayload, library: TechnologyLibrary,
                           config: PartitionConfig,
                           hw_names: Tuple[str, ...],
                           pair: Tuple[str, int],
-                          verify: bool = False):
+                          seq: int = 0,
+                          attempt: int = 0,
+                          verify: bool = False,
+                          fault_plan: Optional[FaultPlan] = None):
     """Evaluate one (cluster name, resource-set index) pair in a worker.
 
     Returns ``(pair, outcome, counters, seconds, audit)`` where outcome
     is a :class:`CandidateEvaluation` or a rejection string, and audit is
     the worker-side :class:`~repro.verify.VerificationReport` (``None``
     when ``verify`` is off or the pair was rejected).
+
+    ``seq`` is the engine's deterministic dispatch sequence number and
+    ``attempt`` the zero-based retry count; an injected ``fault_plan``
+    consults both to decide whether this call should deliberately kill,
+    hang or fail the worker (testing the engine's recovery paths).
     """
+    if fault_plan is not None:
+        fault_plan.fire(seq, attempt)
     started = time.perf_counter()
     ctx = _get_sweep_context(payload, library, config)
     cluster_name, rs_index = pair
@@ -361,6 +394,24 @@ def _pool_context():
 # ---------------------------------------------------------------------------
 
 @dataclass
+class _ParallelTask:
+    """One in-flight pair evaluation's engine-side bookkeeping.
+
+    ``seq`` is the deterministic dispatch sequence number (canonical
+    sweep order, stable across runs — what :class:`FaultPlan` scripts
+    key on); ``index`` the pair's position in the sweep grid; ``key``
+    its cache key; ``pair`` the picklable (cluster name, resource-set
+    index) sent to workers; ``attempt`` the retries consumed so far.
+    """
+
+    seq: int
+    index: int
+    key: str
+    pair: Tuple[str, int]
+    attempt: int = 0
+
+
+@dataclass
 class ExploreReport:
     """One application's sweep outcome plus exploration bookkeeping."""
 
@@ -388,9 +439,25 @@ class ExplorationEngine:
             returned (the decision stage sees it) but never memoized, so
             a corrupted result cannot be fanned out to later sweeps.
             Findings accumulate on :attr:`verification`.
+        timeout: per-candidate evaluation timeout in seconds (``None``
+            waits forever).  A pair exceeding it is treated as a hung
+            worker: the pool is torn down and rebuilt, the pair retried.
+        retries: re-submissions a pair may consume after failures
+            (worker exceptions, timeouts, pool breaks) before it
+            degrades to in-process serial evaluation.
+        backoff_s: base of the exponential retry backoff — attempt
+            ``n`` sleeps ``backoff_s * 2**(n-1)`` before resubmitting.
+        max_pool_rebuilds: pool rebuilds tolerated per sweep; one more
+            failure degrades every remaining pair to in-process serial
+            evaluation (the sweep still completes, bit-identically).
+        fault_plan: deterministic worker-fault script
+            (:class:`~repro.core.faults.FaultPlan`) for testing the
+            recovery paths; production sweeps leave it ``None``.
 
     The engine keeps its worker pool alive across sweeps — use it as a
-    context manager or call :meth:`close` to reap the workers.
+    context manager or call :meth:`close` to reap the workers.  A pool
+    that broke mid-sweep is dropped and transparently rebuilt, so one
+    engine stays usable across failures.
     """
 
     def __init__(self, library: Optional[TechnologyLibrary] = None,
@@ -398,33 +465,59 @@ class ExplorationEngine:
                  jobs: int = 1,
                  cache: Optional[EvaluationCache] = None,
                  tracer: Optional[Tracer] = None,
-                 verify: bool = False) -> None:
+                 verify: bool = False,
+                 timeout: Optional[float] = None,
+                 retries: int = 2,
+                 backoff_s: float = 0.05,
+                 max_pool_rebuilds: int = 3,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}")
         self.library = library or cmos6_library()
         self.config = config
         self.jobs = jobs
         self.cache = cache if cache is not None else EvaluationCache()
         self.tracer = tracer or NullTracer()
         self.verify = verify
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.fault_plan = fault_plan
         #: Accumulated candidate-audit findings (``verify=True`` only).
         self.verification = None
         if verify:
             from repro.verify import VerificationReport
             self.verification = VerificationReport(label="explore")
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Monotonic dispatch sequence: pairs are numbered in canonical
+        #: sweep order, which is what makes FaultPlan scripts stable.
+        self._dispatch_seq = 0
+        self._warned_no_app = False
 
     # -- lifecycle -----------------------------------------------------
 
     def __enter__(self) -> "ExplorationEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Cleanup must run on error paths too (a Ctrl-C mid-sweep used
+        # to leak live workers); returning False propagates exc_info.
         self.close()
+        return False
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown()
+            # cancel_futures: queued-but-unstarted pairs are dropped so
+            # the workers can exit instead of draining a dead sweep.
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -432,6 +525,25 @@ class ExplorationEngine:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs, mp_context=_pool_context())
         return self._pool
+
+    def _teardown_pool(self) -> None:
+        """Drop a broken/hung pool so the next use builds a fresh one.
+
+        Worker processes are terminated outright: after a
+        ``BrokenProcessPool`` they are already dead or doomed, and after
+        a timeout the survivor is presumed hung — waiting on either
+        would stall the sweep indefinitely.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-reaped races
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
     # -- candidate sweep ----------------------------------------------
 
@@ -493,21 +605,26 @@ class ExplorationEngine:
 
         if pending:
             rejected: set = set()
+            if self.jobs > 1 and app is None:
+                # The caller asked for workers but gave the sweep no
+                # AppSpec to rebuild the workload from — say so once
+                # instead of silently ignoring --jobs.
+                tracer.count("explore.degraded", len(pending))
+                if not self._warned_no_app:
+                    self._warned_no_app = True
+                    warnings.warn(
+                        f"ExplorationEngine(jobs={self.jobs}): sweep "
+                        f"without an AppSpec cannot use worker processes; "
+                        f"evaluating in-process serially",
+                        RuntimeWarning, stacklevel=3)
             if self.jobs > 1 and app is not None:
-                self._evaluate_parallel(app, config, hw_clusters,
+                self._evaluate_parallel(partitioner, profile, initial,
+                                        chains, app, config, hw_clusters,
                                         pairs, pending, outcomes, rejected)
             else:
                 self._evaluate_serial(partitioner, profile, initial,
                                       hw_clusters, chains, pairs, pending,
                                       outcomes, rejected)
-            for index, key in pending:
-                if index in rejected:
-                    # Verification found a hard invariant violation: the
-                    # outcome still flows to the decision stage, but a
-                    # corrupted evaluation must never be memoized.
-                    tracer.count("verify.cache_rejected")
-                    continue
-                self.cache.put(key, outcomes[index])
         return outcomes
 
     def _audit(self, outcome, index: int, rejected: set) -> None:
@@ -518,13 +635,18 @@ class ExplorationEngine:
         if report.has_errors:
             rejected.add(index)
 
+    def _commit(self, index: int, key: str, outcome) -> None:
+        """Memoize one finished outcome — immediately, so a persistent
+        cache journals it before the sweep moves on (kill-safety)."""
+        self.cache.put(key, outcome)
+
     def _evaluate_serial(self, partitioner: Partitioner,
                          profile: ExecutionProfile, initial: SystemRun,
                          hw_clusters: FrozenSet[str],
                          chains: Dict[str, List[object]],
                          pairs, pending, outcomes, rejected) -> None:
         tracer = self.tracer
-        for index, _key in pending:
+        for index, key in pending:
             cluster, resource_set = pairs[index]
             try:
                 with tracer.span("explore.evaluate"):
@@ -538,34 +660,155 @@ class ExplorationEngine:
             except ScheduleError as exc:
                 outcome = str(exc)
             outcomes[index] = outcome
+            if index in rejected:
+                # Verification found a hard invariant violation: the
+                # outcome still flows to the decision stage, but a
+                # corrupted evaluation must never be memoized.
+                tracer.count("verify.cache_rejected")
+            else:
+                self._commit(index, key, outcome)
 
-    def _evaluate_parallel(self, app: AppSpec, config: PartitionConfig,
+    # -- fault-tolerant parallel fan-out -------------------------------
+
+    def _absorb(self, task: "_ParallelTask", result,
+                outcomes, rejected) -> None:
+        """Fold one successful worker result into the sweep state."""
+        tracer = self.tracer
+        _pair, outcome, counters, seconds, audit = result
+        outcomes[task.index] = outcome
+        tracer.merge_counters(counters)
+        tracer.record("explore.evaluate", seconds)
+        if not isinstance(outcome, str):
+            tracer.count("explore.evaluated")
+        if audit is not None and self.verification is not None:
+            self.verification.extend(audit)
+            if audit.has_errors:
+                rejected.add(task.index)
+        if task.index in rejected:
+            tracer.count("verify.cache_rejected")
+        else:
+            self._commit(task.index, task.key, outcome)
+
+    def _retry(self, task: "_ParallelTask", queue: List["_ParallelTask"],
+               degraded: List["_ParallelTask"], bump: bool = True) -> None:
+        """Requeue a failed task, or hand it to the serial fallback once
+        its retry budget is spent.  ``bump=False`` requeues an innocent
+        bystander (e.g. a pair queued behind a hung worker) without
+        charging its budget."""
+        if not bump:
+            queue.append(task)
+            return
+        task.attempt += 1
+        self.tracer.count("explore.retry.attempts")
+        if task.attempt > self.retries:
+            degraded.append(task)
+            return
+        if self.backoff_s > 0:
+            time.sleep(self.backoff_s * (2 ** (task.attempt - 1)))
+        queue.append(task)
+
+    @staticmethod
+    def _settled_ok(future: Future) -> bool:
+        """True iff ``future`` completed with a result we can harvest."""
+        if not future.done() or future.cancelled():
+            return False
+        try:
+            return future.exception(timeout=0) is None
+        except Exception:  # pragma: no cover - racing cancellation
+            return False
+
+    def _evaluate_parallel(self, partitioner: Partitioner,
+                           profile: ExecutionProfile, initial: SystemRun,
+                           chains: Dict[str, List[object]],
+                           app: AppSpec, config: PartitionConfig,
                            hw_clusters: FrozenSet[str],
                            pairs, pending, outcomes, rejected) -> None:
+        """Fan pending pairs over the worker pool, surviving failures.
+
+        Tasks are submitted individually (not ``pool.map``) so each can
+        carry its own timeout, be retried alone, and land in the cache
+        the moment it completes.  Results are still written into
+        ``outcomes`` by pair index, so completion order — scrambled by
+        retries and rebuilds — never reaches ``decide()``.
+        """
         tracer = self.tracer
         payload = AppPayload.from_app(app)
         rs_index = {id(rs): i for i, rs in enumerate(config.resource_sets)}
-        tasks = []
-        for index, _key in pending:
+        queue: List[_ParallelTask] = []
+        for index, key in pending:
             cluster, resource_set = pairs[index]
-            tasks.append((cluster.name, rs_index[id(resource_set)]))
+            queue.append(_ParallelTask(
+                seq=self._dispatch_seq, index=index, key=key,
+                pair=(cluster.name, rs_index[id(resource_set)])))
+            self._dispatch_seq += 1
         func = partial(_worker_evaluate_pair, payload, self.library, config,
-                       tuple(sorted(hw_clusters)), verify=self.verify)
-        pool = self._ensure_pool()
-        chunksize = max(1, len(tasks) // (self.jobs * 4))
+                       tuple(sorted(hw_clusters)), verify=self.verify,
+                       fault_plan=self.fault_plan)
+        rebuilds = 0
+        degraded: List[_ParallelTask] = []
         with tracer.span("explore.evaluate.parallel"):
-            results = list(pool.map(func, tasks, chunksize=chunksize))
-        for (index, _key), (_pair, outcome, counters, seconds, audit) \
-                in zip(pending, results):
-            outcomes[index] = outcome
-            tracer.merge_counters(counters)
-            tracer.record("explore.evaluate", seconds)
-            if not isinstance(outcome, str):
-                tracer.count("explore.evaluated")
-            if audit is not None and self.verification is not None:
-                self.verification.extend(audit)
-                if audit.has_errors:
-                    rejected.add(index)
+            while queue:
+                if rebuilds > self.max_pool_rebuilds:
+                    # The pool keeps dying: stop betting on it.
+                    degraded.extend(queue)
+                    queue = []
+                    break
+                pool = self._ensure_pool()
+                submitted = [
+                    (task, pool.submit(func, task.pair, task.seq,
+                                       task.attempt))
+                    for task in queue]
+                queue = []
+                for pos, (task, future) in enumerate(submitted):
+                    try:
+                        result = future.result(timeout=self.timeout)
+                    except FuturesTimeoutError:
+                        # Hung worker: charge the pair we were waiting
+                        # on, salvage finished siblings, requeue the
+                        # rest uncharged, and start a fresh pool.
+                        tracer.count("explore.timeouts")
+                        self._retry(task, queue, degraded)
+                        for rest, rest_future in submitted[pos + 1:]:
+                            if self._settled_ok(rest_future):
+                                self._absorb(rest, rest_future.result(),
+                                             outcomes, rejected)
+                            else:
+                                self._retry(rest, queue, degraded,
+                                            bump=False)
+                        self._teardown_pool()
+                        tracer.count("explore.pool.rebuilds")
+                        rebuilds += 1
+                        break
+                    except BrokenProcessPool:
+                        # A worker died (OOM kill, crash): every
+                        # in-flight pair is suspect, so all are charged
+                        # one attempt and requeued on a rebuilt pool.
+                        self._retry(task, queue, degraded)
+                        for rest, rest_future in submitted[pos + 1:]:
+                            if self._settled_ok(rest_future):
+                                self._absorb(rest, rest_future.result(),
+                                             outcomes, rejected)
+                            else:
+                                self._retry(rest, queue, degraded)
+                        self._teardown_pool()
+                        tracer.count("explore.pool.rebuilds")
+                        rebuilds += 1
+                        break
+                    except Exception:
+                        # The evaluation itself raised in the worker
+                        # (the pool survives): plain bounded retry.
+                        self._retry(task, queue, degraded)
+                    else:
+                        self._absorb(task, result, outcomes, rejected)
+        if degraded:
+            tracer.count("explore.degraded", len(degraded))
+            warnings.warn(
+                f"{len(degraded)} candidate evaluation(s) exhausted the "
+                f"worker pool's fault tolerance; finishing them "
+                f"in-process serially", RuntimeWarning, stacklevel=2)
+            self._evaluate_serial(
+                partitioner, profile, initial, hw_clusters, chains, pairs,
+                [(t.index, t.key) for t in degraded], outcomes, rejected)
 
     # -- whole-application entry points -------------------------------
 
@@ -615,15 +858,39 @@ class ExplorationEngine:
         payloads = [AppPayload.from_app(app) for app in apps]
         configs = {app.name: app.config or self.config for app in apps}
         pool = self._ensure_pool()
+        results: Dict[str, FlowResult] = {}
         with use_tracer(tracer), tracer.span("explore.flows.parallel"):
             futures = [
                 pool.submit(_worker_run_flow, self.library,
                             configs[payload.name], payload, self.verify)
                 for payload in payloads]
-            results: Dict[str, FlowResult] = {}
-            for future in futures:
-                name, result, counters, seconds = future.result()
-                results[name] = result
-                tracer.merge_counters(counters)
-                tracer.record("flow.run", seconds)
-        return results
+            try:
+                for future in futures:
+                    name, result, counters, seconds = future.result()
+                    results[name] = result
+                    tracer.merge_counters(counters)
+                    tracer.record("flow.run", seconds)
+            except BrokenProcessPool:
+                # A worker died mid-flow.  Salvage every flow that did
+                # finish, rebuild lazily, and recompute the rest
+                # in-process — flows are pure, so the results are the
+                # same ones the workers would have produced.
+                for payload, future in zip(payloads, futures):
+                    if payload.name in results:
+                        continue
+                    if self._settled_ok(future):
+                        name, result, counters, seconds = future.result()
+                        results[name] = result
+                        tracer.merge_counters(counters)
+                        tracer.record("flow.run", seconds)
+                self._teardown_pool()
+                tracer.count("explore.pool.rebuilds")
+                missing = [app for app in apps if app.name not in results]
+                tracer.count("explore.degraded", len(missing))
+                warnings.warn(
+                    f"worker pool broke during run_flows; recomputing "
+                    f"{len(missing)} flow(s) in-process",
+                    RuntimeWarning, stacklevel=2)
+                for app in missing:
+                    results[app.name] = self.run_flow(app)
+        return {app.name: results[app.name] for app in apps}

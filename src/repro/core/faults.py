@@ -1,0 +1,137 @@
+"""Deterministic worker-fault injection for the exploration engine.
+
+The fault-tolerance paths of :class:`repro.core.explore.ExplorationEngine`
+— timeout detection, bounded retries, pool rebuild after a
+``BrokenProcessPool``, graceful degradation to serial evaluation — only
+ever fire when a worker process misbehaves, which no honest evaluation
+does.  A :class:`FaultPlan` makes them testable the same way the
+verifier's seeded faults and the fuzzer's :data:`~repro.fuzz.KNOWN_BUGS`
+registry make *their* detection paths testable: a picklable script of
+deliberate worker failures, keyed by the engine's deterministic task
+sequence number, executed inside the worker just before the evaluation
+would run.
+
+Three fault kinds (:data:`FAULT_KINDS`):
+
+* ``kill`` — the worker process exits hard (``os._exit``), breaking the
+  whole ``ProcessPoolExecutor`` exactly like an OOM kill;
+* ``hang`` — the worker sleeps for :attr:`FaultPlan.hang_s` seconds,
+  exercising the per-candidate timeout and the stuck-worker teardown;
+* ``raise`` — the worker raises :class:`FaultInjected`, exercising the
+  plain retry-with-backoff path without breaking the pool.
+
+By default a fault fires only on a task's *first* attempt
+(:attr:`FaultPlan.first_attempt_only`), so every recovery path ends in a
+successful re-evaluation and the sweep's decision stays bit-identical to
+the serial reference.  Set ``first_attempt_only=False`` to exhaust the
+retry budget and force degradation to in-process evaluation.
+
+CLI: ``repro explore APP --inject-fault kill@0 --inject-fault hang@2``
+(see :meth:`FaultPlan.parse`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple, Union
+
+#: The injectable fault kinds, in the order the docs list them.
+FAULT_KINDS: Tuple[str, ...] = ("kill", "hang", "raise")
+
+
+class FaultInjected(RuntimeError):
+    """Raised inside a worker by a ``raise``-kind injected fault."""
+
+
+class FaultPlanError(ValueError):
+    """A fault spec string could not be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic script of worker faults.
+
+    Args:
+        faults: ``(task_seq, kind)`` entries; ``task_seq`` is the
+            engine's zero-based dispatch sequence number (pairs are
+            dispatched in canonical sweep order, so the numbering is
+            stable run to run), ``kind`` one of :data:`FAULT_KINDS`.
+        hang_s: how long a ``hang`` fault sleeps.  Must comfortably
+            exceed the engine's ``timeout`` for the timeout path to
+            fire.
+        first_attempt_only: fire each fault only on attempt 0 of its
+            task (the default), so retried evaluations succeed.  With
+            ``False`` the fault fires on every attempt, exhausting the
+            retry budget and forcing serial degradation.
+
+    Frozen and built from tuples so it pickles cheaply into workers and
+    can be shared across retries without aliasing surprises.
+    """
+
+    faults: Tuple[Tuple[int, str], ...] = ()
+    hang_s: float = 30.0
+    first_attempt_only: bool = True
+
+    def __post_init__(self) -> None:
+        for seq, kind in self.faults:
+            if kind not in FAULT_KINDS:
+                raise FaultPlanError(
+                    f"unknown fault kind {kind!r} (choose from "
+                    f"{', '.join(FAULT_KINDS)})")
+            if seq < 0:
+                raise FaultPlanError(f"task sequence must be >= 0, got {seq}")
+
+    @staticmethod
+    def parse(specs: Union[str, Iterable[str]],
+              hang_s: float = 30.0) -> "FaultPlan":
+        """Build a plan from ``kind@seq`` spec strings.
+
+        Accepts one comma-separated string or an iterable of specs:
+        ``FaultPlan.parse("kill@0,hang@2") ==
+        FaultPlan.parse(["kill@0", "hang@2"])``.
+        """
+        if isinstance(specs, str):
+            specs = specs.split(",")
+        faults = []
+        for spec in specs:
+            spec = spec.strip()
+            if not spec:
+                continue
+            kind, sep, seq_text = spec.partition("@")
+            if not sep:
+                raise FaultPlanError(
+                    f"bad fault spec {spec!r}: expected KIND@TASKSEQ "
+                    f"(e.g. kill@0)")
+            try:
+                seq = int(seq_text)
+            except ValueError:
+                raise FaultPlanError(
+                    f"bad fault spec {spec!r}: {seq_text!r} is not an "
+                    f"integer task sequence") from None
+            faults.append((seq, kind))
+        return FaultPlan(faults=tuple(faults), hang_s=hang_s)
+
+    def action(self, seq: int, attempt: int) -> Optional[str]:
+        """The fault kind to fire for this (task, attempt), or ``None``."""
+        if attempt > 0 and self.first_attempt_only:
+            return None
+        for fault_seq, kind in self.faults:
+            if fault_seq == seq:
+                return kind
+        return None
+
+    def fire(self, seq: int, attempt: int) -> None:
+        """Execute the planned fault, if any.  Runs inside the worker."""
+        kind = self.action(seq, attempt)
+        if kind is None:
+            return
+        if kind == "kill":
+            # Hard exit, no cleanup — indistinguishable from an OOM kill.
+            os._exit(17)
+        elif kind == "hang":
+            time.sleep(self.hang_s)
+        else:
+            raise FaultInjected(
+                f"injected fault at task {seq} attempt {attempt}")

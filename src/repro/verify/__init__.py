@@ -36,6 +36,7 @@ from repro.verify.verifier import (
     verify_flow_result,
     verify_system_run,
 )
+from repro.verify.checkpoint import verify_checkpoint
 
 __all__ = [
     "CHECKS",
@@ -52,6 +53,7 @@ __all__ = [
     "load_report",
     "validate_report",
     "verify_candidate",
+    "verify_checkpoint",
     "verify_flow_result",
     "verify_system_run",
 ]

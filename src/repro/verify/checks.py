@@ -100,6 +100,10 @@ CHECKS: Dict[str, CheckInfo] = {info.check: info for info in [
               "result"),
     CheckInfo("core.accepted", "core", "Fig. 1 'reduced?'",
               "a partition is accepted iff it lowers total system energy"),
+    CheckInfo("explore.checkpoint", "core", "Fig. 1 outer loop",
+              "a sweep checkpoint is internally consistent: metadata "
+              "well-formed, journal records intact, and the context "
+              "digest matches the sweep being resumed"),
 ]}
 
 

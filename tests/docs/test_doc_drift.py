@@ -11,6 +11,8 @@ when the code moves:
   compared against the ``repro.verify.checks.CHECKS`` registry.
 * ``docs/PERFORMANCE.md`` states the ``repro-bench`` schema version and
   enumerates the standing suite — compared against ``repro.bench``.
+* ``docs/OBSERVABILITY.md`` carries the counter registry — every counter
+  the exploration runtime emits must have a registry row.
 """
 
 import re
@@ -176,6 +178,31 @@ def test_performance_states_the_baseline_filename_and_threshold():
         "committed baseline missing; record it per docs/PERFORMANCE.md")
     m = re.search(r"percent; default (\d+)", PERFORMANCE)
     assert m and int(m.group(1)) == int(DEFAULT_THRESHOLD * 100)
+
+
+# ---------------------------------------------------------------------------
+# OBSERVABILITY.md <-> counters the exploration runtime emits
+# ---------------------------------------------------------------------------
+
+OBSERVABILITY = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(
+    encoding="utf-8")
+
+#: tracer.count("name", ...) / self._tracer.count("name") call sites.
+COUNT_CALL_RE = re.compile(r"""count\(\s*["']([a-z_.]+)["']""")
+
+
+def test_observability_registry_covers_exploration_runtime_counters():
+    source = "".join(
+        (REPO_ROOT / "src" / "repro" / "core" / module).read_text(
+            encoding="utf-8")
+        for module in ("explore.py", "checkpoint.py", "partitioner.py"))
+    emitted = set(COUNT_CALL_RE.findall(source))
+    assert emitted, "no counter emissions found — regex rotted?"
+    undocumented = {name for name in emitted
+                    if f"`{name}`" not in OBSERVABILITY}
+    assert not undocumented, (
+        f"counters emitted but missing from the OBSERVABILITY.md "
+        f"registry: {sorted(undocumented)}")
 
 
 # ---------------------------------------------------------------------------
