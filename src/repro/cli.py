@@ -30,6 +30,16 @@ Commands
     Disassemble the application's SL32 image (optionally one function).
 ``multicore APP``
     Run the iterative multi-core extension.
+``pareto SCENARIO``
+    Expand a named scenario from the library (``--list`` shows the
+    catalog; ``docs/SCENARIOS.md`` documents it) into (application x
+    variant) sweeps, and emit the versioned ``repro-frontier`` JSON
+    report: per-application Pareto fronts over (energy, GEQ, cycles),
+    knee points and hypervolumes.  Supports ``--jobs``/``--trace`` and
+    ``--checkpoint DIR``/``--resume`` like ``explore``; a resumed run
+    reproduces a **byte-identical** report.  ``--verify`` additionally
+    runs the ``pareto.frontier`` consistency check (every point's scalar
+    OF must re-derive bit-identically).
 ``verify [APP|all]``
     Run the complete flow and audit the result against the cross-layer
     invariants of ``docs/VALIDATION.md`` (``--strict`` fails the process
@@ -53,7 +63,7 @@ Exit codes
 All commands exit ``0`` on success and ``1`` on generic failure (no
 beneficial partition, bench regression, bad arguments caught late).
 Two commands reserve dedicated statuses so CI can tell *what* failed:
-``verify --strict`` (and ``run``/``table1``/``explore`` with
+``verify --strict`` (and ``run``/``table1``/``explore``/``pareto`` with
 ``--verify --strict``) exits ``2`` when the invariant audit has ERROR
 findings; ``fuzz`` exits ``3`` when the differential oracle found a
 mismatch between engines.
@@ -173,6 +183,29 @@ def _build_parser() -> argparse.ArgumentParser:
                               "raise); repeatable — exercises the "
                               "timeout/retry/rebuild recovery paths")
     add_explore_options(explore)
+
+    pareto = sub.add_parser(
+        "pareto",
+        help="run a scenario from the library and emit its "
+             "multi-objective frontier report (docs/SCENARIOS.md)")
+    pareto.add_argument("scenario", nargs="?", default=None,
+                        help="scenario name (see --list)")
+    pareto.add_argument("--list", action="store_true",
+                        help="list the scenario catalog and exit")
+    pareto.add_argument("--out", default=None, metavar="FILE",
+                        help="frontier report path (default "
+                             "FRONTIER_<scenario>.json)")
+    pareto.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="journal every candidate evaluation into DIR "
+                             "so a killed scenario run can be resumed; "
+                             "without --resume any existing checkpoint in "
+                             "DIR is discarded first")
+    pareto.add_argument("--resume", action="store_true",
+                        help="with --checkpoint: verify DIR's consistency "
+                             "(explore.checkpoint) and replay its "
+                             "journaled outcomes as cache hits — the "
+                             "resumed report is byte-identical")
+    add_explore_options(pareto)
 
     clusters = sub.add_parser("clusters",
                               help="show decomposition + transfer estimates")
@@ -459,6 +492,98 @@ def _cmd_explore(args) -> int:
     return 0 if decision.best is not None else 1
 
 
+def _cmd_pareto(args) -> int:
+    from repro.scenarios import (
+        SCENARIOS,
+        run_scenario,
+        scenario_by_name,
+        scenario_context_key,
+        write_frontier_report,
+    )
+
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            grid = len(scenario.variants())
+            print(f"{name:10s} {len(scenario.apps)} app(s) x {grid:2d} "
+                  f"variant(s)  {scenario.description}")
+        return 0
+    if not args.scenario:
+        print("a scenario name is required (see 'repro pareto --list')",
+              file=sys.stderr)
+        return 1
+    try:
+        scenario = scenario_by_name(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint DIR", file=sys.stderr)
+        return 1
+    tracer = _make_tracer(args, f"pareto {args.scenario}")
+    checkpoint = None
+    cache: EvaluationCache = EvaluationCache()
+    if args.checkpoint:
+        import os
+
+        from repro.core import SweepCheckpoint
+        from repro.core.checkpoint import JOURNAL_FILENAME, META_FILENAME
+        from repro.obs import use_tracer
+        from repro.verify import verify_checkpoint
+
+        context = scenario_context_key(scenario)
+        if args.resume:
+            audit = verify_checkpoint(args.checkpoint,
+                                      expected_context=context)
+            print(audit.format_text())
+            if audit.has_errors:
+                print("cannot resume: checkpoint failed the "
+                      "explore.checkpoint audit", file=sys.stderr)
+                return 1
+        else:
+            # A fresh --checkpoint must not inherit another study's
+            # journal.
+            for stale in (JOURNAL_FILENAME, META_FILENAME):
+                path = os.path.join(args.checkpoint, stale)
+                if os.path.exists(path):
+                    os.remove(path)
+        checkpoint = SweepCheckpoint(args.checkpoint)
+        checkpoint.bind_context(context, label=scenario.name)
+        with use_tracer(tracer):
+            cache = checkpoint.cache  # replays the journal under the tracer
+    try:
+        result = run_scenario(
+            scenario, jobs=args.jobs, cache=cache, tracer=tracer,
+            verify=args.verify, timeout=args.timeout, retries=args.retries)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    out = args.out or f"FRONTIER_{scenario.name}.json"
+    write_frontier_report(result.report, out)
+    grid = len(scenario.variants())
+    print(f"scenario {scenario.name!r}: {len(scenario.apps)} app(s) x "
+          f"{grid} variant(s) in {result.elapsed_s:.2f}s with "
+          f"{args.jobs} job(s)")
+    for app, section in result.report["apps"].items():
+        points = section["points"]
+        knee = section["knee"]
+        knee_text = "-"
+        if knee is not None:
+            point = points[knee]
+            variant = section["variants"][point["variant"]]
+            knee_text = f"{point['label']} under {variant['label']}"
+        print(f"  {app:8s} {len(points):3d} points, "
+              f"{len(section['front']):2d} on the front, "
+              f"hypervolume {section['hypervolume']:.3e}, "
+              f"knee {knee_text}")
+    stats = result.cache_stats
+    print(f"cache: {stats['entries']} entries, {stats['hits']} hits, "
+          f"{stats['misses']} misses")
+    print(f"frontier report written to {out}", file=sys.stderr)
+    status = _report_verification(args, tracer, [result.verification])
+    _finish_trace(args, tracer)
+    return status
+
+
 def _cmd_clusters(args) -> int:
     app = app_by_name(args.app, scale=args.scale)
     library = cmos6_library()
@@ -608,6 +733,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "table1": _cmd_table1,
     "explore": _cmd_explore,
+    "pareto": _cmd_pareto,
     "clusters": _cmd_clusters,
     "disasm": _cmd_disasm,
     "ir": _cmd_ir,

@@ -17,11 +17,26 @@
   hangs and pool breakage with bounded retries and pool rebuilds.
 * :mod:`repro.core.checkpoint` — journaled on-disk evaluation cache and
   resumable sweep checkpoints (``repro explore --checkpoint/--resume``).
+* :mod:`repro.core.pareto` — multi-objective frontier analysis over the
+  candidates' (energy, GEQ, cycles) vectors: non-dominated filtering,
+  knee-point selection and exact hypervolume (``repro pareto``).
 * :mod:`repro.core.faults` — deterministic worker-fault injection
   (:class:`FaultPlan`) for testing the engine's recovery paths.
 """
 
-from repro.core.objective import ObjectiveConfig, objective_value
+from repro.core.objective import (
+    ObjectiveConfig,
+    ObjectiveVector,
+    objective_value,
+)
+from repro.core.pareto import (
+    ParetoPoint,
+    front_report,
+    hypervolume,
+    knee_point,
+    pareto_front,
+    reference_point,
+)
 from repro.core.partitioner import (
     CandidateEvaluation,
     PartitionConfig,
@@ -55,7 +70,14 @@ from repro.core.faults import FaultInjected, FaultPlan, FaultPlanError
 
 __all__ = [
     "ObjectiveConfig",
+    "ObjectiveVector",
     "objective_value",
+    "ParetoPoint",
+    "front_report",
+    "hypervolume",
+    "knee_point",
+    "pareto_front",
+    "reference_point",
     "CandidateEvaluation",
     "PartitionConfig",
     "PartitionDecision",

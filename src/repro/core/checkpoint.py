@@ -290,14 +290,30 @@ class SweepCheckpoint:
     def bind(self, app, library, config: Optional[PartitionConfig]) -> str:
         """Pin (or validate) the checkpoint's identity; returns the
         context key."""
-        context = checkpoint_context_key(app, library, config)
+        return self.bind_context(
+            checkpoint_context_key(app, library, config), label=app.name)
+
+    def bind_context(self, context: str, label: str = "") -> str:
+        """Pin (or validate) a precomputed context digest.
+
+        The generalized form of :meth:`bind` for sweeps whose identity
+        is not one (app, library, config) triple — a ``repro pareto``
+        scenario journals many (app × variant) sub-sweeps into one
+        directory under its
+        :func:`~repro.scenarios.runner.scenario_context_key`.  The
+        per-candidate cache keys already embed each variant's config
+        digest, so one journal holds them all without collisions; the
+        metadata context only has to pin *which scenario* the directory
+        belongs to.  ``label`` is the human-readable owner stored under
+        the metadata's ``app`` key.
+        """
         meta = self.load_meta()
         if meta is None:
             with open(self.meta_path, "w", encoding="utf-8") as fh:
                 json.dump({
                     "schema": CHECKPOINT_SCHEMA_NAME,
                     "version": CHECKPOINT_SCHEMA_VERSION,
-                    "app": app.name,
+                    "app": label,
                     "context": context,
                 }, fh, indent=1, sort_keys=True)
                 fh.write("\n")

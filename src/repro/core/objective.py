@@ -7,12 +7,21 @@ partition; the paper's ellipsis covers "possible other design constraints",
 realized here (as in the paper's experiments, where factor ``F`` rejects
 clusters with "unacceptably high hardware effort") as a normalized
 hardware-effort term and an optional hard cell cap.
+
+The scalar ``OF`` collapses the design space to one number per candidate;
+real core-based deployments want the whole trade-off surface.  Every
+candidate therefore also reports its raw objective *vector* —
+:class:`ObjectiveVector` ``(energy, GEQ, execution cycles)`` — which
+:mod:`repro.core.pareto` turns into non-dominated frontiers, knee points
+and hypervolumes, and :meth:`ObjectiveVector.scalarize` folds back into
+the paper's scalar bit-identically (the ``pareto.frontier`` verification
+check holds every reported frontier point to exactly that equality).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -40,6 +49,40 @@ class ObjectiveConfig:
             raise ValueError(f"G must be non-negative, got {self.g_hardware}")
         if self.geq_normalizer <= 0:
             raise ValueError("GEQ_0 must be positive")
+
+
+@dataclass(frozen=True)
+class ObjectiveVector:
+    """One candidate's raw multi-objective outcome (all minimized).
+
+    Attributes:
+        energy_nj: total system energy ``E_R + E_uP + E_rest`` (nJ).
+        geq: hardware effort in gate-equivalent cells (``GEQ``).
+        cycles: estimated system execution cycles of the partitioned
+            design (remaining μP cycles plus the ASIC core's ``N_cyc^c``).
+    """
+
+    energy_nj: float
+    geq: int
+    cycles: int
+
+    def as_tuple(self) -> Tuple[float, int, int]:
+        """The (energy, GEQ, cycles) tuple, minimization order."""
+        return (self.energy_nj, self.geq, self.cycles)
+
+    def dominates(self, other: "ObjectiveVector") -> bool:
+        """Pareto dominance: no objective worse, at least one better."""
+        mine, theirs = self.as_tuple(), other.as_tuple()
+        return all(a <= b for a, b in zip(mine, theirs)) and mine != theirs
+
+    def scalarize(self, e0_nj: float, config: ObjectiveConfig) -> float:
+        """Collapse back to the paper's scalar ``OF``.
+
+        Exactly :func:`objective_value` on this vector's energy and GEQ —
+        the bit-identity the ``pareto.frontier`` check re-derives for
+        every reported frontier point.
+        """
+        return objective_value(self.energy_nj, e0_nj, self.geq, config)
 
 
 def objective_value(total_energy_nj: float, e0_nj: float, geq: int,

@@ -1,0 +1,182 @@
+"""Multi-objective frontier analysis over candidate evaluations.
+
+The paper collapses energy and hardware effort into one scalar ``OF``
+(Fig. 1 line 13); this module keeps the full trade-off surface.  Every
+candidate carries an :class:`~repro.core.objective.ObjectiveVector`
+``(energy, GEQ, cycles)`` — all minimized — and three pure functions turn
+a set of them into a frontier report:
+
+* :func:`pareto_front` — non-dominated filtering, deterministic order;
+* :func:`knee_point` — the balanced pick: the front member closest (in
+  min-max-normalized Euclidean distance) to the per-front ideal point;
+* :func:`hypervolume` — the exact dominated volume against a reference
+  point ("hypervolume by slicing objectives", any dimension).
+
+All three are deterministic pure functions of their inputs: same points
+in, bit-identical frontier out — which is what lets ``repro pareto``
+journal sweep outcomes through the checkpointed exploration engine and
+still promise byte-identical reports after a kill/resume.  Counters
+(``pareto.points``, ``pareto.dominated``, ``pareto.front``) land on the
+ambient :mod:`repro.obs` tracer; see ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.objective import ObjectiveVector
+from repro.obs import get_tracer
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One design point entering frontier analysis.
+
+    Attributes:
+        label: stable identity, e.g. ``"f:main@medium"`` or
+            ``"<initial>"`` for the all-software design.
+        vector: the minimized (energy, GEQ, cycles) outcome.
+        objective: the paper's scalar ``OF`` of this point under the
+            variant it was evaluated in (kept alongside the vector so
+            frontier reports can be re-derived bit-identically).
+        meta: report-facing extras (variant index, F/G weights, ...).
+    """
+
+    label: str
+    vector: ObjectiveVector
+    objective: float
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """The non-dominated subset of ``points``, in input order.
+
+    Duplicate vectors are collapsed to their first occurrence (a frontier
+    is a set of outcomes, not of labels).  A point equal to an already
+    kept vector is therefore dropped, not kept as a twin.  Deterministic:
+    input order decides every tie.
+    """
+    tracer = get_tracer()
+    tracer.count("pareto.points", len(points))
+    front: List[ParetoPoint] = []
+    seen: set = set()
+    for point in points:
+        key = point.vector.as_tuple()
+        if key in seen:
+            continue
+        if any(kept.vector.dominates(point.vector) for kept in front):
+            continue
+        front = [kept for kept in front
+                 if not point.vector.dominates(kept.vector)]
+        front.append(point)
+        seen = {kept.vector.as_tuple() for kept in front}
+    tracer.count("pareto.front", len(front))
+    tracer.count("pareto.dominated", len(points) - len(front))
+    return front
+
+
+def _normalizers(front: Sequence[ParetoPoint]
+                 ) -> List[Tuple[float, float]]:
+    """Per-objective (min, span) over the front; span 0 for degenerate
+    axes (every point equal on that objective)."""
+    columns = list(zip(*(p.vector.as_tuple() for p in front)))
+    return [(min(col), max(col) - min(col)) for col in columns]
+
+
+def knee_point(front: Sequence[ParetoPoint]) -> Optional[ParetoPoint]:
+    """The balanced compromise on a non-dominated front.
+
+    Each objective is min-max normalized over the front; the knee is the
+    member with the smallest Euclidean distance to the normalized ideal
+    point (0, 0, 0).  Degenerate axes (zero span) contribute nothing, so
+    a single-point front — or one varying in only one objective — still
+    has a well-defined knee.  Ties break deterministically on the raw
+    vector tuple, then the label.
+    """
+    if not front:
+        return None
+    norms = _normalizers(front)
+
+    def distance(point: ParetoPoint) -> float:
+        total = 0.0
+        for value, (low, span) in zip(point.vector.as_tuple(), norms):
+            if span > 0:
+                total += ((value - low) / span) ** 2
+        return math.sqrt(total)
+
+    best = min(front, key=lambda p: (distance(p), p.vector.as_tuple(),
+                                     p.label))
+    get_tracer().count("pareto.knee")
+    return best
+
+
+def _slice_hv(points: List[Tuple[float, ...]],
+              reference: Tuple[float, ...]) -> float:
+    """Exact hypervolume of mutually comparable minimization points,
+    every coordinate strictly below the reference (pre-filtered)."""
+    if not points:
+        return 0.0
+    if len(reference) == 1:
+        return reference[0] - min(p[0] for p in points)
+    ordered = sorted(points, key=lambda p: (p[-1], p[:-1]))
+    total = 0.0
+    for i, point in enumerate(ordered):
+        upper = ordered[i + 1][-1] if i + 1 < len(ordered) \
+            else reference[-1]
+        height = upper - point[-1]
+        if height <= 0:
+            continue
+        slab = [q[:-1] for q in ordered[:i + 1]]
+        total += height * _slice_hv(slab, reference[:-1])
+    return total
+
+
+def hypervolume(front: Sequence[ParetoPoint],
+                reference: Tuple[float, float, float]) -> float:
+    """Dominated (hyper)volume of ``front`` against ``reference``.
+
+    ``reference`` is the anti-ideal corner (worst acceptable energy, GEQ,
+    cycles); points not strictly better than it in *every* objective
+    contribute nothing (the standard convention — a point on the
+    reference boundary spans zero volume).  Larger is better; 0.0 for an
+    empty front or one entirely at/beyond the reference.
+    """
+    vectors = [p.vector.as_tuple() for p in front
+               if all(v < r for v, r in zip(p.vector.as_tuple(),
+                                            reference))]
+    if not vectors:
+        return 0.0
+    return _slice_hv(vectors, tuple(float(r) for r in reference))
+
+
+def reference_point(points: Sequence[ParetoPoint],
+                    margin: float = 1.1) -> Tuple[float, float, float]:
+    """The canonical reference for :func:`hypervolume`: the per-objective
+    worst over ``points``, scaled by ``margin`` so extreme frontier
+    points still span volume.  Deterministic in the inputs."""
+    if not points:
+        return (0.0, 0.0, 0.0)
+    columns = list(zip(*(p.vector.as_tuple() for p in points)))
+    return tuple(float(max(col)) * margin for col in columns)
+
+
+def front_report(points: Sequence[ParetoPoint],
+                 reference: Optional[Tuple[float, float, float]] = None
+                 ) -> Dict[str, object]:
+    """Frontier, knee and hypervolume of ``points`` in one pass.
+
+    Returns ``{"front": [ParetoPoint, ...], "knee": ParetoPoint | None,
+    "reference": (e, geq, cyc), "hypervolume": float}`` — the in-memory
+    shape :mod:`repro.scenarios.runner` serializes per application.
+    """
+    front = pareto_front(points)
+    if reference is None:
+        reference = reference_point(points)
+    return {
+        "front": front,
+        "knee": knee_point(front),
+        "reference": reference,
+        "hypervolume": hypervolume(front, reference),
+    }

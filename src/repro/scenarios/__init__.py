@@ -1,0 +1,51 @@
+"""Declarative scenario library for multi-objective exploration.
+
+A *scenario* is data, not code: a named bundle of applications, objective
+weight points (the paper's ``F``/``G``), optional cache-geometry
+overrides and ``N_max^c`` budgets.  :mod:`repro.scenarios.library` ships
+the catalog (documented in ``docs/SCENARIOS.md`` and pinned by a
+doc-drift test); :mod:`repro.scenarios.runner` expands a scenario into
+(app × variant) sweeps through the checkpointed
+:class:`~repro.core.explore.ExplorationEngine`, pools every candidate's
+:class:`~repro.core.objective.ObjectiveVector`, and emits a versioned
+``repro-frontier`` JSON report with per-app Pareto fronts, knee points
+and hypervolumes (``repro pareto`` on the CLI).
+"""
+
+from repro.scenarios.library import (
+    SCENARIOS,
+    CacheGeometry,
+    Scenario,
+    Variant,
+    scenario_by_name,
+)
+from repro.scenarios.runner import (
+    FRONTIER_SCHEMA_NAME,
+    FRONTIER_SCHEMA_VERSION,
+    POINT_FIELDS,
+    VARIANT_FIELDS,
+    ScenarioResult,
+    load_frontier_report,
+    run_scenario,
+    scenario_context_key,
+    validate_frontier_report,
+    write_frontier_report,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "FRONTIER_SCHEMA_NAME",
+    "FRONTIER_SCHEMA_VERSION",
+    "POINT_FIELDS",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "VARIANT_FIELDS",
+    "Variant",
+    "load_frontier_report",
+    "run_scenario",
+    "scenario_by_name",
+    "scenario_context_key",
+    "validate_frontier_report",
+    "write_frontier_report",
+]

@@ -1,0 +1,170 @@
+"""The shipped scenario catalog and its data model.
+
+Everything here is declarative: a :class:`Scenario` names applications
+and enumerates designer knobs — objective weight points ``(F, G)``,
+cache geometries, cluster budgets ``N_max^c`` — and the runner expands
+their cross product into concrete :class:`Variant` sweeps.  The catalog
+in :data:`SCENARIOS` is the user-facing library documented in
+``docs/SCENARIOS.md`` (a doc-drift test keeps the two in lockstep).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.mem.cache import CacheConfig
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """A named (i-cache, d-cache) override applied to an application.
+
+    ``None`` in a scenario's ``geometries`` keeps each application's own
+    cache configuration (the paper's adapted-per-app defaults).
+    """
+
+    name: str
+    icache: CacheConfig
+    dcache: CacheConfig
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One concrete point of a scenario's designer-knob cross product."""
+
+    index: int
+    f_energy: float
+    g_hardware: float
+    geometry: Optional[CacheGeometry]
+    n_max_clusters: int
+
+    @property
+    def label(self) -> str:
+        parts = [f"F{self.f_energy:g}/G{self.g_hardware:g}"]
+        if self.geometry is not None:
+            parts.append(self.geometry.name)
+        parts.append(f"N{self.n_max_clusters}")
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, declarative multi-objective study.
+
+    Attributes:
+        name: catalog key (``repro pareto NAME``).
+        description: one line for ``repro pareto --list`` and the docs.
+        apps: application names (:data:`repro.apps.ALL_APPS` keys).
+        weights: objective weight points as ``(F, G)`` pairs — each
+            becomes an :class:`~repro.core.objective.ObjectiveConfig`
+            with the application's own normalizer and cell cap.
+        geometries: cache-geometry overrides; ``None`` entries keep the
+            application's own caches.  Only valid for applications that
+            model their memory system.
+        n_max_clusters: pre-selection budgets ``N_max^c`` to sweep.
+        scale: workload scale factor passed to the app factories.
+
+    The variant grid is ``weights × geometries × n_max_clusters``, in
+    exactly that nesting order — the deterministic sweep order the
+    frontier report and its checkpoint journal rely on.
+    """
+
+    name: str
+    description: str
+    apps: Tuple[str, ...]
+    weights: Tuple[Tuple[float, float], ...] = ((1.0, 0.05),)
+    geometries: Tuple[Optional[CacheGeometry], ...] = (None,)
+    n_max_clusters: Tuple[int, ...] = (8,)
+    scale: int = 1
+
+    def variants(self) -> List[Variant]:
+        """The concrete designer-knob grid, canonically ordered."""
+        grid: List[Variant] = []
+        for f_energy, g_hardware in self.weights:
+            for geometry in self.geometries:
+                for n_max in self.n_max_clusters:
+                    grid.append(Variant(
+                        index=len(grid), f_energy=f_energy,
+                        g_hardware=g_hardware, geometry=geometry,
+                        n_max_clusters=n_max))
+        return grid
+
+    def digest(self) -> str:
+        """Stable content hash of every declarative field."""
+        h = hashlib.sha256()
+        parts = [self.name, str(self.scale), ",".join(self.apps)]
+        parts.append(";".join(f"{f}:{g}" for f, g in self.weights))
+        parts.append(";".join(
+            "default" if geo is None
+            else f"{geo.name}:{geo.icache!r}:{geo.dcache!r}"
+            for geo in self.geometries))
+        parts.append(",".join(str(n) for n in self.n_max_clusters))
+        for part in parts:
+            h.update(part.encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
+
+
+def _geometry(name: str, icache_kb: int, dcache_kb: int,
+              associativity: int = 2) -> CacheGeometry:
+    return CacheGeometry(
+        name=name,
+        icache=CacheConfig(size_bytes=icache_kb * 1024, line_bytes=16,
+                           associativity=associativity, miss_penalty=8),
+        dcache=CacheConfig(size_bytes=dcache_kb * 1024, line_bytes=16,
+                           associativity=associativity, miss_penalty=8))
+
+
+#: The shipped catalog, keyed by scenario name.  ``docs/SCENARIOS.md``
+#: documents every entry (doc-drift enforced).
+SCENARIOS: Dict[str, Scenario] = {scenario.name: scenario for scenario in [
+    Scenario(
+        name="quick",
+        description="CI smoke study: ckey under the paper-default and "
+                    "equal-weight objectives",
+        apps=("ckey",),
+        weights=((1.0, 0.05), (0.5, 0.5)),
+    ),
+    Scenario(
+        name="six-apps",
+        description="the paper's six applications under the default and "
+                    "equal-weight (F=G=0.5) objectives",
+        apps=("3d", "MPG", "ckey", "digs", "engine", "trick"),
+        weights=((1.0, 0.05), (0.5, 0.5)),
+    ),
+    Scenario(
+        name="fg-sweep",
+        description="objective weight sensitivity: F/G from "
+                    "energy-dominated to hardware-dominated on all six "
+                    "applications",
+        apps=("3d", "MPG", "ckey", "digs", "engine", "trick"),
+        weights=((1.0, 0.0), (1.0, 0.05), (1.0, 0.2), (0.5, 0.5),
+                 (0.2, 1.0)),
+    ),
+    Scenario(
+        name="geometry",
+        description="cache-geometry sensitivity on the memory-intensive "
+                    "applications (halved and doubled caches vs each "
+                    "app's own)",
+        apps=("digs", "MPG", "3d"),
+        geometries=(None, _geometry("small-caches", 1, 1),
+                    _geometry("big-caches", 4, 4)),
+    ),
+    Scenario(
+        name="nmax",
+        description="pre-selection budget sensitivity: N_max^c in "
+                    "{2, 4, 8} on the cluster-rich applications",
+        apps=("3d", "digs", "engine"),
+        n_max_clusters=(2, 4, 8),
+    ),
+]}
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look up a catalog scenario; raises ``KeyError`` with the catalog."""
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"choose from {sorted(SCENARIOS)}")
+    return SCENARIOS[name]

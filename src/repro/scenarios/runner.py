@@ -1,0 +1,348 @@
+"""Expand a scenario into checkpointed sweeps and emit frontier reports.
+
+``run_scenario`` drives every (application × variant) sub-sweep through
+one shared :class:`~repro.core.explore.ExplorationEngine` — so scenario
+runs inherit the engine's parallel fan-out, fault tolerance and (given a
+:class:`~repro.core.checkpoint.PersistentEvaluationCache`) kill-safe
+journaling — pools the candidates' objective vectors, and builds the
+versioned ``repro-frontier`` JSON report: per-app Pareto fronts, knee
+points and hypervolumes.
+
+Determinism contract: the report is a pure function of (scenario,
+library, application sources).  It carries no timestamps or timings,
+lists points in canonical sweep order, and serializes with sorted keys —
+so a killed-and-resumed ``repro pareto --checkpoint/--resume`` run
+produces a **byte-identical** report file (pinned by
+``tests/scenarios/test_scenarios.py``).  The schema is documented in
+``docs/SCENARIOS.md`` and pinned against :data:`POINT_FIELDS` /
+:data:`VARIANT_FIELDS` by a doc-drift test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.apps import app_by_name
+from repro.core.explore import (
+    AppPayload,
+    ExplorationEngine,
+    _sha,
+    library_digest,
+)
+from repro.core.objective import ObjectiveConfig, ObjectiveVector
+from repro.core.pareto import (
+    ParetoPoint,
+    hypervolume,
+    knee_point,
+    pareto_front,
+    reference_point,
+)
+from repro.core.partitioner import PartitionConfig
+from repro.obs import NullTracer, Tracer, use_tracer
+from repro.scenarios.library import Scenario, Variant
+from repro.tech.library import TechnologyLibrary, cmos6_library
+
+#: The ``schema`` tag of every frontier report.
+FRONTIER_SCHEMA_NAME = "repro-frontier"
+
+#: Current frontier-report schema version (bumps on breaking changes).
+FRONTIER_SCHEMA_VERSION = 1
+
+#: Keys of one entry in an app's ``points`` list.
+POINT_FIELDS = ("label", "variant", "energy_nj", "geq", "cycles",
+                "objective")
+
+#: Keys of one entry in an app's ``variants`` list.
+VARIANT_FIELDS = ("index", "label", "f_energy", "g_hardware", "geometry",
+                  "n_max_clusters", "geq_normalizer", "geq_cap", "e0_nj",
+                  "initial_cycles", "initial_objective", "scalar_pick",
+                  "examined", "kept", "rejected")
+
+#: Keys of one app section.
+APP_FIELDS = ("variants", "points", "front", "knee", "reference",
+              "hypervolume")
+
+
+def scenario_context_key(scenario: Scenario,
+                         library: Optional[TechnologyLibrary] = None
+                         ) -> str:
+    """Content digest pinning a scenario checkpoint's identity.
+
+    The frontier-aware analogue of
+    :func:`~repro.core.checkpoint.checkpoint_context_key`: it digests the
+    scenario's declarative content, the technology library and every
+    resolved application payload, so ``repro pareto --resume`` can refuse
+    a directory journaled for a different study before replaying a single
+    outcome.
+    """
+    library = library or cmos6_library()
+    payloads = [AppPayload.from_app(app_by_name(name, scale=scenario.scale))
+                for name in scenario.apps]
+    return _sha("scenario", scenario.digest(), library_digest(library),
+                *[p.digest() for p in payloads])
+
+
+def variant_app(scenario: Scenario, name: str, variant: Variant):
+    """The concrete :class:`~repro.core.flow.AppSpec` of one sub-sweep.
+
+    Starts from the app factory's own spec (workload, caches, per-app
+    designer constraints) and overrides exactly the scenario's knobs:
+    objective weights, ``N_max^c`` and — when the variant names one — the
+    cache geometry.
+    """
+    app = app_by_name(name, scale=scenario.scale)
+    base = app.config or PartitionConfig()
+    objective = dataclasses.replace(
+        base.objective, f_energy=variant.f_energy,
+        g_hardware=variant.g_hardware)
+    config = dataclasses.replace(
+        base, n_max_clusters=variant.n_max_clusters, objective=objective)
+    overrides: Dict[str, Any] = {"config": config}
+    if variant.geometry is not None:
+        if not app.model_caches:
+            raise ValueError(
+                f"scenario {scenario.name!r}: geometry variant "
+                f"{variant.geometry.name!r} is meaningless for "
+                f"{name!r}, which does not model its memory system")
+        overrides["icache"] = variant.geometry.icache
+        overrides["dcache"] = variant.geometry.dcache
+    return dataclasses.replace(app, **overrides)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything ``run_scenario`` produced."""
+
+    scenario: Scenario
+    report: Dict[str, Any]
+    elapsed_s: float
+    cache_stats: Dict[str, int]
+    #: Candidate audits + frontier-consistency findings (verify=True).
+    verification: Optional[object] = None
+
+
+def _candidate_label(candidate) -> str:
+    return f"{candidate.cluster.name}@{candidate.resource_set.name}"
+
+
+def run_scenario(scenario: Scenario,
+                 library: Optional[TechnologyLibrary] = None,
+                 jobs: int = 1,
+                 cache=None,
+                 tracer: Optional[Tracer] = None,
+                 verify: bool = False,
+                 timeout: Optional[float] = None,
+                 retries: int = 2) -> ScenarioResult:
+    """Run every (app × variant) sweep and build the frontier report.
+
+    Args:
+        scenario: the declarative study to expand.
+        library: technology data (defaults to CMOS6).
+        jobs: engine worker processes (``1`` = in-process serial).
+        cache: a shared
+            :class:`~repro.core.explore.EvaluationCache`; pass a
+            :class:`~repro.core.checkpoint.PersistentEvaluationCache` to
+            make the run kill-safe and resumable.
+        tracer: observability sink (``pareto.*`` spans and counters).
+        verify: audit every candidate worker-side *and* run the
+            ``pareto.frontier`` consistency check on the final report.
+        timeout: per-candidate timeout, as on the engine.
+        retries: per-candidate retry budget, as on the engine.
+    """
+    library = library or cmos6_library()
+    tracer = tracer or NullTracer()
+    started = time.perf_counter()
+    variants = scenario.variants()
+    apps_section: Dict[str, Any] = {}
+    with ExplorationEngine(library=library, jobs=jobs, cache=cache,
+                           tracer=tracer, verify=verify, timeout=timeout,
+                           retries=retries) as engine, \
+            use_tracer(tracer), tracer.span("pareto.scenario"):
+        for name in scenario.apps:
+            apps_section[name] = _run_app(scenario, name, variants,
+                                          engine, tracer)
+    report = {
+        "schema": FRONTIER_SCHEMA_NAME,
+        "version": FRONTIER_SCHEMA_VERSION,
+        "scenario": scenario.name,
+        "description": scenario.description,
+        "scale": scenario.scale,
+        "context": scenario_context_key(scenario, library),
+        "library": library_digest(library),
+        "apps": apps_section,
+    }
+    verification = engine.verification
+    if verify:
+        from repro.verify import verify_frontier_report
+        frontier_audit = verify_frontier_report(report)
+        if verification is not None:
+            verification.extend(frontier_audit)
+        else:  # pragma: no cover - engine.verify implies a report
+            verification = frontier_audit
+    return ScenarioResult(
+        scenario=scenario, report=report,
+        elapsed_s=time.perf_counter() - started,
+        cache_stats=engine.cache.stats(), verification=verification)
+
+
+def _run_app(scenario: Scenario, name: str, variants: List[Variant],
+             engine: ExplorationEngine, tracer: Tracer) -> Dict[str, Any]:
+    """Sweep one application across every variant; build its section."""
+    points: List[ParetoPoint] = []
+    variant_rows: List[Dict[str, Any]] = []
+    seen_geometries: set = set()
+    for variant in variants:
+        app = variant_app(scenario, name, variant)
+        with tracer.span("pareto.variant"):
+            explored = engine.explore(app)
+        tracer.count("pareto.variants")
+        decision, initial = explored.decision, explored.initial
+        geometry_key = variant.geometry.name if variant.geometry else None
+        if geometry_key not in seen_geometries:
+            # The all-software design is a trade-off point too (zero
+            # hardware, full energy); one per distinct geometry.
+            seen_geometries.add(geometry_key)
+            points.append(ParetoPoint(
+                label="<initial>",
+                vector=ObjectiveVector(
+                    energy_nj=initial.total_energy_nj, geq=0,
+                    cycles=initial.total_cycles),
+                objective=decision.initial_objective,
+                meta={"variant": variant.index}))
+        for candidate in decision.candidates:
+            points.append(ParetoPoint(
+                label=_candidate_label(candidate),
+                vector=candidate.vector,
+                objective=candidate.objective,
+                meta={"variant": variant.index}))
+        objective = app.config.objective
+        variant_rows.append({
+            "index": variant.index,
+            "label": variant.label,
+            "f_energy": variant.f_energy,
+            "g_hardware": variant.g_hardware,
+            "geometry": geometry_key,
+            "n_max_clusters": variant.n_max_clusters,
+            "geq_normalizer": objective.geq_normalizer,
+            "geq_cap": objective.geq_cap,
+            "e0_nj": initial.total_energy_nj,
+            "initial_cycles": initial.total_cycles,
+            "initial_objective": decision.initial_objective,
+            "scalar_pick": (_candidate_label(decision.best)
+                            if decision.best is not None else None),
+            "examined": decision.examined,
+            "kept": len(decision.candidates),
+            "rejected": len(decision.rejections),
+        })
+    with tracer.span("pareto.front"):
+        front = pareto_front(points)
+        knee = knee_point(front)
+        reference = reference_point(points)
+        volume = hypervolume(front, reference)
+    index_of = {id(point): i for i, point in enumerate(points)}
+    return {
+        "variants": variant_rows,
+        "points": [{
+            "label": point.label,
+            "variant": point.meta["variant"],
+            "energy_nj": point.vector.energy_nj,
+            "geq": point.vector.geq,
+            "cycles": point.vector.cycles,
+            "objective": point.objective,
+        } for point in points],
+        "front": [index_of[id(point)] for point in front],
+        "knee": index_of[id(knee)] if knee is not None else None,
+        "reference": list(reference),
+        "hypervolume": volume,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Report I/O and schema validation
+# ---------------------------------------------------------------------------
+
+def write_frontier_report(report: Dict[str, Any], path: str) -> None:
+    """Serialize canonically: sorted keys, indent 1, trailing newline.
+
+    The canonical form is part of the determinism contract — two runs of
+    the same scenario (including a killed-and-resumed one) must produce
+    byte-identical files.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_frontier_report(path: str) -> Dict[str, Any]:
+    """Load **and validate** a frontier report file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    validate_frontier_report(data)
+    return data
+
+
+def _fail(path: str, message: str) -> None:
+    raise ValueError(f"frontier report invalid at {path}: {message}")
+
+
+def validate_frontier_report(data: Any) -> None:
+    """Raise ``ValueError`` (with the offending path) on any shape
+    violation of the ``repro-frontier`` version-1 schema."""
+    if not isinstance(data, dict):
+        _fail("$", "not an object")
+    if data.get("schema") != FRONTIER_SCHEMA_NAME:
+        _fail("$.schema", f"expected {FRONTIER_SCHEMA_NAME!r}, "
+                          f"got {data.get('schema')!r}")
+    if data.get("version") != FRONTIER_SCHEMA_VERSION:
+        _fail("$.version", f"unsupported version {data.get('version')!r}")
+    for key, kind in (("scenario", str), ("description", str),
+                      ("scale", int), ("context", str), ("library", str),
+                      ("apps", dict)):
+        if not isinstance(data.get(key), kind):
+            _fail(f"$.{key}", f"missing or not a {kind.__name__}")
+    for app, section in data["apps"].items():
+        where = f"$.apps.{app}"
+        if not isinstance(section, dict):
+            _fail(where, "not an object")
+        for key in APP_FIELDS:
+            if key not in section:
+                _fail(f"{where}.{key}", "missing")
+        points = section["points"]
+        variants = section["variants"]
+        if not isinstance(points, list) or not isinstance(variants, list):
+            _fail(where, "points/variants must be lists")
+        for i, row in enumerate(variants):
+            if not isinstance(row, dict) \
+                    or set(row) != set(VARIANT_FIELDS):
+                _fail(f"{where}.variants[{i}]",
+                      f"keys must be exactly {sorted(VARIANT_FIELDS)}")
+        variant_indices = {row["index"] for row in variants}
+        for i, point in enumerate(points):
+            if not isinstance(point, dict) \
+                    or set(point) != set(POINT_FIELDS):
+                _fail(f"{where}.points[{i}]",
+                      f"keys must be exactly {sorted(POINT_FIELDS)}")
+            if point["variant"] not in variant_indices:
+                _fail(f"{where}.points[{i}].variant",
+                      f"unknown variant {point['variant']!r}")
+        front = section["front"]
+        if not isinstance(front, list) or any(
+                not isinstance(i, int) or not 0 <= i < len(points)
+                for i in front):
+            _fail(f"{where}.front", "must be a list of point indices")
+        if len(set(front)) != len(front):
+            _fail(f"{where}.front", "duplicate point indices")
+        knee = section["knee"]
+        if knee is not None and knee not in front:
+            _fail(f"{where}.knee", "must be null or a front index")
+        reference = section["reference"]
+        if not isinstance(reference, list) or len(reference) != 3 \
+                or not all(isinstance(v, (int, float)) for v in reference):
+            _fail(f"{where}.reference", "must be [energy, geq, cycles]")
+        if not isinstance(section["hypervolume"], (int, float)) \
+                or section["hypervolume"] < 0:
+            _fail(f"{where}.hypervolume", "must be a non-negative number")

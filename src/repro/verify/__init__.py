@@ -37,6 +37,7 @@ from repro.verify.verifier import (
     verify_system_run,
 )
 from repro.verify.checkpoint import verify_checkpoint
+from repro.verify.pareto import verify_frontier_report
 
 __all__ = [
     "CHECKS",
@@ -55,5 +56,6 @@ __all__ = [
     "verify_candidate",
     "verify_checkpoint",
     "verify_flow_result",
+    "verify_frontier_report",
     "verify_system_run",
 ]

@@ -104,6 +104,11 @@ CHECKS: Dict[str, CheckInfo] = {info.check: info for info in [
               "a sweep checkpoint is internally consistent: metadata "
               "well-formed, journal records intact, and the context "
               "digest matches the sweep being resumed"),
+    CheckInfo("pareto.frontier", "core", "Fig. 1 line 13",
+              "a frontier report is self-consistent: every point's scalar "
+              "OF re-derives bit-identically from its vector under its "
+              "variant's objective, and front/knee/hypervolume recompute "
+              "exactly from the listed points"),
 ]}
 
 

@@ -1,0 +1,125 @@
+"""The ``pareto.frontier`` consistency check.
+
+A frontier report (``repro pareto``, schema ``repro-frontier``) claims
+three things this check re-derives independently:
+
+1. **Scalar re-derivation** — every point's ``objective`` is the paper's
+   ``OF`` (Fig. 1 line 13) of its own ``(energy, GEQ)`` under the
+   objective parameters of the variant that produced it.  The check
+   rebuilds the :class:`~repro.core.objective.ObjectiveConfig` from the
+   report's variant record and requires **bit-identical** equality (``==``
+   on floats, no tolerance): both sides run the same pure arithmetic on
+   the same inputs, so any drift means the report and the engine
+   disagree about what was evaluated.
+2. **Frontier re-derivation** — ``front``, ``knee``, ``reference`` and
+   ``hypervolume`` recompute exactly from the listed points via
+   :mod:`repro.core.pareto` (same pure functions the runner used).
+3. **Shape** — the report validates against the versioned schema.
+
+``repro pareto --verify`` runs this on the report it just built (and
+``--strict`` turns any ERROR into exit code 2); it equally applies to a
+report file loaded back later — the check only reads the report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.objective import ObjectiveConfig, ObjectiveVector
+from repro.core.pareto import (
+    ParetoPoint,
+    hypervolume,
+    knee_point,
+    pareto_front,
+    reference_point,
+)
+from repro.verify.checks import _finding
+from repro.verify.findings import Severity, VerificationReport
+
+CHECK = "pareto.frontier"
+
+
+def verify_frontier_report(data: Dict[str, Any]) -> VerificationReport:
+    """Audit one frontier report; returns the findings."""
+    report = VerificationReport(label="pareto")
+    report.ran(CHECK)
+    from repro.scenarios.runner import validate_frontier_report
+    try:
+        validate_frontier_report(data)
+    except ValueError as exc:
+        report.add(_finding(CHECK, Severity.ERROR, str(exc),
+                            subject=str(data.get("scenario", "?"))))
+        return report
+    for app, section in data["apps"].items():
+        _check_app(report, data["scenario"], app, section)
+    return report
+
+
+def _objective_config(variant: Dict[str, Any]) -> ObjectiveConfig:
+    return ObjectiveConfig(
+        f_energy=variant["f_energy"], g_hardware=variant["g_hardware"],
+        geq_normalizer=variant["geq_normalizer"],
+        geq_cap=variant["geq_cap"])
+
+
+def _check_app(report: VerificationReport, scenario: str, app: str,
+               section: Dict[str, Any]) -> None:
+    variants = {row["index"]: row for row in section["variants"]}
+    points = []
+    for i, entry in enumerate(section["points"]):
+        variant = variants[entry["variant"]]
+        subject = f"{scenario}.{app}.points[{i}]"
+        vector = ObjectiveVector(energy_nj=entry["energy_nj"],
+                                 geq=entry["geq"], cycles=entry["cycles"])
+        # The bit-identity claim: same pure function, same inputs.
+        rederived = vector.scalarize(variant["e0_nj"],
+                                     _objective_config(variant))
+        if rederived != entry["objective"]:
+            report.add(_finding(
+                CHECK, Severity.ERROR,
+                f"point {entry['label']!r} scalar OF does not re-derive "
+                f"bit-identically from its vector",
+                subject=subject,
+                values={"reported": entry["objective"],
+                        "rederived": rederived,
+                        "variant": variant["label"]}))
+        points.append(ParetoPoint(label=entry["label"], vector=vector,
+                                  objective=entry["objective"]))
+    subject = f"{scenario}.{app}"
+    front = pareto_front(points)
+    index_of = {id(point): i for i, point in enumerate(points)}
+    expected_front = [index_of[id(point)] for point in front]
+    if section["front"] != expected_front:
+        report.add(_finding(
+            CHECK, Severity.ERROR,
+            "front indices do not recompute from the listed points",
+            subject=subject,
+            values={"reported": section["front"],
+                    "recomputed": expected_front}))
+        return  # knee/hypervolume would cascade off the wrong front
+    knee = knee_point(front)
+    expected_knee = index_of[id(knee)] if knee is not None else None
+    if section["knee"] != expected_knee:
+        report.add(_finding(
+            CHECK, Severity.ERROR,
+            "knee index does not recompute from the front",
+            subject=subject,
+            values={"reported": section["knee"],
+                    "recomputed": expected_knee}))
+    reference = reference_point(points)
+    if list(reference) != section["reference"]:
+        report.add(_finding(
+            CHECK, Severity.ERROR,
+            "reference point does not recompute from the listed points",
+            subject=subject,
+            values={"reported": section["reference"],
+                    "recomputed": list(reference)}))
+        return  # the hypervolume comparison needs the right reference
+    volume = hypervolume(front, reference)
+    if volume != section["hypervolume"]:
+        report.add(_finding(
+            CHECK, Severity.ERROR,
+            "hypervolume does not recompute bit-identically",
+            subject=subject,
+            values={"reported": section["hypervolume"],
+                    "recomputed": volume}))

@@ -1,0 +1,179 @@
+"""Edge-case tests for :mod:`repro.core.pareto`.
+
+The frontier primitives must be deterministic pure functions — duplicate
+points, single-candidate sweeps, degenerate all-dominated fronts,
+reference-point conventions and knee ties all have one defined answer.
+"""
+
+import pytest
+
+from repro.core.objective import ObjectiveConfig, ObjectiveVector
+from repro.core.pareto import (
+    ParetoPoint,
+    front_report,
+    hypervolume,
+    knee_point,
+    pareto_front,
+    reference_point,
+)
+from repro.obs import Tracer, use_tracer
+
+
+def P(label, energy, geq, cycles, objective=0.0):
+    return ParetoPoint(label=label,
+                       vector=ObjectiveVector(energy_nj=float(energy),
+                                              geq=geq, cycles=cycles),
+                       objective=objective)
+
+
+class TestObjectiveVector:
+    def test_dominates_is_strict(self):
+        a = ObjectiveVector(1.0, 2, 3)
+        b = ObjectiveVector(2.0, 2, 3)
+        assert b.dominates(a) is False
+        assert a.dominates(b) is True
+        assert a.dominates(a) is False  # equality never dominates
+
+    def test_dominates_requires_all_objectives(self):
+        a = ObjectiveVector(1.0, 9, 1)
+        b = ObjectiveVector(2.0, 1, 1)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_scalarize_matches_objective_value(self):
+        from repro.core.objective import objective_value
+        config = ObjectiveConfig(f_energy=0.5, g_hardware=0.5)
+        v = ObjectiveVector(energy_nj=50.0, geq=1000, cycles=7)
+        assert v.scalarize(100.0, config) \
+            == objective_value(50.0, 100.0, 1000, config)
+
+
+class TestParetoFront:
+    def test_single_point_is_its_own_front(self):
+        only = P("a", 1, 1, 1)
+        assert pareto_front([only]) == [only]
+
+    def test_duplicate_vectors_collapse_to_first(self):
+        first = P("first", 1, 2, 3)
+        twin = P("twin", 1, 2, 3)
+        front = pareto_front([first, twin])
+        assert front == [first]
+
+    def test_all_dominated_degenerate_front(self):
+        boss = P("boss", 1, 1, 1)
+        losers = [P(f"l{i}", 2 + i, 2, 2) for i in range(4)]
+        # Dominator last: it must evict every previously kept point.
+        assert pareto_front(losers + [boss]) == [boss]
+        # Dominator first: nothing else ever enters.
+        assert pareto_front([boss] + losers) == [boss]
+
+    def test_incomparable_points_all_kept_in_input_order(self):
+        a, b, c = P("a", 1, 3, 1), P("b", 2, 2, 1), P("c", 3, 1, 1)
+        assert pareto_front([c, a, b]) == [c, a, b]
+
+    def test_counters_emitted(self):
+        tracer = Tracer("t")
+        with use_tracer(tracer):
+            pareto_front([P("a", 1, 1, 1), P("b", 2, 2, 2)])
+        assert tracer.counters["pareto.points"] == 2
+        assert tracer.counters["pareto.front"] == 1
+        assert tracer.counters["pareto.dominated"] == 1
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+
+class TestKneePoint:
+    def test_empty_front_has_no_knee(self):
+        assert knee_point([]) is None
+
+    def test_single_point_front(self):
+        only = P("a", 5, 5, 5)
+        assert knee_point([only]) is only
+
+    def test_balanced_point_wins(self):
+        ends = [P("low-e", 0, 10, 0), P("low-g", 10, 0, 0)]
+        middle = P("mid", 4, 4, 0)
+        assert knee_point(ends + [middle]) is middle
+
+    def test_tie_breaks_on_vector_then_label(self):
+        # Symmetric distances: both at normalized distance 1.
+        a, b = P("zz", 0, 2, 0), P("aa", 2, 0, 0)
+        assert knee_point([a, b]) is a  # (0,2,0) < (2,0,0)
+        # Identical vectors can't meet in a front, but labels still order
+        # deterministically for equal-distance distinct vectors.
+        assert knee_point([b, a]) is a
+
+    def test_degenerate_axes_are_skipped(self):
+        # Only energy varies; geq/cycles spans are zero.
+        a, b = P("a", 1, 7, 7), P("b", 2, 7, 7)
+        assert knee_point([a, b]) is a
+
+
+class TestHypervolume:
+    def test_single_point_box(self):
+        front = [P("a", 1, 1, 1)]
+        assert hypervolume(front, (2.0, 2.0, 2.0)) == 1.0
+
+    def test_two_point_union_exact(self):
+        # 2D union is 8 (two 6-boxes overlapping in 4), extruded height 1.
+        front = [P("a", 1, 2, 3), P("b", 2, 1, 3)]
+        assert hypervolume(front, (4.0, 4.0, 4.0)) == 8.0
+
+    def test_point_on_reference_boundary_spans_nothing(self):
+        front = [P("a", 4, 1, 1)]
+        assert hypervolume(front, (4.0, 4.0, 4.0)) == 0.0
+
+    def test_point_beyond_reference_ignored_not_negative(self):
+        front = [P("good", 1, 1, 1), P("bad", 9, 9, 9)]
+        assert hypervolume(front, (2.0, 2.0, 2.0)) == 1.0
+
+    def test_empty_front(self):
+        assert hypervolume([], (1.0, 1.0, 1.0)) == 0.0
+
+    def test_dominated_volume_monotone_in_front_size(self):
+        small = [P("a", 1, 3, 1)]
+        ref = (4.0, 4.0, 4.0)
+        assert hypervolume(small + [P("b", 3, 1, 1)], ref) \
+            > hypervolume(small, ref)
+
+
+class TestReferencePoint:
+    def test_worst_corner_scaled_by_margin(self):
+        points = [P("a", 1, 10, 2), P("b", 5, 2, 4)]
+        assert reference_point(points, margin=1.0) == (5.0, 10.0, 4.0)
+        assert reference_point(points) == (5.0 * 1.1, 10.0 * 1.1, 4.0 * 1.1)
+
+    def test_empty_points(self):
+        assert reference_point([]) == (0.0, 0.0, 0.0)
+
+
+class TestFrontReport:
+    def test_shape_and_consistency(self):
+        points = [P("a", 1, 2, 3), P("b", 2, 1, 3), P("dup", 1, 2, 3),
+                  P("dom", 5, 5, 5)]
+        report = front_report(points)
+        assert set(report) == {"front", "knee", "reference", "hypervolume"}
+        assert [p.label for p in report["front"]] == ["a", "b"]
+        assert report["knee"] in report["front"]
+        assert report["hypervolume"] \
+            == hypervolume(report["front"], report["reference"])
+
+    def test_explicit_reference_is_respected(self):
+        points = [P("a", 1, 1, 1)]
+        report = front_report(points, reference=(3.0, 3.0, 3.0))
+        assert report["reference"] == (3.0, 3.0, 3.0)
+        assert report["hypervolume"] == 8.0
+
+
+class TestCandidateVector:
+    def test_vector_tolerates_pre_field_pickles(self):
+        """Evaluations unpickled from an old journal lack est_cycles."""
+        from repro.core.partitioner import CandidateEvaluation
+        stale = CandidateEvaluation.__new__(CandidateEvaluation)
+        stale.e_r_nj = 1.0
+        stale.e_up_nj = 2.0
+        stale.e_rest_nj = 3.0
+        stale.asic_cells = 42
+        # No est_cycles attribute at all, as after a v0-journal load.
+        assert stale.vector == ObjectiveVector(6.0, 42, 0)

@@ -13,6 +13,9 @@ when the code moves:
   enumerates the standing suite — compared against ``repro.bench``.
 * ``docs/OBSERVABILITY.md`` carries the counter registry — every counter
   the exploration runtime emits must have a registry row.
+* ``docs/SCENARIOS.md`` documents the scenario catalog and the
+  ``repro-frontier`` report schema — compared against
+  ``repro.scenarios``.
 """
 
 import re
@@ -191,11 +194,17 @@ OBSERVABILITY = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(
 COUNT_CALL_RE = re.compile(r"""count\(\s*["']([a-z_.]+)["']""")
 
 
+#: Modules (relative to src/repro/) whose counters the registry must
+#: cover — the exploration runtime plus the Pareto/scenario layer.
+COUNTER_MODULES = ("core/explore.py", "core/checkpoint.py",
+                   "core/partitioner.py", "core/pareto.py",
+                   "scenarios/runner.py")
+
+
 def test_observability_registry_covers_exploration_runtime_counters():
     source = "".join(
-        (REPO_ROOT / "src" / "repro" / "core" / module).read_text(
-            encoding="utf-8")
-        for module in ("explore.py", "checkpoint.py", "partitioner.py"))
+        (REPO_ROOT / "src" / "repro" / module).read_text(encoding="utf-8")
+        for module in COUNTER_MODULES)
     emitted = set(COUNT_CALL_RE.findall(source))
     assert emitted, "no counter emissions found — regex rotted?"
     undocumented = {name for name in emitted
@@ -203,6 +212,62 @@ def test_observability_registry_covers_exploration_runtime_counters():
     assert not undocumented, (
         f"counters emitted but missing from the OBSERVABILITY.md "
         f"registry: {sorted(undocumented)}")
+
+
+# ---------------------------------------------------------------------------
+# SCENARIOS.md <-> repro.scenarios
+# ---------------------------------------------------------------------------
+
+SCENARIOS_DOC = (REPO_ROOT / "docs" / "SCENARIOS.md").read_text(
+    encoding="utf-8")
+
+#: Catalog table rows: | `name` | apps | variants | description |
+SCENARIO_ROW_RE = re.compile(
+    r"^\| `([a-z0-9-]+)` \| (\d+) \| (\d+) \| (.+?) \|$", re.MULTILINE)
+
+
+def test_scenarios_catalog_table_matches_registry():
+    from repro.scenarios import SCENARIOS
+    documented = {name: (int(apps), int(variants), description)
+                  for name, apps, variants, description
+                  in SCENARIO_ROW_RE.findall(SCENARIOS_DOC)}
+    assert documented, "SCENARIOS.md catalog table not found"
+    assert set(documented) == set(SCENARIOS), (
+        f"undocumented scenarios: "
+        f"{sorted(set(SCENARIOS) - set(documented))}; "
+        f"stale rows: {sorted(set(documented) - set(SCENARIOS))}")
+    for name, scenario in SCENARIOS.items():
+        apps, variants, description = documented[name]
+        assert apps == len(scenario.apps), f"{name}: app count drifted"
+        assert variants == len(scenario.variants()), (
+            f"{name}: variant count drifted")
+        assert description == scenario.description, (
+            f"{name}: description drifted")
+
+
+def test_scenarios_states_current_frontier_schema_version():
+    from repro.scenarios import (
+        FRONTIER_SCHEMA_NAME,
+        FRONTIER_SCHEMA_VERSION,
+    )
+    m = re.search(r"## Frontier report schema \(`([a-z-]+)`, version "
+                  r"(\d+)\)", SCENARIOS_DOC)
+    assert m, "SCENARIOS.md lost its schema section heading"
+    assert m.group(1) == FRONTIER_SCHEMA_NAME
+    assert int(m.group(2)) == FRONTIER_SCHEMA_VERSION
+
+
+def test_scenarios_schema_example_lists_every_field():
+    from repro.scenarios import POINT_FIELDS, VARIANT_FIELDS
+    section = SCENARIOS_DOC.split("## Frontier report schema")[1]
+    section = section.split("## Python API")[0]
+    for field in POINT_FIELDS + VARIANT_FIELDS:
+        assert f'"{field}":' in section, (
+            f"SCENARIOS.md schema example lost the {field!r} key")
+    # The prose also enumerates the exact key sets.
+    for field in POINT_FIELDS + VARIANT_FIELDS:
+        assert re.search(rf"(?<![a-z_]){re.escape(field)}(?![a-z_])",
+                         section.replace("\n", " ")), field
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,89 @@
+"""Tests for ``tools/check_doc_links.py`` — the CI docs gate.
+
+The checker is stdlib-only and not part of the installed package, so it
+is loaded straight from ``tools/``.  ``check_file`` reports paths
+relative to the repo root; the fixture points the module's ``REPO_ROOT``
+at ``tmp_path`` so synthetic docs can exercise every failure mode.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_doc_links", REPO_ROOT / "tools" / "check_doc_links.py")
+checker = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(checker)
+
+
+def test_repo_docs_have_no_broken_links():
+    """The committed doc set itself must stay clean (CI runs this gate)."""
+    problems = []
+    for path in checker.doc_files():
+        problems.extend(checker.check_file(path))
+    assert problems == []
+
+
+@pytest.fixture()
+def docroot(tmp_path, monkeypatch):
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    return tmp_path
+
+
+def _check(docroot, text, name="page.md"):
+    path = docroot / name
+    path.write_text(text, encoding="utf-8")
+    return checker.check_file(path)
+
+
+def test_broken_inline_link_is_flagged(docroot):
+    problems = _check(docroot, "see [other](missing.md).")
+    assert len(problems) == 1
+    assert "broken link -> missing.md" in problems[0]
+
+
+def test_inline_link_with_title_resolves(docroot):
+    (docroot / "other.md").write_text("# Other\n", encoding="utf-8")
+    assert _check(docroot, 'see [other](other.md "the other page").') == []
+
+
+def test_missing_anchor_is_flagged(docroot):
+    (docroot / "other.md").write_text("# Only Heading\n", encoding="utf-8")
+    assert _check(docroot, "[ok](other.md#only-heading)") == []
+    problems = _check(docroot, "[bad](other.md#nope)")
+    assert len(problems) == 1
+    assert "missing anchor #nope" in problems[0]
+
+
+def test_reference_definition_target_is_checked(docroot):
+    (docroot / "other.md").write_text("# Other\n", encoding="utf-8")
+    assert _check(docroot, "see [other][o].\n\n[o]: other.md\n") == []
+    problems = _check(docroot, "see [other][o].\n\n[o]: missing.md\n")
+    assert len(problems) == 1
+    assert "broken link -> missing.md" in problems[0]
+
+
+def test_undefined_reference_use_is_flagged(docroot):
+    problems = _check(docroot, "see [other][nowhere].")
+    assert len(problems) == 1
+    assert "undefined link reference [nowhere]" in problems[0]
+
+
+def test_collapsed_reference_uses_its_text_as_id(docroot):
+    (docroot / "other.md").write_text("# Other\n", encoding="utf-8")
+    assert _check(docroot, "see [Other][].\n\n[other]: other.md\n") == []
+    problems = _check(docroot, "see [Ghost][].")
+    assert "undefined link reference [ghost]" in problems[0]
+
+
+def test_code_fences_and_inline_code_are_ignored(docroot):
+    text = ("usage: `[text](not-a-file.md)` inline\n"
+            "```\n[example](also-not-a-file.md)\n[ref][undefined]\n```\n")
+    assert _check(docroot, text) == []
+
+
+def test_external_links_are_ignored(docroot):
+    assert _check(docroot, "[x](https://example.com/y#z)") == []

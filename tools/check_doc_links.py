@@ -2,12 +2,24 @@
 """Check relative markdown links (and their #anchors) in the repo docs.
 
 Scans the root markdown files (``README.md``, ``DESIGN.md``,
-``EXPERIMENTS.md``, ``ROADMAP.md``) and ``docs/*.md`` for inline links
-``[text](target)``
-and verifies that every *relative* target resolves to an existing file,
+``EXPERIMENTS.md``, ``ROADMAP.md``) and ``docs/*.md`` for links and
+verifies that every *relative* target resolves to an existing file,
 and — when the target carries a ``#fragment`` — that the referenced
 heading exists in the target document (GitHub anchor slug rules:
 lowercase, spaces to dashes, punctuation stripped).
+
+Covered link syntaxes:
+
+* inline links and images: ``[text](target)``, ``![alt](target)``,
+  including targets with a title (``[text](target "title")``);
+* reference-style definitions ``[id]: target`` — the target is checked
+  like an inline one;
+* reference-style uses ``[text][id]`` and collapsed ``[text][]`` — the
+  id must have a matching definition in the same file (ids are
+  case-insensitive, per CommonMark).
+
+Fenced code blocks and inline code spans are skipped, so example
+markdown inside ``` fences or backticks is never flagged.
 
 External links (``http://``, ``https://``, ``mailto:``) are ignored:
 this runs in CI without network access.
@@ -21,13 +33,25 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
-from typing import Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Inline markdown link: [text](target).  Images share the syntax
-#: (![alt](target)) and are checked the same way.
-LINK_RE = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)\)")
+#: (![alt](target)) and are checked the same way.  An optional
+#: whitespace-separated "title" after the target is tolerated.
+LINK_RE = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Reference-style definition: [id]: target  (up to 3 leading spaces).
+REF_DEF_RE = re.compile(r"^ {0,3}\[([^\]\n]+)\]:\s*(\S+)")
+
+#: Reference-style use: [text][id] / collapsed [text][].  Must not be
+#: followed by '(' (that would be an inline link's text part).
+REF_USE_RE = re.compile(r"\[([^\]\n]+)\]\[([^\]\n]*)\]")
+
+#: Inline code span — stripped before link scanning so example syntax
+#: in backticks is never flagged.
+CODE_SPAN_RE = re.compile(r"`[^`\n]*`")
 
 HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 
@@ -87,7 +111,8 @@ def anchors_of(path: Path) -> Set[str]:
     return seen
 
 
-def iter_links(path: Path) -> Iterator[Tuple[int, str]]:
+def iter_prose_lines(path: Path) -> Iterator[Tuple[int, str]]:
+    """Lines outside fenced code blocks, with inline code spans blanked."""
     in_fence = False
     for lineno, line in enumerate(
             path.read_text(encoding="utf-8").splitlines(), start=1):
@@ -96,14 +121,32 @@ def iter_links(path: Path) -> Iterator[Tuple[int, str]]:
             continue
         if in_fence:
             continue
-        for m in LINK_RE.finditer(line):
-            yield lineno, m.group(1)
+        yield lineno, CODE_SPAN_RE.sub("", line)
 
 
 def check_file(path: Path) -> List[str]:
     problems: List[str] = []
     rel = path.relative_to(REPO_ROOT)
-    for lineno, target in iter_links(path):
+    targets: List[Tuple[int, str]] = []
+    ref_defs: Dict[str, int] = {}
+    ref_uses: List[Tuple[int, str]] = []
+    for lineno, line in iter_prose_lines(path):
+        m = REF_DEF_RE.match(line)
+        if m:
+            ref_defs[m.group(1).strip().lower()] = lineno
+            targets.append((lineno, m.group(2)))
+            continue
+        for m in LINK_RE.finditer(line):
+            targets.append((lineno, m.group(1)))
+        stripped = LINK_RE.sub("", line)  # don't re-match inline links
+        for m in REF_USE_RE.finditer(stripped):
+            ref_id = (m.group(2) or m.group(1)).strip().lower()
+            ref_uses.append((lineno, ref_id))
+    for lineno, ref_id in ref_uses:
+        if ref_id not in ref_defs:
+            problems.append(
+                f"{rel}:{lineno}: undefined link reference [{ref_id}]")
+    for lineno, target in targets:
         if target.startswith(EXTERNAL_PREFIXES):
             continue
         base, _, fragment = target.partition("#")
