@@ -57,6 +57,11 @@ Commands
     reproducers.  ``--replay DIR`` re-runs a corpus instead of
     generating.
 
+``run``/``table1``/``explore``/``verify`` accept ``--tech NODE`` to price
+the whole flow at a registered technology node (``docs/TECHNOLOGY.md``);
+the default ``cmos6-800nm`` reproduces the historical outputs
+bit-identically.
+
 Exit codes
 ----------
 
@@ -122,6 +127,23 @@ def _build_parser() -> argparse.ArgumentParser:
                 f"must be >= 0, got {value}")
         return value
 
+    def tech_node(text: str) -> str:
+        from repro.tech import tech_names
+        if text not in tech_names():
+            catalog = ", ".join(tech_names())
+            raise argparse.ArgumentTypeError(
+                f"unknown technology node {text!r}; choose from: {catalog}")
+        return text
+
+    def add_tech_option(p) -> None:
+        from repro.tech import REFERENCE_NODE
+        p.add_argument("--tech", type=tech_node, default=REFERENCE_NODE,
+                       metavar="NODE",
+                       help="technology node from the registry "
+                            "(docs/TECHNOLOGY.md); the default "
+                            f"{REFERENCE_NODE} reproduces the paper's "
+                            "0.8 micron numbers bit-identically")
+
     def add_explore_options(p) -> None:
         p.add_argument("--jobs", type=positive_int, default=1, metavar="N",
                        help="worker processes for the candidate sweep "
@@ -152,11 +174,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--optimize", action="store_true",
                      help="run the IR optimizer first")
     add_explore_options(run)
+    add_tech_option(run)
 
     table1 = sub.add_parser("table1",
                             help="reproduce Table 1 over all applications")
     table1.add_argument("--scale", type=int, default=1)
     add_explore_options(table1)
+    add_tech_option(table1)
 
     explore = sub.add_parser(
         "explore",
@@ -183,6 +207,7 @@ def _build_parser() -> argparse.ArgumentParser:
                               "raise); repeatable — exercises the "
                               "timeout/retry/rebuild recovery paths")
     add_explore_options(explore)
+    add_tech_option(explore)
 
     pareto = sub.add_parser(
         "pareto",
@@ -246,6 +271,7 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--trace", default=None, metavar="FILE",
                         help="write a trace JSON (with the report "
                              "attached) to FILE")
+    add_tech_option(verify)
 
     bench = sub.add_parser(
         "bench",
@@ -325,6 +351,13 @@ def _cmd_apps(args) -> int:
     return 0
 
 
+def _resolve_library(args):
+    """The technology library selected by ``--tech`` (registry-served;
+    the default node's library is bit-identical to ``cmos6_library()``)."""
+    from repro.tech import tech_by_name
+    return tech_by_name(args.tech).library()
+
+
 def _make_tracer(args, label: str):
     """A real tracer when the user wants a trace file, else a null one."""
     if getattr(args, "trace", None):
@@ -365,8 +398,9 @@ def _cmd_run(args) -> int:
     if args.optimize:
         app.optimize = True
     tracer = _make_tracer(args, f"run {args.app}")
-    with ExplorationEngine(jobs=args.jobs, tracer=tracer,
-                           verify=args.verify, timeout=args.timeout,
+    with ExplorationEngine(library=_resolve_library(args), jobs=args.jobs,
+                           tracer=tracer, verify=args.verify,
+                           timeout=args.timeout,
                            retries=args.retries) as engine:
         result = engine.run_flow(app)
     print(result.summary())
@@ -380,8 +414,9 @@ def _cmd_run(args) -> int:
 def _cmd_table1(args) -> int:
     tracer = _make_tracer(args, "table1")
     apps = [app_by_name(name, scale=args.scale) for name in ALL_APPS]
-    with ExplorationEngine(jobs=args.jobs, tracer=tracer,
-                           verify=args.verify, timeout=args.timeout,
+    with ExplorationEngine(library=_resolve_library(args), jobs=args.jobs,
+                           tracer=tracer, verify=args.verify,
+                           timeout=args.timeout,
                            retries=args.retries) as engine:
         if args.jobs > 1:
             print(f"running {len(apps)} applications on {args.jobs} "
@@ -421,6 +456,7 @@ def _cmd_explore(args) -> int:
         print("--resume requires --checkpoint DIR", file=sys.stderr)
         return 1
     tracer = Tracer(f"explore {args.app}")
+    library = _resolve_library(args)
     checkpoint = None
     cache: EvaluationCache = EvaluationCache()
     if args.checkpoint:
@@ -431,7 +467,6 @@ def _cmd_explore(args) -> int:
         from repro.obs import use_tracer
         from repro.verify import verify_checkpoint
 
-        library = cmos6_library()
         context = checkpoint_context_key(app, library, app.config)
         if args.resume:
             audit = verify_checkpoint(args.checkpoint,
@@ -453,7 +488,7 @@ def _cmd_explore(args) -> int:
         with use_tracer(tracer):
             cache = checkpoint.cache  # replays the journal under the tracer
     try:
-        with ExplorationEngine(jobs=args.jobs, cache=cache,
+        with ExplorationEngine(library=library, jobs=args.jobs, cache=cache,
                                tracer=tracer, verify=args.verify,
                                timeout=args.timeout, retries=args.retries,
                                fault_plan=fault_plan) as engine:
@@ -676,11 +711,13 @@ def _cmd_multicore(args) -> int:
 def _cmd_verify(args) -> int:
     names = list(ALL_APPS) if args.app == "all" else [args.app]
     tracer = _make_tracer(args, f"verify {args.app}")
+    library = _resolve_library(args)
     combined = VerificationReport(label=f"verify {args.app}")
     reports = []
     for name in names:
         print(f"verifying {name} ...", file=sys.stderr)
-        flow = LowPowerFlow(tracer=tracer, verify=True, collect_traces=True)
+        flow = LowPowerFlow(library=library, tracer=tracer, verify=True,
+                            collect_traces=True)
         result = flow.run(app_by_name(name, scale=args.scale))
         report = result.verification
         assert report is not None

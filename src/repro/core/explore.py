@@ -587,8 +587,13 @@ class ExplorationEngine:
         """
         tracer = self.tracer
         config = partitioner.config
+        # The partitioner's library is authoritative: a sweep running a
+        # non-default technology node (scenario tech axis, --tech) must
+        # key its cache and audit its candidates against that node, not
+        # the engine's default.
         context = sweep_context_digest(
-            partitioner.program, profile, initial, self.library, config)
+            partitioner.program, profile, initial, partitioner.library,
+            config)
 
         outcomes: List[object] = [None] * len(pairs)
         pending: List[Tuple[int, str]] = []  # (pair index, cache key)
@@ -627,10 +632,11 @@ class ExplorationEngine:
                                       outcomes, rejected)
         return outcomes
 
-    def _audit(self, outcome, index: int, rejected: set) -> None:
+    def _audit(self, outcome, index: int, rejected: set,
+               library=None) -> None:
         """Worker-equivalent in-process candidate audit (``verify=True``)."""
         from repro.verify import verify_candidate
-        report = verify_candidate(outcome, self.library)
+        report = verify_candidate(outcome, library or self.library)
         self.verification.extend(report)
         if report.has_errors:
             rejected.add(index)
@@ -656,7 +662,8 @@ class ExplorationEngine:
                         chain=chains[cluster.function])
                 tracer.count("explore.evaluated")
                 if self.verify:
-                    self._audit(outcome, index, rejected)
+                    self._audit(outcome, index, rejected,
+                                library=partitioner.library)
             except ScheduleError as exc:
                 outcome = str(exc)
             outcomes[index] = outcome
@@ -741,8 +748,8 @@ class ExplorationEngine:
                 seq=self._dispatch_seq, index=index, key=key,
                 pair=(cluster.name, rs_index[id(resource_set)])))
             self._dispatch_seq += 1
-        func = partial(_worker_evaluate_pair, payload, self.library, config,
-                       tuple(sorted(hw_clusters)), verify=self.verify,
+        func = partial(_worker_evaluate_pair, payload, partitioner.library,
+                       config, tuple(sorted(hw_clusters)), verify=self.verify,
                        fault_plan=self.fault_plan)
         rebuilds = 0
         degraded: List[_ParallelTask] = []
@@ -812,9 +819,17 @@ class ExplorationEngine:
 
     # -- whole-application entry points -------------------------------
 
-    def explore(self, app: AppSpec) -> ExploreReport:
-        """Compile/profile/evaluate ``app`` and sweep its design space."""
+    def explore(self, app: AppSpec,
+                library: Optional[TechnologyLibrary] = None
+                ) -> ExploreReport:
+        """Compile/profile/evaluate ``app`` and sweep its design space.
+
+        ``library`` overrides the engine's default technology for this
+        one sweep (the scenario tech axis); cache keys include the
+        library digest, so sweeps at different nodes never alias.
+        """
         tracer = self.tracer
+        library = library or self.library
         started = time.perf_counter()
         with use_tracer(tracer), tracer.span("explore.app"):
             config = app.config or self.config or PartitionConfig()
@@ -828,10 +843,10 @@ class ExplorationEngine:
             with tracer.span("flow.initial"):
                 image = link_program(program)
                 initial = evaluate_initial(
-                    image, self.library, args=app.args,
+                    image, library, args=app.args,
                     globals_init=app.globals_init, icache_cfg=app.icache,
                     dcache_cfg=app.dcache, model_caches=app.model_caches)
-            partitioner = Partitioner(program, self.library, config)
+            partitioner = Partitioner(program, library, config)
         decision = self.sweep(partitioner, interp.profile, initial, app=app)
         return ExploreReport(
             app=app, decision=decision, initial=initial,

@@ -267,6 +267,9 @@ def evaluate_partitioned(image: ProgramImage, library: TechnologyLibrary,
         asic_mem_writes=asic_mem_writes)
     energy_model = InstructionEnergyModel(library)
     transfer_up_nj = words * 2 * energy_model.base_nj("mem")
+    # μP idle power while the ASIC runs (scaled technology nodes only;
+    # the reference node's coefficient is 0.0, an exact no-op).
+    up_idle_nj = asic_stats.asic_cycles * library.up_idle_cycle_energy_nj
 
     asic_nj = asic_energy_nj if asic_energy_nj is not None \
         else asic_metrics.energy_detailed_nj
@@ -277,7 +280,7 @@ def evaluate_partitioned(image: ProgramImage, library: TechnologyLibrary,
         dcache_nj=(CacheEnergyModel(library, dcache_cfg).energy_nj(dcache)
                    if dcache else 0.0),
         mem_nj=memory.energy_nj() if memory else 0.0,
-        up_core_nj=result.energy_nj + transfer_up_nj,
+        up_core_nj=result.energy_nj + transfer_up_nj + up_idle_nj,
         asic_core_nj=asic_nj,
         bus_nj=bus.energy_nj() if bus else 0.0,
     )

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.mem.cache import CacheConfig
+from repro.tech.model import REFERENCE_NODE, tech_names
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,7 @@ class Variant:
     g_hardware: float
     geometry: Optional[CacheGeometry]
     n_max_clusters: int
+    tech: str = REFERENCE_NODE
 
     @property
     def label(self) -> str:
@@ -46,7 +48,12 @@ class Variant:
         if self.geometry is not None:
             parts.append(self.geometry.name)
         parts.append(f"N{self.n_max_clusters}")
-        return ":".join(parts)
+        label = ":".join(parts)
+        # The reference node is unmarked so historical labels (and the
+        # tests pinning them) stay stable.
+        if self.tech != REFERENCE_NODE:
+            label = f"{label}@{self.tech}"
+        return label
 
 
 @dataclass(frozen=True)
@@ -64,11 +71,14 @@ class Scenario:
             application's own caches.  Only valid for applications that
             model their memory system.
         n_max_clusters: pre-selection budgets ``N_max^c`` to sweep.
+        tech: technology nodes from the ``repro.tech`` registry
+            (``docs/TECHNOLOGY.md``); the default is the paper's
+            reference node only.
         scale: workload scale factor passed to the app factories.
 
-    The variant grid is ``weights × geometries × n_max_clusters``, in
-    exactly that nesting order — the deterministic sweep order the
-    frontier report and its checkpoint journal rely on.
+    The variant grid is ``tech × weights × geometries ×
+    n_max_clusters``, in exactly that nesting order — the deterministic
+    sweep order the frontier report and its checkpoint journal rely on.
     """
 
     name: str
@@ -77,18 +87,20 @@ class Scenario:
     weights: Tuple[Tuple[float, float], ...] = ((1.0, 0.05),)
     geometries: Tuple[Optional[CacheGeometry], ...] = (None,)
     n_max_clusters: Tuple[int, ...] = (8,)
+    tech: Tuple[str, ...] = (REFERENCE_NODE,)
     scale: int = 1
 
     def variants(self) -> List[Variant]:
         """The concrete designer-knob grid, canonically ordered."""
         grid: List[Variant] = []
-        for f_energy, g_hardware in self.weights:
-            for geometry in self.geometries:
-                for n_max in self.n_max_clusters:
-                    grid.append(Variant(
-                        index=len(grid), f_energy=f_energy,
-                        g_hardware=g_hardware, geometry=geometry,
-                        n_max_clusters=n_max))
+        for tech in self.tech:
+            for f_energy, g_hardware in self.weights:
+                for geometry in self.geometries:
+                    for n_max in self.n_max_clusters:
+                        grid.append(Variant(
+                            index=len(grid), f_energy=f_energy,
+                            g_hardware=g_hardware, geometry=geometry,
+                            n_max_clusters=n_max, tech=tech))
         return grid
 
     def digest(self) -> str:
@@ -101,6 +113,7 @@ class Scenario:
             else f"{geo.name}:{geo.icache!r}:{geo.dcache!r}"
             for geo in self.geometries))
         parts.append(",".join(str(n) for n in self.n_max_clusters))
+        parts.append(",".join(self.tech))
         for part in parts:
             h.update(part.encode("utf-8"))
             h.update(b"\x00")
@@ -158,6 +171,21 @@ SCENARIOS: Dict[str, Scenario] = {scenario.name: scenario for scenario in [
                     "{2, 4, 8} on the cluster-rich applications",
         apps=("3d", "digs", "engine"),
         n_max_clusters=(2, 4, 8),
+    ),
+    Scenario(
+        name="tech-sweep",
+        description="technology scaling: all six applications across "
+                    "every registered node, 0.8 micron reference to "
+                    "16 nm (docs/TECHNOLOGY.md)",
+        apps=("3d", "MPG", "ckey", "digs", "engine", "trick"),
+        tech=tech_names(),
+    ),
+    Scenario(
+        name="tech-quick",
+        description="CI tech smoke study: ckey across every registered "
+                    "technology node under the paper-default objective",
+        apps=("ckey",),
+        tech=tech_names(),
     ),
 ]}
 

@@ -50,7 +50,9 @@ from repro.tech.library import TechnologyLibrary, cmos6_library
 FRONTIER_SCHEMA_NAME = "repro-frontier"
 
 #: Current frontier-report schema version (bumps on breaking changes).
-FRONTIER_SCHEMA_VERSION = 1
+#: Version 2 added the ``tech`` key to variant rows (the technology axis,
+#: ``docs/TECHNOLOGY.md``).
+FRONTIER_SCHEMA_VERSION = 2
 
 #: Keys of one entry in an app's ``points`` list.
 POINT_FIELDS = ("label", "variant", "energy_nj", "geq", "cycles",
@@ -58,9 +60,9 @@ POINT_FIELDS = ("label", "variant", "energy_nj", "geq", "cycles",
 
 #: Keys of one entry in an app's ``variants`` list.
 VARIANT_FIELDS = ("index", "label", "f_energy", "g_hardware", "geometry",
-                  "n_max_clusters", "geq_normalizer", "geq_cap", "e0_nj",
-                  "initial_cycles", "initial_objective", "scalar_pick",
-                  "examined", "kept", "rejected")
+                  "n_max_clusters", "tech", "geq_normalizer", "geq_cap",
+                  "e0_nj", "initial_cycles", "initial_objective",
+                  "scalar_pick", "examined", "kept", "rejected")
 
 #: Keys of one app section.
 APP_FIELDS = ("variants", "points", "front", "knee", "reference",
@@ -189,23 +191,41 @@ def run_scenario(scenario: Scenario,
         cache_stats=engine.cache.stats(), verification=verification)
 
 
+def _variant_library(variant: Variant,
+                     cache: Dict[str, TechnologyLibrary],
+                     tracer: Tracer) -> TechnologyLibrary:
+    """The technology library of one variant's node, memoized per run so
+    every variant at the same node sweeps with the identical object."""
+    library = cache.get(variant.tech)
+    if library is None:
+        from repro.tech.model import REFERENCE_NODE, tech_by_name
+        library = tech_by_name(variant.tech).library()
+        cache[variant.tech] = library
+        if variant.tech != REFERENCE_NODE:
+            tracer.count("tech.variants")
+    return library
+
+
 def _run_app(scenario: Scenario, name: str, variants: List[Variant],
              engine: ExplorationEngine, tracer: Tracer) -> Dict[str, Any]:
     """Sweep one application across every variant; build its section."""
     points: List[ParetoPoint] = []
     variant_rows: List[Dict[str, Any]] = []
-    seen_geometries: set = set()
+    seen_initials: set = set()
+    libraries: Dict[str, TechnologyLibrary] = {}
     for variant in variants:
         app = variant_app(scenario, name, variant)
+        library = _variant_library(variant, libraries, tracer)
         with tracer.span("pareto.variant"):
-            explored = engine.explore(app)
+            explored = engine.explore(app, library=library)
         tracer.count("pareto.variants")
         decision, initial = explored.decision, explored.initial
         geometry_key = variant.geometry.name if variant.geometry else None
-        if geometry_key not in seen_geometries:
+        if (geometry_key, variant.tech) not in seen_initials:
             # The all-software design is a trade-off point too (zero
-            # hardware, full energy); one per distinct geometry.
-            seen_geometries.add(geometry_key)
+            # hardware, full energy); one per distinct (geometry, tech)
+            # pair — both change the initial system's energy.
+            seen_initials.add((geometry_key, variant.tech))
             points.append(ParetoPoint(
                 label="<initial>",
                 vector=ObjectiveVector(
@@ -227,6 +247,7 @@ def _run_app(scenario: Scenario, name: str, variants: List[Variant],
             "g_hardware": variant.g_hardware,
             "geometry": geometry_key,
             "n_max_clusters": variant.n_max_clusters,
+            "tech": variant.tech,
             "geq_normalizer": objective.geq_normalizer,
             "geq_cap": objective.geq_cap,
             "e0_nj": initial.total_energy_nj,
@@ -291,7 +312,7 @@ def _fail(path: str, message: str) -> None:
 
 def validate_frontier_report(data: Any) -> None:
     """Raise ``ValueError`` (with the offending path) on any shape
-    violation of the ``repro-frontier`` version-1 schema."""
+    violation of the current ``repro-frontier`` schema version."""
     if not isinstance(data, dict):
         _fail("$", "not an object")
     if data.get("schema") != FRONTIER_SCHEMA_NAME:

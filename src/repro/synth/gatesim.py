@@ -72,15 +72,20 @@ class GateEnergyEvaluator:
             schedules[f"{inst.kind.value}{inst.index}"] = [
                 (block, inst.busy_cycles(block)) for block in blocks]
 
-        #: Per component: (name, G_comb*E_gate, G_seq*E_gate*0.5, schedule
-        #: or None).  The coefficient products replicate the reference
-        #: expression's left-to-right association, so evaluation rounds
-        #: identically.
+        #: Per component: (name, G_comb*E_gate, G_seq*E_gate*0.5,
+        #: G_total*E_leak, schedule or None).  The coefficient products
+        #: replicate the reference expression's left-to-right
+        #: association, so evaluation rounds identically.  The leakage
+        #: coefficient is 0.0 at the reference node, so the added term
+        #: is an exact no-op there.
         self._components: List[
-            Tuple[str, float, float, Optional[List[Tuple[str, int]]]]] = [
+            Tuple[str, float, float, float,
+                  Optional[List[Tuple[str, int]]]]] = [
             (comp.name,
              comp.combinational_gates * e_gate,
              comp.sequential_gates * e_gate * _SEQ_CLOCK_ACTIVITY,
+             (comp.combinational_gates + comp.sequential_gates)
+             * library.gate_leakage_pj,
              schedules.get(comp.name))
             for comp in netlist.components]
 
@@ -93,7 +98,8 @@ class GateEnergyEvaluator:
         idle_activity = self._idle_activity
         idle_factor = self._idle_factor
         get = ex_times.get
-        for name, comb_coeff, seq_coeff, schedule in self._components:
+        for name, comb_coeff, seq_coeff, leak_coeff, schedule \
+                in self._components:
             if schedule is None:
                 # Registers, muxes, controller: busy whenever the core runs.
                 active = total_cycles
@@ -111,7 +117,9 @@ class GateEnergyEvaluator:
             # Sequential gates see the clock every active cycle; during
             # idle cycles the clock is gated down to the idle factor.
             seq_pj = seq_coeff * (active + idle * idle_factor)
-            component_nj[name] = (comb_pj + seq_pj) / 1000.0
+            # Leakage burns every cycle regardless of activity or gating.
+            leak_pj = leak_coeff * total_cycles
+            component_nj[name] = (comb_pj + seq_pj + leak_pj) / 1000.0
         return energy
 
 
@@ -144,7 +152,8 @@ def _evaluator_digest(netlist: Netlist, binding: BindingResult,
             write(f"s|{block}|{spans}\n".encode())
     write(f"L|{library.gate_switch_energy_pj!r}"
           f"|{library.active_activity!r}|{library.idle_activity!r}"
-          f"|{library.asic_idle_factor!r}\n".encode())
+          f"|{library.asic_idle_factor!r}"
+          f"|{library.gate_leakage_pj!r}\n".encode())
     return hasher.hexdigest()
 
 

@@ -17,6 +17,19 @@ from repro.tech.resources import (
 )
 from repro.tech.library import TechnologyLibrary, cmos6_library, with_gated_asic
 from repro.tech.geq import geq_of_set, cells_of_geq
+from repro.tech.model import (
+    CacheParameters,
+    CoreProfile,
+    REFERENCE_NODE,
+    TECH_NODES,
+    TechnologyModel,
+    derive_node,
+    format_catalog_table,
+    reference_model,
+    tech_by_name,
+    tech_for_library,
+    tech_names,
+)
 
 __all__ = [
     "ResourceKind",
@@ -30,4 +43,15 @@ __all__ = [
     "with_gated_asic",
     "geq_of_set",
     "cells_of_geq",
+    "CacheParameters",
+    "CoreProfile",
+    "REFERENCE_NODE",
+    "TECH_NODES",
+    "TechnologyModel",
+    "derive_node",
+    "format_catalog_table",
+    "reference_model",
+    "tech_by_name",
+    "tech_for_library",
+    "tech_names",
 ]

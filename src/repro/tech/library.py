@@ -78,6 +78,14 @@ class TechnologyLibrary:
     #: 1.0 = non-gated clocks like the purchased cores (the default, and
     #: the paper's setting); 0.0 = perfect clock gating in the new core.
     asic_idle_factor: float = 1.0
+    #: Per-gate leakage energy per clock cycle (pJ).  0.0 at the 0.8
+    #: micron reference node, where sub-threshold leakage was negligible;
+    #: deep-submicron nodes from the ``repro.tech`` registry set it.
+    gate_leakage_pj: float = 0.0
+    #: μP energy per ASIC-core cycle spent waiting for the hardware (nJ).
+    #: 0.0 at the reference node (idle cost is folded into the
+    #: instruction-level base energies); scaled nodes price it explicitly.
+    up_idle_cycle_energy_nj: float = 0.0
 
     def spec(self, kind: ResourceKind) -> ResourceSpec:
         return self.resources[kind]

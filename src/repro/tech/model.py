@@ -1,0 +1,296 @@
+"""The declarative technology-model registry (``--tech`` backend).
+
+A :class:`TechnologyModel` is one silicon target described by data: node
+name, feature size, supply voltage, scaling policy, per-gate dynamic and
+leakage energies, a μP :class:`CoreProfile` (clock, cycle energy, idle
+power), per-geometry :class:`CacheParameters`, and bus/memory transfer
+energies.  :meth:`TechnologyModel.library` projects the model onto the
+flow's :class:`~repro.tech.library.TechnologyLibrary`, so every consumer
+— the instruction-level model, the cache/bus/memory models, the resource
+and gate-level ASIC estimators, the objective — prices the same node
+coherently.
+
+The registry :data:`TECH_NODES` ships the paper's reference node
+(``cmos6-800nm``) plus deep-submicron entries derived from it through
+the :mod:`repro.tech.scaling` laws.  Contract (pinned by tests and
+``docs/TECHNOLOGY.md``): the reference node's library is **bit-identical**
+to :func:`repro.tech.library.cmos6_library` — every scaling law evaluates
+to an exact identity there — so ``--tech cmos6-800nm`` reproduces today's
+golden outputs to the last bit, while every other node rescales every
+energy term from the same base parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.obs import get_tracer
+from repro.tech.library import TechnologyLibrary, _cmos6_resources
+from repro.tech.scaling import (
+    GATE_LEAKAGE_PJ,
+    REFERENCE_CLOCK_MHZ,
+    REFERENCE_FEATURE_NM,
+    REFERENCE_VDD_V,
+    UP_IDLE_FRACTION,
+    VDD_V,
+    dynamic_energy_factor,
+    frequency_factor,
+    wire_energy_factor,
+)
+
+#: The registry key of the paper's calibration node.
+REFERENCE_NODE = "cmos6-800nm"
+
+#: Scaling policy of derived registry entries (see ``repro.tech.scaling``).
+DEFAULT_POLICY = "itrs"
+
+#: Library name served for the reference node (the historical default).
+_REFERENCE_LIBRARY_NAME = "cmos6"
+
+
+@dataclass(frozen=True)
+class CoreProfile:
+    """The μP core's operating point at one node.
+
+    ``idle_cycle_energy_nj`` is the energy the μP burns per ASIC-core
+    cycle while waiting for the hardware — zero at the reference node,
+    where idle costs are folded into the instruction-level base energies.
+    """
+
+    name: str
+    clock_mhz: float
+    cycle_energy_nj: float
+    idle_cycle_energy_nj: float
+
+
+@dataclass(frozen=True)
+class CacheParameters:
+    """Per-event cache circuit energies (pJ) at one node."""
+
+    bitline_pj: float
+    wordline_pj: float
+    senseamp_pj: float
+    decode_pj: float
+    tag_bit_pj: float
+    output_pj: float
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """One registered silicon target, fully described by data.
+
+    ``dynamic_scale`` / ``time_scale`` record the factors the node was
+    derived with (1.0 at the reference); :meth:`library` applies them to
+    the reference datapath-resource table, and the ``tech.conservation``
+    verify check re-derives every stored energy from the reference node's
+    base parameters through the same laws.
+    """
+
+    node: str
+    feature_nm: float
+    vdd_v: float
+    policy: str
+    gate_dynamic_energy_pj: float
+    gate_leakage_energy_pj: float
+    core: CoreProfile
+    cache: CacheParameters
+    bus_read_energy_nj: float
+    bus_write_energy_nj: float
+    mem_read_energy_nj: float
+    mem_write_energy_nj: float
+    dynamic_scale: float
+    time_scale: float
+
+    def library(self) -> TechnologyLibrary:
+        """Project this node onto the flow's technology library.
+
+        One uniform code path serves every node: each base resource spec
+        is scaled by ``dynamic_scale`` plus a GEQ-proportional leakage
+        term, and cycle times by ``time_scale``.  At the reference node
+        all factors are exact identities (``1.0 * x == x``,
+        ``x + geq * 0.0 == x`` in IEEE doubles), so the returned library
+        equals :func:`~repro.tech.library.cmos6_library` bit for bit.
+        """
+        leak = self.gate_leakage_energy_pj
+        resources = {
+            kind: dataclasses.replace(
+                spec,
+                energy_active_pj=(self.dynamic_scale * spec.energy_active_pj
+                                  + spec.geq * leak),
+                energy_idle_pj=(self.dynamic_scale * spec.energy_idle_pj
+                                + spec.geq * leak),
+                t_cyc_ns=spec.t_cyc_ns * self.time_scale)
+            for kind, spec in _cmos6_resources().items()}
+        name = (_REFERENCE_LIBRARY_NAME if self.node == REFERENCE_NODE
+                else self.node)
+        return TechnologyLibrary(
+            name=name,
+            feature_um=self.feature_nm / 1000.0,
+            voltage_v=self.vdd_v,
+            resources=resources,
+            gate_switch_energy_pj=self.gate_dynamic_energy_pj,
+            active_activity=0.30,
+            idle_activity=0.11,
+            up_clock_mhz=self.core.clock_mhz,
+            up_cycle_energy_nj=self.core.cycle_energy_nj,
+            bus_read_energy_nj=self.bus_read_energy_nj,
+            bus_write_energy_nj=self.bus_write_energy_nj,
+            mem_read_energy_nj=self.mem_read_energy_nj,
+            mem_write_energy_nj=self.mem_write_energy_nj,
+            cache_bitline_energy_pj=self.cache.bitline_pj,
+            cache_wordline_energy_pj=self.cache.wordline_pj,
+            cache_senseamp_energy_pj=self.cache.senseamp_pj,
+            cache_decode_energy_pj=self.cache.decode_pj,
+            cache_tag_bit_energy_pj=self.cache.tag_bit_pj,
+            cache_output_energy_pj=self.cache.output_pj,
+            gate_leakage_pj=self.gate_leakage_energy_pj,
+            up_idle_cycle_energy_nj=self.core.idle_cycle_energy_nj,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable description (round-trips via
+        :meth:`from_dict`)."""
+        data = dataclasses.asdict(self)
+        data["core"] = dataclasses.asdict(self.core)
+        data["cache"] = dataclasses.asdict(self.cache)
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "TechnologyModel":
+        fields = dict(data)
+        fields["core"] = CoreProfile(**fields["core"])
+        fields["cache"] = CacheParameters(**fields["cache"])
+        return TechnologyModel(**fields)
+
+
+def reference_model() -> TechnologyModel:
+    """The paper's 0.8 micron node, stated directly (all factors 1.0)."""
+    return TechnologyModel(
+        node=REFERENCE_NODE,
+        feature_nm=REFERENCE_FEATURE_NM,
+        vdd_v=REFERENCE_VDD_V,
+        policy=DEFAULT_POLICY,
+        gate_dynamic_energy_pj=0.45,
+        gate_leakage_energy_pj=0.0,
+        core=CoreProfile(name="sparclite-class",
+                         clock_mhz=REFERENCE_CLOCK_MHZ,
+                         cycle_energy_nj=14.0,
+                         idle_cycle_energy_nj=0.0),
+        cache=CacheParameters(bitline_pj=1.8, wordline_pj=0.9,
+                              senseamp_pj=110.0, decode_pj=160.0,
+                              tag_bit_pj=2.1, output_pj=190.0),
+        bus_read_energy_nj=4.2,
+        bus_write_energy_nj=5.1,
+        mem_read_energy_nj=24.0,
+        mem_write_energy_nj=28.0,
+        dynamic_scale=1.0,
+        time_scale=1.0,
+    )
+
+
+def derive_node(feature_nm: int,
+                policy: str = DEFAULT_POLICY) -> TechnologyModel:
+    """Derive one deep-submicron node from the reference base parameters.
+
+    Every energy in the result is the reference value times the
+    applicable :mod:`repro.tech.scaling` factor — on-die switching
+    energies by ``kappa_dyn``, bus/memory transfers by ``kappa_wire`` —
+    plus the node's leakage and μP-idle terms.
+    """
+    if policy not in VDD_V:
+        raise KeyError(f"unknown scaling policy {policy!r}; "
+                       f"choose from {sorted(VDD_V)}")
+    if feature_nm not in VDD_V[policy]:
+        raise KeyError(f"no {policy!r} entry for {feature_nm} nm; "
+                       f"choose from {sorted(VDD_V[policy])}")
+    get_tracer().count("tech.derived")
+    base = reference_model()
+    vdd = VDD_V[policy][feature_nm]
+    kappa = dynamic_energy_factor(feature_nm, vdd)
+    wire = wire_energy_factor(vdd)
+    freq = frequency_factor(feature_nm, policy)
+    cycle_nj = kappa * base.core.cycle_energy_nj
+    cache = base.cache
+    return TechnologyModel(
+        node=f"cmos6-{feature_nm}nm",
+        feature_nm=float(feature_nm),
+        vdd_v=vdd,
+        policy=policy,
+        gate_dynamic_energy_pj=kappa * base.gate_dynamic_energy_pj,
+        gate_leakage_energy_pj=GATE_LEAKAGE_PJ[feature_nm],
+        core=CoreProfile(name=base.core.name,
+                         clock_mhz=base.core.clock_mhz * freq,
+                         cycle_energy_nj=cycle_nj,
+                         idle_cycle_energy_nj=UP_IDLE_FRACTION * cycle_nj),
+        cache=CacheParameters(bitline_pj=kappa * cache.bitline_pj,
+                              wordline_pj=kappa * cache.wordline_pj,
+                              senseamp_pj=kappa * cache.senseamp_pj,
+                              decode_pj=kappa * cache.decode_pj,
+                              tag_bit_pj=kappa * cache.tag_bit_pj,
+                              output_pj=kappa * cache.output_pj),
+        bus_read_energy_nj=wire * base.bus_read_energy_nj,
+        bus_write_energy_nj=wire * base.bus_write_energy_nj,
+        mem_read_energy_nj=wire * base.mem_read_energy_nj,
+        mem_write_energy_nj=wire * base.mem_write_energy_nj,
+        dynamic_scale=kappa,
+        time_scale=1.0 / freq,
+    )
+
+
+#: The shipped node registry, reference first then shrinking feature
+#: size — the canonical order of ``--tech`` listings, the scenario tech
+#: axis and the ``docs/TECHNOLOGY.md`` catalog table (doc-drift pinned).
+TECH_NODES: Dict[str, TechnologyModel] = {model.node: model for model in [
+    reference_model(),
+    derive_node(45),
+    derive_node(32),
+    derive_node(22),
+    derive_node(16),
+]}
+
+
+def tech_names() -> Tuple[str, ...]:
+    """Registered node names, in catalog order."""
+    return tuple(TECH_NODES)
+
+
+def tech_by_name(name: str) -> TechnologyModel:
+    """Look up a registered node; raises ``KeyError`` with the catalog."""
+    get_tracer().count("tech.lookups")
+    if name not in TECH_NODES:
+        raise KeyError(f"unknown technology node {name!r}; "
+                       f"choose from {list(TECH_NODES)}")
+    return TECH_NODES[name]
+
+
+def tech_for_library(library: TechnologyLibrary):
+    """The registered node a library was served from, or ``None``.
+
+    Matches by library name (the reference node serves the historical
+    ``cmos6`` name).  Designer-tunable fields (``asic_idle_factor`` and
+    friends) are deliberately not part of the match: a
+    ``with_gated_asic`` copy still verifies against its node.
+    """
+    if library.name == _REFERENCE_LIBRARY_NAME:
+        return TECH_NODES[REFERENCE_NODE]
+    return TECH_NODES.get(library.name)
+
+
+def format_catalog_table() -> str:
+    """The registry as a markdown table — embedded verbatim in
+    ``docs/TECHNOLOGY.md`` and pinned by a doc-drift test."""
+    header = ("| Node | Feature (nm) | Vdd (V) | Policy | μP clock (MHz) "
+              "| E_gate dyn (pJ) | E_gate leak (pJ/cyc) | κ_dyn | t_scale |")
+    rule = ("|------|--------------|---------|--------|----------------"
+            "|-----------------|----------------------|-------|---------|")
+    rows = [header, rule]
+    for model in TECH_NODES.values():
+        rows.append(
+            f"| `{model.node}` | {model.feature_nm:g} | {model.vdd_v:g} "
+            f"| {model.policy} | {model.core.clock_mhz:g} "
+            f"| {model.gate_dynamic_energy_pj:.6g} "
+            f"| {model.gate_leakage_energy_pj:.6g} "
+            f"| {model.dynamic_scale:.6g} | {model.time_scale:.6g} |")
+    return "\n".join(rows)

@@ -1,0 +1,104 @@
+"""Technology scaling laws: one reference table, many silicon targets.
+
+The reproduction's absolute numbers are calibrated to the paper's single
+0.8 micron / 3.3 V CMOS6-class operating point.  This module carries the
+*laws* that project that table onto deep-submicron nodes, in the style of
+lumos-class technology models: per-node supply voltage and frequency
+tables (one entry per ITRS-era node, under an aggressive ``itrs`` and a
+``cons``\\ ervative scaling policy), a dynamic-energy factor derived from
+capacitance (~feature size) and voltage, and a per-gate leakage-energy
+table that grows as dynamic energy shrinks.
+
+Laws (all dimensionless factors relative to the 800 nm / 3.3 V anchor):
+
+* ``kappa_dyn = (feature_nm / 800) * (vdd / 3.3)^2`` — switched
+  capacitance scales with feature size, and ``E = C * Vdd^2``.  Applied
+  to every on-die switching energy: gates, datapath resources, cache
+  arrays, the μP core's per-cycle energy.
+* ``kappa_wire = (vdd / 3.3)^2`` — the shared bus and the off-chip main
+  memory swing full-chip/off-chip capacitances that do *not* shrink with
+  the logic node; only the voltage term applies.
+* ``kappa_f = 12 * FREQ_SCALE[policy][node]`` — clock scaling.  The
+  bridge factor 12 maps the 20 MHz 800 nm anchor onto 240 MHz at 45 nm;
+  the per-node table then follows the lumos dicts.  Cycle *times* scale
+  with ``1 / kappa_f``.
+* ``E_leak[node]`` — per-gate leakage energy per clock cycle.  Zero at
+  the reference node (leakage was negligible at 0.8 micron) and growing
+  through the deep-submicron entries, so scaled nodes pay a
+  gate-count-proportional standby cost the reference never did.
+
+The reference node evaluates every law to an exact identity (factor 1.0,
+leakage 0.0), which is what makes the ``cmos6-800nm`` registry entry
+bit-identical to :func:`repro.tech.library.cmos6_library` — see
+``docs/TECHNOLOGY.md`` for the contract and the derivations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: The calibration anchor: the paper's 0.8 micron operating point.
+REFERENCE_FEATURE_NM = 800.0
+
+#: Supply voltage at the reference node (volts).
+REFERENCE_VDD_V = 3.3
+
+#: μP core clock at the reference node (MHz).
+REFERENCE_CLOCK_MHZ = 20.0
+
+#: Frequency bridge from the 800 nm anchor to the 45 nm base of the
+#: per-node tables: 20 MHz * 12 = 240 MHz at 45 nm.
+FREQ_BRIDGE_45NM = 12.0
+
+#: Per-node supply voltage (volts) under each scaling policy.  The
+#: ``itrs`` column follows the aggressive roadmap; ``cons`` keeps Vdd
+#: higher (variability guard-band), trading energy for speed margin.
+VDD_V: Dict[str, Dict[int, float]] = {
+    "itrs": {45: 1.0, 32: 0.93, 22: 0.84, 16: 0.75},
+    "cons": {45: 1.0, 32: 0.93, 22: 0.88, 16: 0.86},
+}
+
+#: Per-node frequency factor relative to the 45 nm base (multiply by
+#: :data:`FREQ_BRIDGE_45NM` for the factor relative to 800 nm).
+FREQ_SCALE: Dict[str, Dict[int, float]] = {
+    "itrs": {45: 1.0, 32: 1.09, 22: 2.38, 16: 3.21},
+    "cons": {45: 1.0, 32: 1.10, 22: 1.19, 16: 1.25},
+}
+
+#: Per-gate leakage energy per clock cycle (pJ).  Zero at the reference
+#: node; sub-threshold leakage becomes a first-class term below 45 nm.
+GATE_LEAKAGE_PJ: Dict[int, float] = {
+    800: 0.0,
+    45: 7e-5,
+    32: 8e-5,
+    22: 1.0e-4,
+    16: 1.2e-4,
+}
+
+#: μP idle energy per cycle as a fraction of the node's (scaled) active
+#: cycle energy — the price of waiting for the ASIC without the deep
+#: sleep states the 800 nm part never had to model (its idle energy is
+#: folded into the instruction-level base costs, hence 0.0 there).
+UP_IDLE_FRACTION = 0.25
+
+
+def dynamic_energy_factor(feature_nm: float, vdd_v: float) -> float:
+    """``kappa_dyn``: on-die switching-energy factor vs the reference."""
+    return ((feature_nm / REFERENCE_FEATURE_NM)
+            * (vdd_v / REFERENCE_VDD_V) ** 2)
+
+
+def wire_energy_factor(vdd_v: float) -> float:
+    """``kappa_wire``: bus/main-memory energy factor (voltage term only)."""
+    return (vdd_v / REFERENCE_VDD_V) ** 2
+
+
+def frequency_factor(feature_nm: float, policy: str) -> float:
+    """``kappa_f``: clock-frequency factor vs the 800 nm anchor.
+
+    Exactly 1.0 at the reference node; elsewhere the 45 nm bridge times
+    the policy's per-node table entry.
+    """
+    if feature_nm == REFERENCE_FEATURE_NM:
+        return 1.0
+    return FREQ_BRIDGE_45NM * FREQ_SCALE[policy][int(feature_nm)]

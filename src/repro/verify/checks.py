@@ -109,6 +109,11 @@ CHECKS: Dict[str, CheckInfo] = {info.check: info for info in [
               "OF re-derives bit-identically from its vector under its "
               "variant's objective, and front/knee/hypervolume recompute "
               "exactly from the listed points"),
+    CheckInfo("tech.conservation", "tech", "Table 1 calibration",
+              "a registered technology node's library re-derives from the "
+              "reference base parameters through the scaling laws: every "
+              "energy constant, leakage coefficient and cycle time "
+              "matches a fresh derivation of the node"),
 ]}
 
 
@@ -501,8 +506,11 @@ def check_energy_conservation(report: VerificationReport, run,
                           else run.transfer_words)
         transfer_nj = (transfer_words * 2
                        * InstructionEnergyModel(library).base_nj("mem"))
+        # Mirror of evaluate_partitioned: the μP burns idle energy for
+        # every ASIC cycle it waits out (0.0 at the reference node).
+        idle_nj = run.asic_cycles * library.up_idle_cycle_energy_nj
         components.append(("up_core", energy.up_core_nj,
-                           run.sim.energy_nj + transfer_nj))
+                           run.sim.energy_nj + transfer_nj + idle_nj))
     if asic_reference_nj is not None:
         components.append(("asic_core", energy.asic_core_nj,
                            asic_reference_nj))
@@ -543,6 +551,66 @@ def check_functional(report: VerificationReport, result) -> None:
             "partitioned system computes a different result",
             values={"initial": result.initial.result,
                     "partitioned": result.partitioned.result}))
+
+
+def check_tech_conservation(report: VerificationReport,
+                            library: TechnologyLibrary) -> None:
+    """``tech.conservation`` — the node's library re-derives from base.
+
+    Looks the library up in the technology registry by name; unregistered
+    (hand-built test) libraries are skipped silently.  Every *physical*
+    constant — per-gate energies, the μP operating point, bus/memory and
+    cache circuit energies, and each resource spec's active/idle energy
+    and cycle time — must match a fresh derivation of the same node from
+    the reference base parameters through the scaling laws.  Designer
+    knobs (``asic_idle_factor``, activities, scratchpad sizing) are
+    deliberately not compared: a ``with_gated_asic`` variant of a node is
+    still that node.
+    """
+    from repro.tech.model import REFERENCE_NODE, derive_node, \
+        reference_model, tech_for_library
+
+    model = tech_for_library(library)
+    if model is None:
+        return
+    report.ran("tech.conservation")
+    if model.node == REFERENCE_NODE:
+        fresh = reference_model().library()
+    else:
+        fresh = derive_node(int(model.feature_nm), model.policy).library()
+
+    scalars = [
+        "feature_um", "voltage_v", "gate_switch_energy_pj",
+        "up_clock_mhz", "up_cycle_energy_nj",
+        "bus_read_energy_nj", "bus_write_energy_nj",
+        "mem_read_energy_nj", "mem_write_energy_nj",
+        "cache_bitline_energy_pj", "cache_wordline_energy_pj",
+        "cache_senseamp_energy_pj", "cache_decode_energy_pj",
+        "cache_tag_bit_energy_pj", "cache_output_energy_pj",
+        "gate_leakage_pj", "up_idle_cycle_energy_nj",
+    ]
+    pairs = [(field, getattr(library, field), getattr(fresh, field))
+             for field in scalars]
+    for kind, spec in library.resources.items():
+        derived = fresh.resources[kind]
+        prefix = f"resources.{kind.value}"
+        pairs.append((f"{prefix}.energy_active_pj",
+                      spec.energy_active_pj, derived.energy_active_pj))
+        pairs.append((f"{prefix}.energy_idle_pj",
+                      spec.energy_idle_pj, derived.energy_idle_pj))
+        pairs.append((f"{prefix}.t_cyc_ns",
+                      spec.t_cyc_ns, derived.t_cyc_ns))
+
+    for field, stored, rederived in pairs:
+        if _rel_dev(stored, rederived) > REL_TOL:
+            report.add(_finding(
+                "tech.conservation", Severity.ERROR,
+                f"{field} does not re-derive from node "
+                f"{model.node!r} base parameters through the scaling "
+                f"laws",
+                subject=model.node,
+                values={"field": field, "stored": stored,
+                        "rederived": rederived}))
 
 
 def check_accepted(report: VerificationReport, result) -> None:

@@ -95,6 +95,7 @@ def verify_flow_result(result, library: Optional[TechnologyLibrary] = None,
     checks.check_cdfgs(report, result.program)
     checks.check_functional(report, result)
     checks.check_accepted(report, result)
+    checks.check_tech_conservation(report, library)
 
     # Sub-passes are folded into this report, which is counted once at
     # the end — so the verify.* counters see one pass with deduplicated

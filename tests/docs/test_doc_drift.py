@@ -16,6 +16,8 @@ when the code moves:
 * ``docs/SCENARIOS.md`` documents the scenario catalog and the
   ``repro-frontier`` report schema — compared against
   ``repro.scenarios``.
+* ``docs/TECHNOLOGY.md`` embeds the technology-node catalog table and
+  names every model parameter — compared against ``repro.tech``.
 """
 
 import re
@@ -198,7 +200,7 @@ COUNT_CALL_RE = re.compile(r"""count\(\s*["']([a-z_.]+)["']""")
 #: cover — the exploration runtime plus the Pareto/scenario layer.
 COUNTER_MODULES = ("core/explore.py", "core/checkpoint.py",
                    "core/partitioner.py", "core/pareto.py",
-                   "scenarios/runner.py")
+                   "scenarios/runner.py", "tech/model.py")
 
 
 def test_observability_registry_covers_exploration_runtime_counters():
@@ -268,6 +270,48 @@ def test_scenarios_schema_example_lists_every_field():
     for field in POINT_FIELDS + VARIANT_FIELDS:
         assert re.search(rf"(?<![a-z_]){re.escape(field)}(?![a-z_])",
                          section.replace("\n", " ")), field
+
+
+# ---------------------------------------------------------------------------
+# TECHNOLOGY.md <-> repro.tech technology-model registry
+# ---------------------------------------------------------------------------
+
+TECHNOLOGY = (REPO_ROOT / "docs" / "TECHNOLOGY.md").read_text(
+    encoding="utf-8")
+
+
+def test_technology_embeds_the_live_catalog_table():
+    from repro.tech import format_catalog_table
+    table = format_catalog_table()
+    assert table in TECHNOLOGY, (
+        "docs/TECHNOLOGY.md catalog table drifted from "
+        "repro.tech.format_catalog_table() — regenerate and paste")
+
+
+def test_technology_names_every_model_parameter():
+    import dataclasses
+
+    from repro.tech import CacheParameters, CoreProfile, TechnologyModel
+    for cls in (TechnologyModel, CoreProfile, CacheParameters):
+        for field in dataclasses.fields(cls):
+            assert f"`{field.name}`" in TECHNOLOGY, (
+                f"docs/TECHNOLOGY.md no longer documents "
+                f"{cls.__name__}.{field.name}")
+
+
+def test_technology_states_the_scaling_anchors():
+    from repro.tech.scaling import (
+        FREQ_BRIDGE_45NM,
+        REFERENCE_FEATURE_NM,
+        REFERENCE_VDD_V,
+        UP_IDLE_FRACTION,
+    )
+    for label, value in (("reference feature size", REFERENCE_FEATURE_NM),
+                         ("reference Vdd", REFERENCE_VDD_V),
+                         ("frequency bridge", FREQ_BRIDGE_45NM),
+                         ("idle fraction", UP_IDLE_FRACTION)):
+        assert f"{value:g}" in TECHNOLOGY, (
+            f"docs/TECHNOLOGY.md lost the {label} anchor ({value:g})")
 
 
 # ---------------------------------------------------------------------------

@@ -63,12 +63,24 @@ class TestCatalog:
     def test_variant_grid_is_cross_product_in_order(self):
         scenario = scenario_by_name("fg-sweep")
         variants = scenario.variants()
-        assert len(variants) == (len(scenario.weights)
+        assert len(variants) == (len(scenario.tech)
+                                 * len(scenario.weights)
                                  * len(scenario.geometries)
                                  * len(scenario.n_max_clusters))
         assert [v.index for v in variants] == list(range(len(variants)))
         assert [(v.f_energy, v.g_hardware) for v in variants] \
             == list(scenario.weights)
+
+    def test_tech_axis_is_outermost_and_labelled(self):
+        scenario = scenario_by_name("tech-quick")
+        from repro.tech import REFERENCE_NODE, tech_names
+        variants = scenario.variants()
+        assert len(variants) == len(tech_names())
+        assert [v.tech for v in variants] == list(tech_names())
+        assert variants[0].tech == REFERENCE_NODE
+        # The reference node keeps the historical unmarked label.
+        assert variants[0].label == "F1/G0.05:N8"
+        assert variants[1].label == "F1/G0.05:N8@cmos6-45nm"
 
     def test_digests_are_distinct_and_stable(self):
         digests = {s.digest() for s in SCENARIOS.values()}

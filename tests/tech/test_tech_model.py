@@ -1,0 +1,243 @@
+"""Technology-model registry, scaling laws and --tech CLI tests.
+
+Covers the ISSUE-7 contract: registry round-trip/serialization,
+monotonic scaling-law properties, the reference node's bit-identity
+guarantee, the ``tech.conservation`` check, and the unknown-node CLI
+error path (see ``docs/TECHNOLOGY.md``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.explore import ExplorationEngine, library_digest
+from repro.core.flow import LowPowerFlow
+from repro.apps import app_by_name
+from repro.tech import (
+    REFERENCE_NODE,
+    TECH_NODES,
+    TechnologyModel,
+    cmos6_library,
+    derive_node,
+    format_catalog_table,
+    reference_model,
+    tech_by_name,
+    tech_for_library,
+    tech_names,
+    with_gated_asic,
+)
+from repro.tech.scaling import (
+    FREQ_SCALE,
+    GATE_LEAKAGE_PJ,
+    VDD_V,
+    dynamic_energy_factor,
+    frequency_factor,
+    wire_energy_factor,
+)
+from repro.verify.findings import VerificationReport
+from repro.verify.checks import check_tech_conservation
+
+
+SCALED_NODES = [name for name in tech_names() if name != REFERENCE_NODE]
+
+
+# ---------------------------------------------------------------------------
+# Registry contents and serialization
+# ---------------------------------------------------------------------------
+
+def test_registry_catalog_order():
+    assert tech_names() == ("cmos6-800nm", "cmos6-45nm", "cmos6-32nm",
+                            "cmos6-22nm", "cmos6-16nm")
+    assert tech_names()[0] == REFERENCE_NODE
+
+
+def test_tech_by_name_unknown_lists_catalog():
+    with pytest.raises(KeyError, match="cmos6-800nm"):
+        tech_by_name("cmos6-7nm")
+
+
+def test_derive_node_rejects_unknown_entries():
+    with pytest.raises(KeyError, match="policy"):
+        derive_node(45, policy="optimistic")
+    with pytest.raises(KeyError, match="nm"):
+        derive_node(7)
+
+
+def test_to_dict_round_trips_every_node():
+    for model in TECH_NODES.values():
+        data = model.to_dict()
+        rebuilt = TechnologyModel.from_dict(data)
+        assert rebuilt == model
+        assert rebuilt.library() == model.library()
+
+
+def test_catalog_table_lists_every_node():
+    table = format_catalog_table()
+    for name in tech_names():
+        assert f"`{name}`" in table
+
+
+# ---------------------------------------------------------------------------
+# Reference-node bit-identity (the golden guarantee)
+# ---------------------------------------------------------------------------
+
+def test_reference_node_library_is_bit_identical():
+    ref = tech_by_name(REFERENCE_NODE).library()
+    base = cmos6_library()
+    assert ref == base
+    assert library_digest(ref) == library_digest(base)
+
+
+def test_reference_flow_is_bit_identical():
+    app = app_by_name("ckey")
+    default = LowPowerFlow().run(app)
+    via_registry = LowPowerFlow(
+        library=tech_by_name(REFERENCE_NODE).library()).run(
+        app_by_name("ckey"))
+    assert via_registry.initial.total_energy_nj \
+        == default.initial.total_energy_nj
+    assert (via_registry.partitioned is None) \
+        == (default.partitioned is None)
+    if default.partitioned is not None:
+        assert via_registry.partitioned.total_energy_nj \
+            == default.partitioned.total_energy_nj
+
+
+# ---------------------------------------------------------------------------
+# Scaling-law monotonicity (energy non-increasing with node shrink)
+# ---------------------------------------------------------------------------
+
+def _itrs_shrink_order():
+    return [TECH_NODES[name] for name in tech_names()]
+
+
+def test_per_gate_total_energy_non_increasing():
+    # Dynamic + leakage per gate-cycle must not grow as the node shrinks
+    # (at the fixed itrs vdd policy).
+    totals = [m.gate_dynamic_energy_pj + m.gate_leakage_energy_pj
+              for m in _itrs_shrink_order()]
+    assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+
+def test_core_and_cache_energies_non_increasing():
+    models = _itrs_shrink_order()
+    for attr in ("cycle_energy_nj",):
+        values = [getattr(m.core, attr) for m in models]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+    for attr in ("bitline_pj", "senseamp_pj", "decode_pj", "output_pj"):
+        values = [getattr(m.cache, attr) for m in models]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+    for attr in ("bus_read_energy_nj", "mem_write_energy_nj"):
+        values = [getattr(m, attr) for m in models]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_resource_energies_non_increasing():
+    libraries = [m.library() for m in _itrs_shrink_order()]
+    for kind in libraries[0].resources:
+        for attr in ("energy_active_pj", "energy_idle_pj"):
+            values = [getattr(lib.resources[kind], attr)
+                      for lib in libraries]
+            assert all(a >= b for a, b in zip(values, values[1:])), \
+                (kind, attr)
+
+
+def test_clock_frequency_non_decreasing():
+    clocks = [m.core.clock_mhz for m in _itrs_shrink_order()]
+    assert all(a <= b for a, b in zip(clocks, clocks[1:]))
+
+
+def test_scaling_factors_match_tables():
+    for name in SCALED_NODES:
+        model = TECH_NODES[name]
+        nm = int(model.feature_nm)
+        vdd = VDD_V["itrs"][nm]
+        assert model.vdd_v == vdd
+        assert model.dynamic_scale == dynamic_energy_factor(nm, vdd)
+        assert model.gate_leakage_energy_pj == GATE_LEAKAGE_PJ[nm]
+        assert model.time_scale == 1.0 / frequency_factor(nm, "itrs")
+        assert model.bus_read_energy_nj == \
+            wire_energy_factor(vdd) * reference_model().bus_read_energy_nj
+    assert set(FREQ_SCALE) == set(VDD_V)
+
+
+# ---------------------------------------------------------------------------
+# tech.conservation check
+# ---------------------------------------------------------------------------
+
+def test_tech_conservation_clean_on_every_node():
+    for name, model in TECH_NODES.items():
+        report = VerificationReport(label=name)
+        check_tech_conservation(report, model.library())
+        assert "tech.conservation" in report.checks_run
+        assert not report.has_errors, name
+
+
+def test_tech_conservation_allows_designer_knobs():
+    gated = with_gated_asic(tech_by_name("cmos6-45nm").library())
+    report = VerificationReport(label="gated")
+    check_tech_conservation(report, gated)
+    assert not report.has_errors
+
+
+def test_tech_conservation_catches_tampering():
+    tampered = dataclasses.replace(
+        tech_by_name("cmos6-45nm").library(),
+        mem_read_energy_nj=tech_by_name(
+            "cmos6-45nm").library().mem_read_energy_nj * 2)
+    report = VerificationReport(label="tampered")
+    check_tech_conservation(report, tampered)
+    assert report.has_errors
+
+
+def test_tech_conservation_skips_unregistered_libraries():
+    custom = dataclasses.replace(cmos6_library(), name="my-custom-lib")
+    report = VerificationReport(label="custom")
+    check_tech_conservation(report, custom)
+    assert "tech.conservation" not in report.checks_run
+    assert not report.findings
+
+
+def test_tech_for_library_matches_reference_and_nodes():
+    assert tech_for_library(cmos6_library()).node == REFERENCE_NODE
+    lib45 = tech_by_name("cmos6-45nm").library()
+    assert tech_for_library(lib45).node == "cmos6-45nm"
+
+
+# ---------------------------------------------------------------------------
+# Scaled nodes run the flow end to end
+# ---------------------------------------------------------------------------
+
+def test_scaled_node_flow_verifies_clean():
+    library = tech_by_name("cmos6-45nm").library()
+    flow = LowPowerFlow(library=library, verify=True)
+    result = flow.run(app_by_name("ckey"))
+    assert result.verification is not None
+    assert not result.verification.has_errors
+    reference = LowPowerFlow().run(app_by_name("ckey"))
+    assert result.initial.total_energy_nj \
+        < reference.initial.total_energy_nj
+
+
+def test_engine_explore_accepts_library_override():
+    library = tech_by_name("cmos6-32nm").library()
+    with ExplorationEngine() as engine:
+        scaled = engine.explore(app_by_name("ckey"), library=library)
+        default = engine.explore(app_by_name("ckey"))
+    assert scaled.initial.total_energy_nj \
+        < default.initial.total_energy_nj
+    # Different nodes must never alias in the evaluation cache.
+    assert engine.cache.stats()["entries"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# CLI error path
+# ---------------------------------------------------------------------------
+
+def test_cli_unknown_tech_exits_2(capsys):
+    from repro.cli import main
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "ckey", "--tech", "cmos6-5nm"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "cmos6-800nm" in err and "cmos6-16nm" in err
