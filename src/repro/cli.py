@@ -56,6 +56,17 @@ Commands
     compiled engine vs full flow, with mismatches shrunk to minimal
     reproducers.  ``--replay DIR`` re-runs a corpus instead of
     generating.
+``serve``
+    Run the partitioning service: an asyncio HTTP/JSON server (the
+    ``repro-service`` contract, ``docs/SERVICE.md``) with digest-keyed
+    request coalescing, admission control and verify-gated results.
+    ``--checkpoint DIR`` journals every candidate evaluation so a
+    restarted server resumes warm; ``--queue``/``--cache-entries``
+    bound the admission queue and the in-memory cache.
+``submit APP``
+    Submit one application to a running server, poll the job to
+    completion and print the same summary ``run`` prints.  ``--no-wait``
+    returns after the 202; ``--out FILE`` saves the job JSON.
 
 ``run``/``table1``/``explore``/``verify`` accept ``--tech NODE`` to price
 the whole flow at a registered technology node (``docs/TECHNOLOGY.md``);
@@ -67,11 +78,12 @@ Exit codes
 
 All commands exit ``0`` on success and ``1`` on generic failure (no
 beneficial partition, bench regression, bad arguments caught late).
-Two commands reserve dedicated statuses so CI can tell *what* failed:
+Three commands reserve dedicated statuses so CI can tell *what* failed:
 ``verify --strict`` (and ``run``/``table1``/``explore``/``pareto`` with
-``--verify --strict``) exits ``2`` when the invariant audit has ERROR
-findings; ``fuzz`` exits ``3`` when the differential oracle found a
-mismatch between engines.
+``--verify --strict``, and ``submit --strict`` on an unverified result)
+exits ``2`` when the invariant audit has ERROR findings; ``fuzz`` exits
+``3`` when the differential oracle found a mismatch between engines;
+``submit`` exits ``4`` when the server sheds load with HTTP 429.
 """
 
 from __future__ import annotations
@@ -340,6 +352,79 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(default 5)")
     fuzz.add_argument("--trace", default=None, metavar="FILE",
                       help="write a timing/counter trace JSON to FILE")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the partitioning service: asyncio HTTP/JSON server "
+             "with request coalescing and admission control "
+             "(docs/SERVICE.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=nonnegative_int, default=8357,
+                       help="bind port; 0 lets the OS pick one — the "
+                            "bound port is announced on stderr "
+                            "(default 8357)")
+    serve.add_argument("--jobs", type=positive_int, default=1, metavar="N",
+                       help="worker processes per candidate sweep "
+                            "(default 1 = serial)")
+    serve.add_argument("--queue", type=positive_int, default=64,
+                       metavar="N",
+                       help="admission bound: queued jobs past N are "
+                            "rejected with HTTP 429 + Retry-After "
+                            "(default 64)")
+    serve.add_argument("--cache-entries", type=positive_int, default=None,
+                       metavar="N",
+                       help="LRU bound on the in-memory evaluation "
+                            "cache (default: unbounded)")
+    serve.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="journal every candidate evaluation into "
+                            "DIR/cache.journal; a restarted server "
+                            "replays it and resumes warm")
+    serve.add_argument("--timeout", type=positive_float, default=None,
+                       metavar="SEC",
+                       help="per-candidate evaluation timeout in seconds "
+                            "(default: wait forever)")
+    add_tech_option(serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one application to a running 'repro serve' "
+             "instance and poll the job to completion")
+    submit.add_argument("app", choices=list(ALL_APPS))
+    submit.add_argument("--host", default="127.0.0.1",
+                        help="server address (default 127.0.0.1)")
+    submit.add_argument("--port", type=positive_int, default=8357,
+                        help="server port (default 8357)")
+    submit.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor (default 1)")
+    submit.add_argument("--optimize", action="store_true",
+                        help="run the IR optimizer first")
+    submit.add_argument("--client", default=None,
+                        help="client identity for per-client fairness "
+                             "accounting (default: anonymous)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the 202 job descriptor and return "
+                             "without polling")
+    submit.add_argument("--poll", type=positive_float, default=0.2,
+                        metavar="SEC",
+                        help="poll interval while waiting (default 0.2)")
+    submit.add_argument("--wait-timeout", type=positive_float,
+                        default=None, metavar="SEC",
+                        help="give up polling after SEC seconds "
+                             "(default: wait forever)")
+    submit.add_argument("--timeout", type=positive_float, default=10.0,
+                        metavar="SEC",
+                        help="per-HTTP-request socket timeout "
+                             "(default 10)")
+    submit.add_argument("--out", default=None, metavar="FILE",
+                        help="write the final job JSON to FILE")
+    submit.add_argument("--strict", action="store_true",
+                        help="exit 2 if the served result is not "
+                             "verify-gated clean")
+    submit.add_argument("--tech", type=tech_node, default=None,
+                        metavar="NODE",
+                        help="technology node for the request (default: "
+                             "the server's --tech default)")
 
     return parser
 
@@ -765,6 +850,56 @@ def _cmd_fuzz(args) -> int:
     return status
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import os
+
+    from repro.core.checkpoint import (
+        JOURNAL_FILENAME,
+        PersistentEvaluationCache,
+    )
+    from repro.obs import use_tracer
+    from repro.service import ServiceCore, ServiceServer
+    from repro.service.server import run_server
+
+    tracer = Tracer("serve")
+    cache = None
+    if args.checkpoint:
+        journal = os.path.join(args.checkpoint, JOURNAL_FILENAME)
+        with use_tracer(tracer):
+            cache = PersistentEvaluationCache(
+                journal, max_entries=args.cache_entries)
+        print(f"checkpoint journal {journal}: {cache.loaded} record(s) "
+              f"replayed, {cache.corrupt} discarded", file=sys.stderr)
+    elif args.cache_entries:
+        cache = EvaluationCache(max_entries=args.cache_entries)
+    core = ServiceCore(jobs=args.jobs, cache=cache, tracer=tracer,
+                       verify=True, timeout=args.timeout)
+    server = ServiceServer(core=core, host=args.host, port=args.port,
+                           default_tech=args.tech, max_queue=args.queue,
+                           tracer=tracer)
+
+    def announce(host: str, port: int) -> None:
+        # Machine-parseable (tests bind --port 0 and read this line).
+        print(f"repro service listening on http://{host}:{port}",
+              file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(run_server(server, announce=announce))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if cache is not None and hasattr(cache, "close"):
+            cache.close()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import run_submit_command
+
+    return run_submit_command(args)
+
+
 _COMMANDS = {
     "apps": _cmd_apps,
     "run": _cmd_run,
@@ -778,6 +913,8 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "bench": _cmd_bench,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

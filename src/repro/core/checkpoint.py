@@ -142,9 +142,13 @@ class PersistentEvaluationCache(EvaluationCache):
 
     Args:
         path: journal file (created, with magic, if absent).
-        max_entries: in-memory bound, as on the base class.  The journal
-            itself is append-only and unbounded; eviction only trims the
-            in-memory view.
+        max_entries: in-memory LRU bound, as on the base class.  The
+            journal itself is append-only and unbounded; eviction only
+            trims the in-memory view (``cache.evictions`` counter), and
+            an evicted key that is recomputed later is journaled again —
+            replay keeps the newest record.  The bound applies during
+            replay too, so reopening a large journal cannot blow the
+            memory budget the caller configured.
 
     Attributes:
         loaded: intact records replayed from the journal on open.
@@ -207,7 +211,10 @@ class PersistentEvaluationCache(EvaluationCache):
                 except Exception:
                     self.corrupt += 1
                     break
-                self._entries[key] = outcome
+                # Route through the *base* put so an in-memory bound
+                # evicts LRU during replay (never the journaling put —
+                # replay must not re-append what it just read).
+                EvaluationCache.put(self, key, outcome)
                 self.loaded += 1
                 good_end = fh.tell()
         if self.corrupt:

@@ -186,13 +186,23 @@ class EvaluationCache:
     Share one instance across flows/sweeps to pool their results; the
     key embeds workload, library and config digests, so unrelated sweeps
     never collide.
+
+    With ``max_entries`` set the cache is a bounded **LRU** tier: a hit
+    refreshes its key, an insert past the bound evicts the least recently
+    used entry (``cache.evictions`` counter, :attr:`evictions`).
+    Eviction order depends only on the get/put sequence, never on hash
+    order, so bounded runs stay deterministic.
     """
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}")
         self._entries: Dict[str, object] = {}
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -204,25 +214,39 @@ class EvaluationCache:
             self.misses += 1
         else:
             self.hits += 1
+            if self.max_entries is not None:
+                # LRU refresh: move the hit key to the recent end (dicts
+                # preserve insertion order, so pop+reinsert is O(1)).
+                self._entries[key] = self._entries.pop(key)
         return outcome
 
     def put(self, key: str, outcome) -> None:
         if self.max_entries is not None \
                 and len(self._entries) >= self.max_entries \
                 and key not in self._entries:
-            # FIFO eviction: oldest inserted key goes first (deterministic).
+            # LRU eviction: the least recently touched key goes first.
             oldest = next(iter(self._entries))
             del self._entries[oldest]
+            self.evictions += 1
+            get_tracer().count("cache.evictions")
         self._entries[key] = outcome
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
-    def stats(self) -> Dict[str, int]:
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, object]:
         return {"entries": len(self._entries), "hits": self.hits,
-                "misses": self.misses}
+                "misses": self.misses, "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 4)}
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,259 @@
+"""Async job lifecycle: admission, coalescing, fairness, backpressure.
+
+:class:`JobManager` sits between the HTTP front-end and the
+:class:`~repro.service.core.ServiceCore` kernel.  Its contract (documented
+in ``docs/SERVICE.md``, pinned by the doc-drift tests):
+
+* **Idempotent, digest-keyed jobs** — a job's id is derived from its
+  request's content digest (``j<digest16>``), so submitting the same
+  request twice yields the *same* job.  N concurrent identical
+  submissions therefore produce exactly one underlying evaluation — one
+  ``service.jobs.submitted``, N−1 ``service.jobs.coalesced`` — and once
+  a job is ``done`` its result is served from the registry without
+  re-evaluating (the candidate-level
+  :class:`~repro.core.explore.EvaluationCache` additionally makes any
+  forced re-evaluation replay as hits).
+* **Admission control** — at most ``max_queue`` jobs may be queued; past
+  that, submission raises :class:`AdmissionError` which the server maps
+  to HTTP 429 with a ``Retry-After`` estimate
+  (``service.rejected.queue``).
+* **Per-client fairness** — one client may hold at most
+  ``max_pending_per_client`` queued-or-running jobs (default: a quarter
+  of the queue bound), so a single flooding client cannot starve the
+  fleet (``service.rejected.client``).  Coalescing onto another
+  client's in-flight job is always admitted: it costs no evaluation.
+* **Bounded registry** — finished jobs are kept for polling and
+  result-cache reuse, LRU-bounded by ``max_finished`` (evicted jobs
+  return 404 on later polls; ``service.jobs.evicted``).
+
+Job states (:data:`JOB_STATES`): ``queued`` → ``running`` → ``done`` |
+``failed``.  There are no other states and no transitions out of the two
+terminal ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.obs import NullTracer, Tracer
+from repro.service.core import PartitionRequest, ServiceCore
+
+#: The job lifecycle, in order; the last two are terminal.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Every key of a job descriptor as returned by the jobs endpoints
+#: (``result`` is ``null`` until the job is ``done``; ``error`` until it
+#: ``failed``).
+JOB_FIELDS = ("id", "state", "request_digest", "app", "tech", "client",
+              "submitted_s", "started_s", "finished_s", "waiters",
+              "error", "result")
+
+
+class AdmissionError(RuntimeError):
+    """The service is saturated; retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, message: str, retry_after_s: int,
+                 reason: str) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        #: ``"queue"`` (global bound) or ``"client"`` (fairness bound).
+        self.reason = reason
+
+
+@dataclass
+class Job:
+    """One submitted request's lifecycle record."""
+
+    id: str
+    request: PartitionRequest
+    digest: str
+    state: str = "queued"
+    submitted_s: float = field(default_factory=time.time)
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    #: Submissions that coalesced onto this job (1 = never coalesced).
+    waiters: int = 1
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def to_dict(self, include_result: bool = True) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "request_digest": self.digest,
+            "app": self.request.workload_label(),
+            "tech": self.request.tech,
+            "client": self.request.client,
+            "submitted_s": round(self.submitted_s, 3),
+            "started_s": (round(self.started_s, 3)
+                          if self.started_s is not None else None),
+            "finished_s": (round(self.finished_s, 3)
+                           if self.finished_s is not None else None),
+            "waiters": self.waiters,
+            "error": self.error,
+            "result": self.result if include_result else None,
+        }
+        return data
+
+
+def job_id_for_digest(digest: str) -> str:
+    """The deterministic job id of a request digest (idempotency key)."""
+    return f"j{digest[:16]}"
+
+
+class JobManager:
+    """Admission-controlled, coalescing job queue over a ServiceCore.
+
+    Evaluations run on a single-worker thread executor so the blocking
+    kernel never stalls the event loop; the kernel itself may still fan
+    candidates across processes (``ServiceCore(jobs=N)``).
+    """
+
+    def __init__(self, core: ServiceCore,
+                 max_queue: int = 64,
+                 max_pending_per_client: Optional[int] = None,
+                 max_finished: int = 256,
+                 tracer: Optional[Tracer] = None) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_finished < 1:
+            raise ValueError(
+                f"max_finished must be >= 1, got {max_finished}")
+        self.core = core
+        self.max_queue = max_queue
+        self.max_pending_per_client = (
+            max_pending_per_client if max_pending_per_client is not None
+            else max(1, max_queue // 4))
+        self.max_finished = max_finished
+        self.tracer = tracer or NullTracer()
+        #: job id -> Job, insertion-ordered (drives finished-LRU eviction).
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service")
+        self._worker: Optional[asyncio.Task] = None
+        self._last_eval_s = 1.0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        if self._worker is None:
+            self._worker = asyncio.get_running_loop().create_task(
+                self._drain())
+
+    async def close(self) -> None:
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        self._executor.shutdown(wait=False)
+        self.core.close()
+
+    # -- submission ----------------------------------------------------
+
+    def _pending(self) -> int:
+        return sum(1 for job in self._jobs.values()
+                   if job.state == "queued")
+
+    def _pending_for(self, client: str) -> int:
+        return sum(1 for job in self._jobs.values()
+                   if not job.finished and job.request.client == client)
+
+    def retry_after_s(self) -> int:
+        """Backpressure hint: roughly how long the queue needs to drain."""
+        backlog = self._pending() + 1
+        return max(1, min(60, round(backlog * self._last_eval_s)))
+
+    def submit(self, request: PartitionRequest) -> "tuple[Job, bool]":
+        """Admit (or coalesce) one request; returns ``(job, created)``.
+
+        Raises :class:`AdmissionError` when the queue or the client's
+        fairness share is exhausted.  Must be called from the event-loop
+        thread (it touches no locks).
+        """
+        tracer = self.tracer
+        digest = request.digest()
+        job_id = job_id_for_digest(digest)
+        existing = self._jobs.get(job_id)
+        if existing is not None:
+            existing.waiters += 1
+            tracer.count("service.jobs.coalesced")
+            return existing, False
+        if self._pending() >= self.max_queue:
+            tracer.count("service.rejected.queue")
+            raise AdmissionError(
+                f"admission queue full ({self.max_queue} job(s) "
+                f"queued); retry later", self.retry_after_s(), "queue")
+        if self._pending_for(request.client) \
+                >= self.max_pending_per_client:
+            tracer.count("service.rejected.client")
+            raise AdmissionError(
+                f"client {request.client!r} already has "
+                f"{self.max_pending_per_client} job(s) in flight; "
+                f"retry later", self.retry_after_s(), "client")
+        job = Job(id=job_id, request=request, digest=digest)
+        self._jobs[job_id] = job
+        tracer.count("service.jobs.submitted")
+        self._queue.put_nowait(job)
+        return job, True
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> "list[Job]":
+        return list(self._jobs.values())
+
+    def stats(self) -> Dict[str, Any]:
+        by_state = {state: 0 for state in JOB_STATES}
+        for job in self._jobs.values():
+            by_state[job.state] += 1
+        return {
+            "states": by_state,
+            "max_queue": self.max_queue,
+            "max_pending_per_client": self.max_pending_per_client,
+            "retry_after_s": self.retry_after_s(),
+        }
+
+    # -- execution -----------------------------------------------------
+
+    def _evict_finished(self) -> None:
+        """LRU-trim terminal jobs past ``max_finished`` (oldest first)."""
+        finished = [job for job in self._jobs.values() if job.finished]
+        excess = len(finished) - self.max_finished
+        for job in finished[:max(0, excess)]:
+            del self._jobs[job.id]
+            self.tracer.count("service.jobs.evicted")
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            job.state = "running"
+            job.started_s = time.time()
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, self.core.evaluate, job.request)
+            except Exception as exc:  # kernel failures -> failed job
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "failed"
+                self.tracer.count("service.jobs.failed")
+            else:
+                job.result = result.to_dict()
+                job.state = "done"
+                self.tracer.count("service.jobs.completed")
+                self._last_eval_s = max(0.05, result.elapsed_s)
+            finally:
+                job.finished_s = time.time()
+                self._evict_finished()
+                self._queue.task_done()

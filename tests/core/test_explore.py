@@ -128,10 +128,12 @@ def test_cache_hits_on_repeated_sweep():
         first = engine.explore(app_by_name("ckey"))
         examined = first.decision.examined
         assert cache.stats() == {"entries": examined, "hits": 0,
-                                 "misses": examined}
+                                 "misses": examined, "evictions": 0,
+                                 "hit_rate": 0.0}
         second = engine.explore(app_by_name("ckey"))
     assert cache.stats() == {"entries": examined, "hits": examined,
-                             "misses": examined}
+                             "misses": examined, "evictions": 0,
+                             "hit_rate": 0.5}
     assert _decision_fp(second.decision) == _decision_fp(first.decision)
 
 
@@ -156,14 +158,38 @@ def test_cache_counter_names_on_tracer():
         == tracer.counters["explore.cache.hits"]
 
 
-def test_cache_eviction_is_fifo_bounded():
+def test_cache_eviction_is_lru_bounded():
     cache = EvaluationCache(max_entries=2)
     cache.put("a", 1)
     cache.put("b", 2)
+    assert cache.get("a") == 1     # refresh "a": "b" is now the LRU key
     cache.put("c", 3)
     assert cache.stats()["entries"] == 2
-    assert cache.get("a") is None  # oldest evicted
+    assert cache.get("b") is None  # least recently used was evicted
+    assert cache.get("a") == 1
     assert cache.get("c") == 3
+    assert cache.evictions == 1
+    assert cache.stats()["evictions"] == 1
+
+
+def test_cache_eviction_emits_counter_and_hit_rate():
+    tracer = Tracer("evict")
+    cache = EvaluationCache(max_entries=1)
+    with use_tracer(tracer):
+        cache.put("a", 1)
+        cache.put("b", 2)          # evicts "a"
+    assert tracer.counters["cache.evictions"] == 1
+    assert cache.get("b") == 2
+    assert cache.get("a") is None
+    assert cache.hit_rate == 0.5
+    assert cache.stats()["hit_rate"] == 0.5
+
+
+def test_cache_rejects_nonpositive_bound():
+    import pytest
+
+    with pytest.raises(ValueError):
+        EvaluationCache(max_entries=0)
 
 
 def _decision_fp(decision):

@@ -18,6 +18,9 @@ when the code moves:
   ``repro.scenarios``.
 * ``docs/TECHNOLOGY.md`` embeds the technology-node catalog table and
   names every model parameter — compared against ``repro.tech``.
+* ``docs/SERVICE.md`` is the service wire contract — schema name and
+  version, request/result/job field sets, job states, routes and the
+  ``repro submit`` exit code — compared against ``repro.service``.
 """
 
 import re
@@ -197,10 +200,13 @@ COUNT_CALL_RE = re.compile(r"""count\(\s*["']([a-z_.]+)["']""")
 
 
 #: Modules (relative to src/repro/) whose counters the registry must
-#: cover — the exploration runtime plus the Pareto/scenario layer.
+#: cover — the exploration runtime, the Pareto/scenario layer and the
+#: service tier.
 COUNTER_MODULES = ("core/explore.py", "core/checkpoint.py",
                    "core/partitioner.py", "core/pareto.py",
-                   "scenarios/runner.py", "tech/model.py")
+                   "scenarios/runner.py", "tech/model.py",
+                   "service/core.py", "service/jobs.py",
+                   "service/server.py")
 
 
 def test_observability_registry_covers_exploration_runtime_counters():
@@ -352,6 +358,13 @@ def test_testing_states_the_corpus_header_and_exit_code():
     assert m and int(m.group(1)) == EXIT_MISMATCH
 
 
+def test_testing_states_the_submit_exit_codes():
+    from repro.service import EXIT_REJECTED
+    m = re.search(r"\| (\d+) \| `submit` was rejected", TESTING)
+    assert m, "TESTING.md exit-code table lost the `submit` 429 row"
+    assert int(m.group(1)) == EXIT_REJECTED
+
+
 def test_testing_slow_marker_contract_matches_pyproject():
     pyproject = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
     assert '"slow' in pyproject, (
@@ -361,3 +374,91 @@ def test_testing_slow_marker_contract_matches_pyproject():
         "pyproject.toml addopts no longer deselect slow tests by default")
     assert "-m slow" in TESTING, (
         "TESTING.md no longer explains how to run the slow tier")
+
+
+# ---------------------------------------------------------------------------
+# SERVICE.md <-> repro.service wire contract
+# ---------------------------------------------------------------------------
+
+SERVICE = (REPO_ROOT / "docs" / "SERVICE.md").read_text(encoding="utf-8")
+
+#: Rows of the request-field table: | `field` | type | meaning |
+SERVICE_FIELD_ROW_RE = re.compile(r"^\| `([a-z_]+)` \|", re.MULTILINE)
+
+
+def _service_section(start, stop):
+    section = SERVICE.split(start)[1]
+    return section.split(stop)[0]
+
+
+def test_service_states_current_schema_name_and_version():
+    from repro.service import SERVICE_SCHEMA_NAME, SERVICE_SCHEMA_VERSION
+    m = re.search(r"## Wire schema \(`([a-z-]+)` version (\d+)\)", SERVICE)
+    assert m, "SERVICE.md lost its wire-schema section heading"
+    assert m.group(1) == SERVICE_SCHEMA_NAME
+    assert int(m.group(2)) == SERVICE_SCHEMA_VERSION
+
+
+def test_service_request_table_matches_request_fields():
+    from repro.service import REQUEST_FIELDS
+    documented = SERVICE_FIELD_ROW_RE.findall(
+        _service_section("### Request", "### Job descriptor"))
+    assert documented, "SERVICE.md request-field table not found"
+    assert set(documented) == set(REQUEST_FIELDS), (
+        f"undocumented request fields: "
+        f"{sorted(set(REQUEST_FIELDS) - set(documented))}; "
+        f"stale rows: {sorted(set(documented) - set(REQUEST_FIELDS))}")
+
+
+def test_service_job_descriptor_example_lists_every_field():
+    from repro.service import JOB_FIELDS
+    section = _service_section("### Job descriptor", "### Job lifecycle")
+    for field in JOB_FIELDS:
+        assert f'"{field}":' in section, (
+            f"SERVICE.md job-descriptor example lost the {field!r} key")
+
+
+def test_service_lifecycle_names_every_job_state():
+    from repro.service import JOB_STATES
+    section = _service_section("### Job lifecycle", "### Result object")
+    for state in JOB_STATES:
+        assert f"`{state}`" in section, (
+            f"SERVICE.md lifecycle section lost the {state!r} state")
+
+
+def test_service_result_example_lists_every_field():
+    from repro.service import (
+        BEST_FIELDS,
+        RESULT_FIELDS,
+        SYSTEM_RUN_FIELDS,
+    )
+    section = _service_section("### Result object", "## Admission")
+    for field in RESULT_FIELDS:
+        assert f'"{field}":' in section, (
+            f"SERVICE.md result example lost the {field!r} key")
+    for field in BEST_FIELDS + SYSTEM_RUN_FIELDS:
+        assert f'"{field}":' in section, (
+            f"SERVICE.md result example lost the {field!r} sub-key")
+
+
+def test_service_endpoint_table_matches_routes():
+    from repro.service import ROUTES
+    section = _service_section("## Endpoints", "## Wire schema")
+    rows = re.findall(r"^\| `([A-Z]+)` \| `([^`]+)` \|", section,
+                      re.MULTILINE)
+    assert set(rows) == set(ROUTES), (
+        f"undocumented routes: {sorted(set(ROUTES) - set(rows))}; "
+        f"stale rows: {sorted(set(rows) - set(ROUTES))}")
+
+
+def test_service_backpressure_section_names_both_reasons():
+    # AdmissionError.reason is part of the 429 payload contract.
+    section = _service_section("## Admission control", "## Caching")
+    assert '"reason": "queue"' in section
+    assert '"reason": "client"' in section
+    assert "Retry-After" in section
+
+
+def test_service_documents_the_announce_line_format():
+    # tests and the CI smoke job parse this exact stderr prefix
+    assert "repro service listening on http://" in SERVICE

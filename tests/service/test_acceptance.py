@@ -1,0 +1,117 @@
+"""Acceptance: a SIGKILLed server restarts warm from its checkpoint.
+
+Spawns real ``repro serve --checkpoint`` subprocesses: the first is
+killed with SIGKILL while a job is in flight (after the journal holds at
+least one record); the restarted server must replay the journal
+(``explore.checkpoint.loaded`` > 0 in ``/v1/metrics``), finish the
+resubmitted job, and serve the exact result an uninterrupted run
+produces.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.checkpoint import scan_journal
+from repro.service import (
+    PartitionRequest,
+    ServiceClient,
+    ServiceCore,
+    build_request_payload,
+)
+
+ANNOUNCE_RE = re.compile(r"listening on http://127\.0\.0\.1:(\d+)")
+
+
+def spawn_server(tmp_path, checkpoint, log_name):
+    src_dir = Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src_dir), env.get("PYTHONPATH")) if p)
+    log = tmp_path / log_name
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--checkpoint", str(checkpoint)],
+        stdout=subprocess.DEVNULL, stderr=open(log, "w"), env=env)
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        match = ANNOUNCE_RE.search(log.read_text()) \
+            if log.exists() else None
+        if match:
+            return proc, int(match.group(1))
+        if proc.poll() is not None:
+            pytest.fail(f"server died before announcing: "
+                        f"{log.read_text()}")
+        time.sleep(0.05)
+    proc.kill()
+    pytest.fail("server never announced its port")
+
+
+@pytest.mark.slow
+def test_killed_server_resumes_from_journal(tmp_path):
+    # the uninterrupted reference result, via the same kernel
+    request = PartitionRequest.from_dict({"app": "ckey"})
+    with ServiceCore() as core:
+        reference = core.evaluate(request).to_dict()
+
+    checkpoint = tmp_path / "ckpt"
+    journal = checkpoint / "cache.journal"
+    proc, port = spawn_server(tmp_path, checkpoint, "serve1.log")
+    try:
+        client = ServiceClient(port=port, timeout_s=30)
+        status, body, _ = client.submit(build_request_payload("ckey"))
+        assert status == 202
+        job_id = body["id"]
+        # kill as soon as the journal proves work is underway -- with
+        # luck mid-job, at worst just after; either way the restart
+        # must replay what was journaled
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if journal.exists() \
+                    and scan_journal(str(journal))["records"] >= 1:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("journal never gained a record")
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+
+    records_at_kill = scan_journal(str(journal))["records"]
+    assert records_at_kill >= 1
+
+    proc, port = spawn_server(tmp_path, checkpoint, "serve2.log")
+    try:
+        client = ServiceClient(port=port, timeout_s=30)
+        metrics = client.metrics()
+        loaded = metrics["counters"].get("explore.checkpoint.loaded", 0)
+        assert loaded >= records_at_kill, \
+            "restart must replay the journaled evaluations"
+        assert metrics["cache"]["entries"] >= records_at_kill
+
+        # jobs are not durable (by contract) -- resubmit; the journal
+        # makes the rerun cheap and the result identical
+        status, body, _ = client.submit(build_request_payload("ckey"))
+        assert status == 202
+        assert body["id"] == job_id, "digest-keyed ids survive restarts"
+        job = client.wait(job_id, timeout_s=120)
+        assert job["state"] == "done"
+        result = job["result"]
+        assert result["verified"] is True
+        assert result["summary"] == reference["summary"]
+        # journal replay produced cache hits during the rerun
+        assert client.metrics()["cache"]["hits"] > 0
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover - cleanup
+            proc.kill()
+            proc.wait(timeout=30)

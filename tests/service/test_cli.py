@@ -1,0 +1,139 @@
+"""``repro serve`` / ``repro submit`` CLI wiring and exit codes.
+
+The exit-code contract under test (``docs/TESTING.md``): ``submit``
+exits 0 when the job is done, 1 on failed jobs or an unreachable
+server, 2 with ``--strict`` when the served result is not verify-gated
+clean, and 4 (:data:`EXIT_REJECTED`) when the server sheds load with
+HTTP 429.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.cli import main
+from repro.service import EXIT_REJECTED, ServiceUnreachable
+from repro.service.client import ServiceClient
+
+
+def free_port():
+    """A port nothing is listening on (bound then released)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def descriptor(state="queued", created=True, **extra):
+    data = {"id": "jcafecafecafecafe", "state": state,
+            "request_digest": "cafe" * 16, "app": "ckey",
+            "tech": "cmos6-800nm", "client": "anonymous",
+            "submitted_s": 1.0, "started_s": None, "finished_s": None,
+            "waiters": 1, "error": None, "result": None,
+            "created": created}
+    data.update(extra)
+    return data
+
+
+class TestSubmitExitCodes:
+    def test_unreachable_server_exits_1(self, capsys):
+        assert main(["submit", "ckey", "--port", str(free_port()),
+                     "--timeout", "0.5"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_429_exits_4(self, monkeypatch, capsys):
+        def shed(self, payload):
+            return 429, {"error": "full", "reason": "queue",
+                         "retry_after_s": 7}, {"Retry-After": "7"}
+
+        monkeypatch.setattr(ServiceClient, "submit", shed)
+        assert main(["submit", "ckey"]) == EXIT_REJECTED
+        err = capsys.readouterr().err
+        assert "shedding load" in err and "7" in err
+
+    def test_failed_job_exits_1(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            ServiceClient, "submit",
+            lambda self, payload: (202, descriptor(), {}))
+        monkeypatch.setattr(
+            ServiceClient, "wait",
+            lambda self, job_id, poll_s=0.2, timeout_s=None:
+            descriptor(state="failed", error="VerificationRejected: no",
+                       finished_s=2.0))
+        assert main(["submit", "ckey"]) == 1
+        assert "VerificationRejected" in capsys.readouterr().err
+
+    def test_strict_unverified_exits_2(self, monkeypatch, capsys):
+        done = descriptor(state="done", finished_s=2.0,
+                          result={"summary": "the table",
+                                  "verified": False})
+        monkeypatch.setattr(
+            ServiceClient, "submit",
+            lambda self, payload: (202, descriptor(), {}))
+        monkeypatch.setattr(
+            ServiceClient, "wait",
+            lambda self, job_id, poll_s=0.2, timeout_s=None: done)
+        assert main(["submit", "ckey"]) == 0  # lax: served is served
+        assert main(["submit", "ckey", "--strict"]) == 2
+
+    def test_no_wait_prints_descriptor_and_exits_0(self, monkeypatch,
+                                                   capsys):
+        monkeypatch.setattr(
+            ServiceClient, "submit",
+            lambda self, payload: (202, descriptor(), {}))
+        assert main(["submit", "ckey", "--no-wait"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["id"] == "jcafecafecafecafe"
+
+    def test_out_writes_job_json(self, monkeypatch, tmp_path, capsys):
+        done = descriptor(state="done", finished_s=2.0,
+                          result={"summary": "the table",
+                                  "verified": True})
+        monkeypatch.setattr(
+            ServiceClient, "submit",
+            lambda self, payload: (202, descriptor(), {}))
+        monkeypatch.setattr(
+            ServiceClient, "wait",
+            lambda self, job_id, poll_s=0.2, timeout_s=None: done)
+        out = tmp_path / "job.json"
+        assert main(["submit", "ckey", "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["state"] == "done"
+        assert "the table" in capsys.readouterr().out
+
+    def test_submitted_payload_carries_the_flags(self, monkeypatch):
+        seen = {}
+
+        def record(self, payload):
+            seen.update(payload)
+            return 429, {"reason": "queue", "retry_after_s": 1}, {}
+
+        monkeypatch.setattr(ServiceClient, "submit", record)
+        main(["submit", "ckey", "--scale", "2", "--optimize",
+              "--tech", "cmos6-45nm", "--client", "ci"])
+        assert seen == {"schema": "repro-service", "version": 1,
+                        "app": "ckey", "scale": 2, "optimize": True,
+                        "tech": "cmos6-45nm", "client": "ci"}
+
+
+class TestServeParser:
+    def test_bad_tech_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--tech", "nm-nonsense"])
+        assert "unknown technology node" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--port", "-1"],
+        ["serve", "--queue", "0"],
+        ["serve", "--cache-entries", "0"],
+        ["submit", "ckey", "--port", "0"],
+        ["submit", "no-such-app"],
+    ])
+    def test_bad_arguments_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            main(argv)
+
+    def test_unreachable_is_distinct_from_rejected(self):
+        # regression guard: 1 (unreachable) and 4 (shed) must differ so
+        # CI retry policies can tell a dead server from a busy one
+        assert EXIT_REJECTED == 4
+        assert issubclass(ServiceUnreachable, RuntimeError)
