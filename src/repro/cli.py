@@ -60,12 +60,17 @@ Commands
     Run the partitioning service: an asyncio HTTP/JSON server (the
     ``repro-service`` contract, ``docs/SERVICE.md``) with digest-keyed
     request coalescing, admission control and verify-gated results.
-    ``--checkpoint DIR`` journals every candidate evaluation so a
-    restarted server resumes warm; ``--queue``/``--cache-entries``
+    ``--lanes N`` shards jobs across N parallel evaluation lanes by
+    request digest; ``--checkpoint DIR`` journals every candidate
+    evaluation *and* every job so a restarted server resumes warm with
+    finished jobs still pollable; ``--queue``/``--cache-entries``
     bound the admission queue and the in-memory cache.
 ``submit APP``
     Submit one application to a running server, poll the job to
-    completion and print the same summary ``run`` prints.  ``--no-wait``
+    completion (jittered exponential backoff) and print the same
+    summary ``run`` prints.  ``--stream`` follows the job's event
+    stream instead of polling; ``--retry-429 N`` resubmits shed
+    requests honoring the server's ``Retry-After`` hint; ``--no-wait``
     returns after the 202; ``--out FILE`` saves the job JSON.
 
 ``run``/``table1``/``explore``/``verify`` accept ``--tech NODE`` to price
@@ -367,6 +372,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", type=positive_int, default=1, metavar="N",
                        help="worker processes per candidate sweep "
                             "(default 1 = serial)")
+    serve.add_argument("--lanes", type=positive_int, default=1,
+                       metavar="N",
+                       help="parallel evaluation lanes; jobs shard "
+                            "across lanes by request digest (default 1)")
     serve.add_argument("--queue", type=positive_int, default=64,
                        metavar="N",
                        help="admission bound: queued jobs past N are "
@@ -378,8 +387,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "cache (default: unbounded)")
     serve.add_argument("--checkpoint", default=None, metavar="DIR",
                        help="journal every candidate evaluation into "
-                            "DIR/cache.journal; a restarted server "
-                            "replays it and resumes warm")
+                            "DIR/cache.journal and every job into "
+                            "DIR/jobs.journal; a restarted server "
+                            "replays both and resumes warm, with "
+                            "finished jobs still pollable")
     serve.add_argument("--timeout", type=positive_float, default=None,
                        metavar="SEC",
                        help="per-candidate evaluation timeout in seconds "
@@ -407,7 +418,18 @@ def _build_parser() -> argparse.ArgumentParser:
                              "without polling")
     submit.add_argument("--poll", type=positive_float, default=0.2,
                         metavar="SEC",
-                        help="poll interval while waiting (default 0.2)")
+                        help="initial poll interval while waiting; "
+                             "later polls back off exponentially with "
+                             "jitter (default 0.2)")
+    submit.add_argument("--retry-429", dest="retry_429",
+                        type=nonnegative_int, default=0, metavar="N",
+                        help="resubmit up to N times when the server "
+                             "sheds load with 429, honoring its "
+                             "Retry-After hint (default 0)")
+    submit.add_argument("--stream", action="store_true",
+                        help="follow the job's event stream "
+                             "(GET /v1/jobs/{id}/events) instead of "
+                             "polling")
     submit.add_argument("--wait-timeout", type=positive_float,
                         default=None, metavar="SEC",
                         help="give up polling after SEC seconds "
@@ -859,11 +881,17 @@ def _cmd_serve(args) -> int:
         PersistentEvaluationCache,
     )
     from repro.obs import use_tracer
-    from repro.service import ServiceCore, ServiceServer
+    from repro.service import (
+        JOB_JOURNAL_FILENAME,
+        JobJournal,
+        ServiceCore,
+        ServiceServer,
+    )
     from repro.service.server import run_server
 
     tracer = Tracer("serve")
     cache = None
+    job_journal = None
     if args.checkpoint:
         journal = os.path.join(args.checkpoint, JOURNAL_FILENAME)
         with use_tracer(tracer):
@@ -871,12 +899,18 @@ def _cmd_serve(args) -> int:
                 journal, max_entries=args.cache_entries)
         print(f"checkpoint journal {journal}: {cache.loaded} record(s) "
               f"replayed, {cache.corrupt} discarded", file=sys.stderr)
+        jobs_path = os.path.join(args.checkpoint, JOB_JOURNAL_FILENAME)
+        job_journal = JobJournal(jobs_path, tracer=tracer)
+        print(f"job journal {jobs_path}: {len(job_journal.records)} "
+              f"record(s) replayed, {job_journal.corrupt} discarded",
+              file=sys.stderr)
     elif args.cache_entries:
         cache = EvaluationCache(max_entries=args.cache_entries)
     core = ServiceCore(jobs=args.jobs, cache=cache, tracer=tracer,
                        verify=True, timeout=args.timeout)
     server = ServiceServer(core=core, host=args.host, port=args.port,
-                           default_tech=args.tech, max_queue=args.queue,
+                           default_tech=args.tech, lanes=args.lanes,
+                           max_queue=args.queue, journal=job_journal,
                            tracer=tracer)
 
     def announce(host: str, port: int) -> None:
@@ -891,6 +925,8 @@ def _cmd_serve(args) -> int:
     finally:
         if cache is not None and hasattr(cache, "close"):
             cache.close()
+        if job_journal is not None:
+            job_journal.close()
     return 0
 
 

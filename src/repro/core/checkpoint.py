@@ -224,25 +224,31 @@ class PersistentEvaluationCache(EvaluationCache):
     # -- cache interface ----------------------------------------------
 
     def put(self, key: str, outcome: object) -> None:
-        is_new = key not in self._entries
-        super().put(key, outcome)
-        if not is_new:
-            return  # already journaled; keep the journal append-only
-        blob = pickle.dumps((key, outcome), protocol=4)
-        self._journal.write(
-            _RECORD_HEADER.pack(len(blob), _record_digest(blob)))
-        self._journal.write(blob)
-        # Push to the kernel so a SIGKILL loses at most the in-flight
-        # record (fsync durability is not worth its cost per candidate).
-        self._journal.flush()
+        # The whole update runs under the (re-entrant) cache mutex so
+        # concurrent evaluation lanes can never interleave two records'
+        # header/blob bytes in the journal.
+        with self._mutex:
+            is_new = key not in self._entries
+            super().put(key, outcome)
+            if not is_new:
+                return  # already journaled; keep the journal append-only
+            blob = pickle.dumps((key, outcome), protocol=4)
+            self._journal.write(
+                _RECORD_HEADER.pack(len(blob), _record_digest(blob)))
+            self._journal.write(blob)
+            # Push to the kernel so a SIGKILL loses at most the in-flight
+            # record (fsync durability is not worth its cost per
+            # candidate).
+            self._journal.flush()
         get_tracer().count("explore.checkpoint.appended")
 
     def clear(self) -> None:
-        super().clear()
-        self._journal.close()
-        with open(self.path, "wb") as fh:
-            fh.write(JOURNAL_MAGIC)
-        self._journal = open(self.path, "ab")
+        with self._mutex:
+            super().clear()
+            self._journal.close()
+            with open(self.path, "wb") as fh:
+                fh.write(JOURNAL_MAGIC)
+            self._journal = open(self.path, "ab")
 
     def close(self) -> None:
         self._journal.close()

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import threading
 import time
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
@@ -192,6 +193,11 @@ class EvaluationCache:
     used entry (``cache.evictions`` counter, :attr:`evictions`).
     Eviction order depends only on the get/put sequence, never on hash
     order, so bounded runs stay deterministic.
+
+    One instance may be shared across threads (the service tier shares a
+    cache between N evaluation lanes): every operation runs under an
+    internal re-entrant lock, so the LRU pop+reinsert and the eviction
+    scan never interleave.
     """
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
@@ -199,43 +205,51 @@ class EvaluationCache:
             raise ValueError(
                 f"max_entries must be >= 1 or None, got {max_entries}")
         self._entries: Dict[str, object] = {}
+        #: RLock, not Lock: the persistent subclass journals inside the
+        #: same critical section its base-class ``put`` already holds.
+        self._mutex = threading.RLock()
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     def get(self, key: str):
         """Return the cached outcome or ``None``; counts the hit/miss."""
-        outcome = self._entries.get(key)
-        if outcome is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-            if self.max_entries is not None:
-                # LRU refresh: move the hit key to the recent end (dicts
-                # preserve insertion order, so pop+reinsert is O(1)).
-                self._entries[key] = self._entries.pop(key)
-        return outcome
+        with self._mutex:
+            outcome = self._entries.get(key)
+            if outcome is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                if self.max_entries is not None:
+                    # LRU refresh: move the hit key to the recent end
+                    # (dicts preserve insertion order, so pop+reinsert
+                    # is O(1)).
+                    self._entries[key] = self._entries.pop(key)
+            return outcome
 
     def put(self, key: str, outcome) -> None:
-        if self.max_entries is not None \
-                and len(self._entries) >= self.max_entries \
-                and key not in self._entries:
-            # LRU eviction: the least recently touched key goes first.
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-            self.evictions += 1
-            get_tracer().count("cache.evictions")
-        self._entries[key] = outcome
+        with self._mutex:
+            if self.max_entries is not None \
+                    and len(self._entries) >= self.max_entries \
+                    and key not in self._entries:
+                # LRU eviction: the least recently touched key goes first.
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+                self.evictions += 1
+                get_tracer().count("cache.evictions")
+            self._entries[key] = outcome
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._mutex:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     @property
     def hit_rate(self) -> float:
@@ -244,9 +258,10 @@ class EvaluationCache:
         return self.hits / lookups if lookups else 0.0
 
     def stats(self) -> Dict[str, object]:
-        return {"entries": len(self._entries), "hits": self.hits,
-                "misses": self.misses, "evictions": self.evictions,
-                "hit_rate": round(self.hit_rate, 4)}
+        with self._mutex:
+            return {"entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses, "evictions": self.evictions,
+                    "hit_rate": round(self.hit_rate, 4)}
 
 
 # ---------------------------------------------------------------------------
@@ -520,6 +535,15 @@ class ExplorationEngine:
         if verify:
             from repro.verify import VerificationReport
             self.verification = VerificationReport(label="explore")
+        #: Optional ``callback(done, total)`` invoked as candidate
+        #: outcomes land during a sweep (cache hits count as already
+        #: done).  Advisory only: a raising callback is dropped after
+        #: one ``explore.progress.errors`` count, never retried, and can
+        #: never change a decision.  The service tier threads job
+        #: progress events through this hook.
+        self.progress = None
+        self._progress_done = 0
+        self._progress_total = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         #: Monotonic dispatch sequence: pairs are numbered in canonical
         #: sweep order, which is what makes FaultPlan scripts stable.
@@ -632,6 +656,10 @@ class ExplorationEngine:
                 tracer.count("explore.cache.misses")
                 pending.append((index, key))
 
+        self._progress_total = len(pairs)
+        self._progress_done = len(pairs) - len(pending)
+        self._notify_progress()
+
         if pending:
             rejected: set = set()
             if self.jobs > 1 and app is None:
@@ -670,6 +698,20 @@ class ExplorationEngine:
         cache journals it before the sweep moves on (kill-safety)."""
         self.cache.put(key, outcome)
 
+    def _notify_progress(self, advance: int = 0) -> None:
+        """Advance the sweep progress count and fire :attr:`progress`."""
+        self._progress_done += advance
+        callback = self.progress
+        if callback is None:
+            return
+        try:
+            callback(self._progress_done, self._progress_total)
+        except Exception:
+            # Progress is advisory: a broken subscriber must not fail
+            # (or even slow) the sweep, so it gets dropped, not retried.
+            self.tracer.count("explore.progress.errors")
+            self.progress = None
+
     def _evaluate_serial(self, partitioner: Partitioner,
                          profile: ExecutionProfile, initial: SystemRun,
                          hw_clusters: FrozenSet[str],
@@ -691,6 +733,7 @@ class ExplorationEngine:
             except ScheduleError as exc:
                 outcome = str(exc)
             outcomes[index] = outcome
+            self._notify_progress(1)
             if index in rejected:
                 # Verification found a hard invariant violation: the
                 # outcome still flows to the decision stage, but a
@@ -707,6 +750,7 @@ class ExplorationEngine:
         tracer = self.tracer
         _pair, outcome, counters, seconds, audit = result
         outcomes[task.index] = outcome
+        self._notify_progress(1)
         tracer.merge_counters(counters)
         tracer.record("explore.evaluate", seconds)
         if not isinstance(outcome, str):

@@ -26,15 +26,23 @@ Worker processes cannot share the parent's tracer; they run under their own
 totals back for merging via :meth:`Tracer.merge_counters` /
 :meth:`Tracer.record`.
 
-The module-level *current tracer* (:func:`get_tracer` / :func:`use_tracer`)
-lets deep layers (scheduler, pre-selection) bump counters without threading
-a tracer argument through every call.  The default is a :class:`NullTracer`
-whose operations are no-ops.
+One tracer may be shared by several *threads* (the service tier runs N
+evaluation lanes against one metrics sink): counter and span-tree updates
+are serialized by an internal lock, and each thread gets its own span
+*stack* rooted at the shared tree, so concurrent spans aggregate instead
+of corrupting each other's nesting.
+
+The *current tracer* (:func:`get_tracer` / :func:`use_tracer`) lets deep
+layers (scheduler, pre-selection) bump counters without threading a tracer
+argument through every call.  It is **thread-local**: installing a tracer
+on one lane never leaks into another lane mid-evaluation.  The default is
+a :class:`NullTracer` whose operations are no-ops.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
@@ -93,45 +101,62 @@ class Tracer:
         self._clock = clock
         self.root = SpanNode("<root>")
         self.root.calls = 1
-        self._stack: List[SpanNode] = [self.root]
         self.counters: Dict[str, int] = {}
         #: Named JSON-able payloads riding along in the trace file
         #: (e.g. a ``repro-verify`` report under ``"verification"``).
         self.attachments: Dict[str, Any] = {}
+        #: Serializes counter and span-tree mutations across threads.
+        self._lock = threading.Lock()
+        #: Per-thread span stack; every thread's stack is rooted at the
+        #: shared tree, so concurrent lanes aggregate into one tree.
+        self._local = threading.local()
         self._started = clock()
+
+    def _stack(self) -> List[SpanNode]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = [self.root]
+        return stack
 
     # -- spans ---------------------------------------------------------
 
     @contextmanager
     def span(self, name: str) -> Iterator[SpanNode]:
         """Time a nested region; same-named siblings aggregate."""
-        node = self._stack[-1].child(name)
-        node.calls += 1
-        self._stack.append(node)
+        stack = self._stack()
+        with self._lock:
+            node = stack[-1].child(name)
+            node.calls += 1
+        stack.append(node)
         start = self._clock()
         try:
             yield node
         finally:
-            node.total_s += self._clock() - start
-            self._stack.pop()
+            elapsed = self._clock() - start
+            with self._lock:
+                node.total_s += elapsed
+            stack.pop()
 
     def record(self, name: str, seconds: float, calls: int = 1) -> None:
         """Attribute externally measured time (e.g. from a worker process)
         to a child of the current span."""
-        node = self._stack[-1].child(name)
-        node.calls += calls
-        node.total_s += seconds
+        with self._lock:
+            node = self._stack()[-1].child(name)
+            node.calls += calls
+            node.total_s += seconds
 
     # -- counters ------------------------------------------------------
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n``."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def merge_counters(self, counters: Dict[str, int]) -> None:
         """Fold a worker's counter snapshot into this tracer."""
-        for name, value in counters.items():
-            self.count(name, value)
+        with self._lock:
+            for name, value in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
 
     # -- attachments ---------------------------------------------------
 
@@ -208,25 +233,32 @@ class NullTracer(Tracer):
         pass
 
 
-#: Process-wide current tracer, used by layers too deep to thread one into.
-_CURRENT: Tracer = NullTracer()
+#: Shared fallback when no tracer is installed on the calling thread.
+_NULL = NullTracer()
+
+#: Thread-local current tracer, used by layers too deep to thread one into.
+_CURRENT = threading.local()
 
 
 def get_tracer() -> Tracer:
-    """The process-wide current tracer (a :class:`NullTracer` by default)."""
-    return _CURRENT
+    """The calling thread's current tracer (a :class:`NullTracer` by
+    default)."""
+    return getattr(_CURRENT, "tracer", _NULL)
 
 
 @contextmanager
 def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
-    """Install ``tracer`` as the current tracer for the dynamic extent."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = tracer
+    """Install ``tracer`` as the current tracer for the dynamic extent.
+
+    Thread-local: parallel evaluation lanes each install the (shared,
+    lock-protected) tracer on their own thread without racing each
+    other's restore."""
+    previous = getattr(_CURRENT, "tracer", _NULL)
+    _CURRENT.tracer = tracer
     try:
         yield tracer
     finally:
-        _CURRENT = previous
+        _CURRENT.tracer = previous
 
 
 # ---------------------------------------------------------------------------

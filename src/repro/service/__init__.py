@@ -9,10 +9,13 @@ pinned against this package by the doc-drift tests.  Layers:
 * :mod:`repro.service.core` — :class:`PartitionRequest` →
   :class:`PartitionResult`, validated, digest-keyed, verify-gated.
 * :mod:`repro.service.jobs` — admission control, request coalescing,
-  per-client fairness, the job state machine.
+  per-client fairness, parallel evaluation lanes, event streams, the
+  job state machine.
+* :mod:`repro.service.journal` — the durable job journal: polls (and
+  interrupted jobs) survive server restarts.
 * :mod:`repro.service.server` — the stdlib-only asyncio HTTP front-end
   (``repro serve``).
-* :mod:`repro.service.client` — the blocking poll client
+* :mod:`repro.service.client` — the blocking poll/stream client
   (``repro submit``).
 """
 
@@ -30,12 +33,21 @@ from repro.service.core import (
     VerificationRejected,
 )
 from repro.service.jobs import (
+    EVENT_KINDS,
     JOB_FIELDS,
     JOB_STATES,
     AdmissionError,
     Job,
     JobManager,
     job_id_for_digest,
+    lane_for_digest,
+)
+from repro.service.journal import (
+    JOB_JOURNAL_FILENAME,
+    JOB_JOURNAL_MAGIC,
+    JOB_RECORD_KINDS,
+    JobJournal,
+    scan_job_journal,
 )
 from repro.service.server import MAX_BODY_BYTES, ROUTES, ServiceServer
 from repro.service.client import (
@@ -48,10 +60,15 @@ from repro.service.client import (
 __all__ = [
     "AdmissionError",
     "BEST_FIELDS",
+    "EVENT_KINDS",
     "EXIT_REJECTED",
     "JOB_FIELDS",
+    "JOB_JOURNAL_FILENAME",
+    "JOB_JOURNAL_MAGIC",
+    "JOB_RECORD_KINDS",
     "JOB_STATES",
     "Job",
+    "JobJournal",
     "JobManager",
     "MAX_BODY_BYTES",
     "PartitionRequest",
@@ -70,4 +87,6 @@ __all__ = [
     "VerificationRejected",
     "build_request_payload",
     "job_id_for_digest",
+    "lane_for_digest",
+    "scan_job_journal",
 ]

@@ -46,8 +46,10 @@ from repro.power.system import SystemRun
 #: The ``schema`` tag of every service request and result payload.
 SERVICE_SCHEMA_NAME = "repro-service"
 
-#: Current version of the service wire schema.
-SERVICE_SCHEMA_VERSION = 1
+#: Current version of the service wire schema.  Version 2 added the
+#: evaluation-lane field on job descriptors, the durable job journal and
+#: the ``/v1/jobs/{id}/events`` streaming endpoint (``docs/SERVICE.md``).
+SERVICE_SCHEMA_VERSION = 2
 
 #: Every key a ``POST /v1/jobs`` request body may carry.
 REQUEST_FIELDS = ("schema", "version", "app", "source", "name", "args",
@@ -336,8 +338,12 @@ class ServiceCore:
     One engine is built lazily per technology node; all of them share
     ``cache`` and ``tracer`` (cache keys embed the library digest, so
     nodes never alias).  :meth:`evaluate` is serialized by an internal
-    lock: the engine and its process pool are not thread-safe, and the
-    job tier's single executor thread is the intended caller.
+    lock: the engine and its process pool are not thread-safe, and one
+    job-tier evaluation-lane thread is the intended caller.  Parallelism
+    across lanes comes from :meth:`spawn` — one sibling kernel per extra
+    lane, each with its own engines but the *same* (thread-safe) cache
+    and tracer, so coalescing, metrics and the checkpoint journal stay
+    whole-server while evaluations proceed concurrently.
     """
 
     def __init__(self, jobs: int = 1,
@@ -367,12 +373,30 @@ class ServiceCore:
             self._engines[tech] = engine
         return engine
 
-    def evaluate(self, request: PartitionRequest) -> PartitionResult:
+    def spawn(self) -> "ServiceCore":
+        """A sibling kernel for one more evaluation lane.
+
+        The sibling builds its own per-tech engines (each lane thread
+        owns its engines and process pools outright, so the coalescing
+        and verify-gate invariants hold per digest without cross-lane
+        locking) while sharing this kernel's cache, tracer and
+        fault-tolerance knobs — a cache fill or eviction on any lane is
+        visible to all of them, and ``/v1/metrics`` stays one sink.
+        """
+        return ServiceCore(jobs=self.jobs, cache=self.cache,
+                           tracer=self.tracer, verify=self.verify,
+                           timeout=self.timeout, retries=self.retries)
+
+    def evaluate(self, request: PartitionRequest,
+                 progress=None) -> PartitionResult:
         """Run one request through the flow, verify-gated.
 
         Bit-identical to the ``repro run`` CLI path for the same
         request: both go through ``ExplorationEngine.run_flow`` with the
-        same library, config and cache semantics.
+        same library, config and cache semantics.  ``progress`` is an
+        optional ``callback(done, total)`` forwarded to the engine's
+        sweep-progress hook for the lifetime of this evaluation (the
+        job tier streams it to ``/v1/jobs/{id}/events`` subscribers).
         """
         with self._lock:
             tracer = self.tracer
@@ -380,8 +404,12 @@ class ServiceCore:
             digest = request.digest()
             app = request.to_app()
             engine = self._engine(request.tech, request)
-            with use_tracer(tracer), tracer.span("service.evaluate"):
-                flow_result = engine.run_flow(app)
+            engine.progress = progress
+            try:
+                with use_tracer(tracer), tracer.span("service.evaluate"):
+                    flow_result = engine.run_flow(app)
+            finally:
+                engine.progress = None
             self.evaluations += 1
             tracer.count("service.evaluations")
             verification = flow_result.verification

@@ -1,4 +1,4 @@
-"""Async job lifecycle: admission, coalescing, fairness, backpressure.
+"""Async job lifecycle: lanes, admission, coalescing, streaming, durability.
 
 :class:`JobManager` sits between the HTTP front-end and the
 :class:`~repro.service.core.ServiceCore` kernel.  Its contract (documented
@@ -13,6 +13,13 @@ in ``docs/SERVICE.md``, pinned by the doc-drift tests):
   re-evaluating (the candidate-level
   :class:`~repro.core.explore.EvaluationCache` additionally makes any
   forced re-evaluation replay as hits).
+* **Evaluation lanes** — ``lanes`` parallel workers, each a dedicated
+  queue + single executor thread + own :class:`ServiceCore` sibling
+  (spawned off the primary, sharing its cache and tracer).  A job's lane
+  is a pure function of its digest (:func:`lane_for_digest`), so every
+  submission of one request lands on the same lane: the coalescing and
+  verify-gate invariants that held for the single worker hold per digest
+  with no cross-lane locking (``service.lanes.dispatched``).
 * **Admission control** — at most ``max_queue`` jobs may be queued; past
   that, submission raises :class:`AdmissionError` which the server maps
   to HTTP 429 with a ``Retry-After`` estimate
@@ -24,7 +31,21 @@ in ``docs/SERVICE.md``, pinned by the doc-drift tests):
   client's in-flight job is always admitted: it costs no evaluation.
 * **Bounded registry** — finished jobs are kept for polling and
   result-cache reuse, LRU-bounded by ``max_finished`` (evicted jobs
-  return 404 on later polls; ``service.jobs.evicted``).
+  return 404 on later polls; ``service.jobs.evicted``).  A finished job
+  that still has attached event-stream subscribers is **never** evicted
+  — eviction skips it until the last subscriber detaches, so a slow
+  stream consumer cannot lose its terminal event to the LRU trim.
+* **Durable jobs** — with a :class:`~repro.service.journal.JobJournal`
+  attached, every admission and completion is journaled; on restart the
+  manager replays it, so finished jobs answer polls with their original
+  results and interrupted jobs are requeued
+  (``service.journal.requeued``) through the persistent evaluation
+  cache.
+* **Event streams** — :meth:`events` yields a job's lifecycle
+  transitions (:data:`EVENT_KINDS`: ``queued`` → ``started`` →
+  ``progress``\\* → ``finished``) as they happen, ending after the
+  terminal event; the server serves them as chunked JSON lines on
+  ``GET /v1/jobs/{id}/events`` (``service.stream.*``).
 
 Job states (:data:`JOB_STATES`): ``queued`` → ``running`` → ``done`` |
 ``failed``.  There are no other states and no transitions out of the two
@@ -37,20 +58,25 @@ import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, AsyncIterator, Dict, List, Optional
 
 from repro.obs import NullTracer, Tracer
 from repro.service.core import PartitionRequest, ServiceCore
+from repro.service.journal import JobJournal
 
 #: The job lifecycle, in order; the last two are terminal.
 JOB_STATES = ("queued", "running", "done", "failed")
 
 #: Every key of a job descriptor as returned by the jobs endpoints
 #: (``result`` is ``null`` until the job is ``done``; ``error`` until it
-#: ``failed``).
+#: ``failed``; ``lane`` until the job is dispatched to a lane).
 JOB_FIELDS = ("id", "state", "request_digest", "app", "tech", "client",
-              "submitted_s", "started_s", "finished_s", "waiters",
+              "lane", "submitted_s", "started_s", "finished_s", "waiters",
               "error", "result")
+
+#: Event kinds a job's event stream may carry, in lifecycle order
+#: (``progress`` repeats; ``finished`` is always last).
+EVENT_KINDS = ("queued", "started", "progress", "finished")
 
 
 class AdmissionError(RuntimeError):
@@ -72,6 +98,8 @@ class Job:
     request: PartitionRequest
     digest: str
     state: str = "queued"
+    #: Evaluation lane this job is sharded to (digest-determined).
+    lane: Optional[int] = None
     submitted_s: float = field(default_factory=time.time)
     started_s: Optional[float] = None
     finished_s: Optional[float] = None
@@ -79,6 +107,11 @@ class Job:
     waiters: int = 1
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = None
+    #: Published lifecycle events, append-only (drives :meth:`events`).
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Attached event-stream consumers; a finished job with subscribers
+    #: is exempt from registry eviction until they detach.
+    subscribers: int = 0
 
     @property
     def finished(self) -> bool:
@@ -92,6 +125,7 @@ class Job:
             "app": self.request.workload_label(),
             "tech": self.request.tech,
             "client": self.request.client,
+            "lane": self.lane,
             "submitted_s": round(self.submitted_s, 3),
             "started_s": (round(self.started_s, 3)
                           if self.started_s is not None else None),
@@ -109,19 +143,60 @@ def job_id_for_digest(digest: str) -> str:
     return f"j{digest[:16]}"
 
 
-class JobManager:
-    """Admission-controlled, coalescing job queue over a ServiceCore.
+def lane_for_digest(digest: str, lanes: int) -> int:
+    """The lane a digest shards to — stable, uniform, content-derived.
 
-    Evaluations run on a single-worker thread executor so the blocking
-    kernel never stalls the event loop; the kernel itself may still fan
-    candidates across processes (``ServiceCore(jobs=N)``).
+    Every submission of one request lands on the same lane, so per-digest
+    ordering (and therefore coalescing correctness) needs no cross-lane
+    coordination.
+    """
+    return int(digest[:8], 16) % lanes
+
+
+class _Lane:
+    """One evaluation lane: a queue, a worker thread and its own kernel."""
+
+    def __init__(self, index: int, core: ServiceCore) -> None:
+        self.index = index
+        self.core = core
+        self.queue: "asyncio.Queue[Job]" = asyncio.Queue()
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-lane{index}")
+        self.task: Optional[asyncio.Task] = None
+        self.busy = False
+        self.evaluations = 0
+
+    def stats(self) -> Dict[str, Any]:
+        return {"lane": self.index, "queued": self.queue.qsize(),
+                "busy": self.busy, "evaluations": self.evaluations}
+
+
+class JobManager:
+    """Admission-controlled, coalescing job queue over N evaluation lanes.
+
+    Each lane runs evaluations on its own single-worker thread executor
+    so the blocking kernel never stalls the event loop; the kernels
+    themselves may still fan candidates across processes
+    (``ServiceCore(jobs=N)``).  With ``lanes=1`` (the default) the
+    behaviour is exactly the historical single-worker manager.
+
+    Args:
+        core: the primary kernel; lanes past the first get siblings from
+            ``core.spawn()`` (sharing its cache and tracer).
+        lanes: parallel evaluation lanes (>= 1).
+        journal: optional :class:`JobJournal` making jobs durable —
+            replayed (and interrupted jobs requeued) on construction.
     """
 
     def __init__(self, core: ServiceCore,
+                 lanes: int = 1,
                  max_queue: int = 64,
                  max_pending_per_client: Optional[int] = None,
                  max_finished: int = 256,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 journal: Optional[JobJournal] = None) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if max_finished < 1:
@@ -134,31 +209,169 @@ class JobManager:
             else max(1, max_queue // 4))
         self.max_finished = max_finished
         self.tracer = tracer or NullTracer()
+        self.journal = journal
         #: job id -> Job, insertion-ordered (drives finished-LRU eviction).
         self._jobs: Dict[str, Job] = {}
-        self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-service")
-        self._worker: Optional[asyncio.Task] = None
+        self._lanes: List[_Lane] = [_Lane(0, core)]
+        for index in range(1, lanes):
+            self._lanes.append(_Lane(index, core.spawn()))
+            self.tracer.count("service.lanes.spawned")
+        #: Rotating wake-up for event-stream subscribers (created lazily
+        #: inside the running loop; see :meth:`_wake_subscribers`).
+        self._event_signal: Optional[asyncio.Event] = None
         self._last_eval_s = 1.0
+        self._replay_journal()
+
+    @property
+    def lanes(self) -> int:
+        return len(self._lanes)
 
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
-        if self._worker is None:
-            self._worker = asyncio.get_running_loop().create_task(
-                self._drain())
+        loop = asyncio.get_running_loop()
+        for lane in self._lanes:
+            if lane.task is None:
+                lane.task = loop.create_task(self._drain(lane))
 
     async def close(self) -> None:
-        if self._worker is not None:
-            self._worker.cancel()
+        for lane in self._lanes:
+            if lane.task is not None:
+                lane.task.cancel()
+                try:
+                    await lane.task
+                except asyncio.CancelledError:
+                    pass
+                lane.task = None
+        for lane in self._lanes:
+            lane.executor.shutdown(wait=False)
+            lane.core.close()
+        self._wake_subscribers()  # let streams observe the shutdown
+
+    # -- durable state -------------------------------------------------
+
+    def _replay_journal(self) -> None:
+        """Rebuild the registry from the journal: finished jobs resolve
+        polls directly; interrupted ones are requeued."""
+        if self.journal is None:
+            return
+        for job_id, entry in self.journal.jobs_by_id().items():
+            if job_id in self._jobs:
+                continue
+            submitted = entry["submitted"]
+            finished = entry["finished"]
             try:
-                await self._worker
-            except asyncio.CancelledError:
-                pass
-            self._worker = None
-        self._executor.shutdown(wait=False)
-        self.core.close()
+                request = PartitionRequest.from_dict(
+                    submitted["request"])
+            except Exception:
+                # A record from an incompatible schema (or a corrupted
+                # request body): there is no job left to rebuild.
+                self.tracer.count("service.journal.skipped")
+                continue
+            job = Job(id=job_id, request=request,
+                      digest=submitted.get("digest", request.digest()))
+            if isinstance(submitted.get("submitted_s"), (int, float)):
+                job.submitted_s = float(submitted["submitted_s"])
+            if finished is not None \
+                    and finished.get("state") in ("done", "failed"):
+                job.state = finished["state"]
+                job.lane = finished.get("lane")
+                job.error = finished.get("error")
+                job.result = finished.get("result")
+                for stamp in ("started_s", "finished_s"):
+                    value = finished.get(stamp)
+                    if isinstance(value, (int, float)):
+                        setattr(job, stamp, float(value))
+                self._jobs[job_id] = job
+                # Synthesized terminal event: a post-restart stream
+                # subscriber still gets closure.
+                self._publish(job, "finished")
+            else:
+                # Queued or running at the kill: requeue.  Re-evaluation
+                # replays out of the persistent evaluation cache, so
+                # recovery costs cache hits, not sweeps.
+                self._jobs[job_id] = job
+                self._publish(job, "queued")
+                self._dispatch(job)
+                self.tracer.count("service.journal.requeued")
+        self._evict_finished()
+
+    def _record_submit(self, job: Job) -> None:
+        if self.journal is not None:
+            self.journal.append({
+                "event": "submitted", "id": job.id, "digest": job.digest,
+                "submitted_s": round(job.submitted_s, 3),
+                "request": job.request.to_dict()})
+
+    def _record_finish(self, job: Job) -> None:
+        if self.journal is not None:
+            self.journal.append({
+                "event": "finished", "id": job.id, "state": job.state,
+                "lane": job.lane, "error": job.error,
+                "result": job.result,
+                "started_s": (round(job.started_s, 3)
+                              if job.started_s is not None else None),
+                "finished_s": (round(job.finished_s, 3)
+                               if job.finished_s is not None else None)})
+
+    # -- event streams -------------------------------------------------
+
+    def _publish(self, job: Job, kind: str,
+                 extra: Optional[Dict[str, Any]] = None) -> None:
+        """Append one lifecycle event and wake every stream subscriber.
+
+        Runs on the event-loop thread only (progress callbacks from lane
+        threads hop over via ``call_soon_threadsafe``), so the append
+        and the wake-up need no lock.
+        """
+        event: Dict[str, Any] = {
+            "seq": len(job.events), "id": job.id, "event": kind,
+            "state": job.state, "ts": round(time.time(), 3)}
+        if kind == "finished" and job.error is not None:
+            event["error"] = job.error
+        if extra:
+            event.update(extra)
+        job.events.append(event)
+        self.tracer.count("service.stream.events")
+        self._wake_subscribers()
+
+    def _wake_subscribers(self) -> None:
+        signal = self._event_signal
+        if signal is not None:
+            # Rotate: woken subscribers re-check their job, the next
+            # waiter lazily creates a fresh signal.
+            self._event_signal = None
+            signal.set()
+
+    async def events(self, job_id: str) -> AsyncIterator[Dict[str, Any]]:
+        """Yield ``job_id``'s lifecycle events, live, until terminal.
+
+        Replays the history first (a subscriber attaching after the job
+        finished still sees every transition), then follows new events
+        as they are published; the generator ends after the ``finished``
+        event.  Raises :class:`KeyError` for an unknown id.  While at
+        least one subscriber is attached the job is exempt from registry
+        eviction.
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        job.subscribers += 1
+        self.tracer.count("service.stream.subscribed")
+        try:
+            seq = 0
+            while True:
+                while seq < len(job.events):
+                    event = job.events[seq]
+                    seq += 1
+                    yield event
+                    if event["event"] == "finished":
+                        return
+                if self._event_signal is None:
+                    self._event_signal = asyncio.Event()
+                await self._event_signal.wait()
+        finally:
+            job.subscribers -= 1
 
     # -- submission ----------------------------------------------------
 
@@ -171,9 +384,17 @@ class JobManager:
                    if not job.finished and job.request.client == client)
 
     def retry_after_s(self) -> int:
-        """Backpressure hint: roughly how long the queue needs to drain."""
+        """Backpressure hint: roughly how long the queue needs to drain
+        (the backlog spreads across every lane)."""
         backlog = self._pending() + 1
-        return max(1, min(60, round(backlog * self._last_eval_s)))
+        return max(1, min(60, round(backlog * self._last_eval_s
+                                    / len(self._lanes))))
+
+    def _dispatch(self, job: Job) -> None:
+        lane = self._lanes[lane_for_digest(job.digest, len(self._lanes))]
+        job.lane = lane.index
+        lane.queue.put_nowait(job)
+        self.tracer.count("service.lanes.dispatched")
 
     def submit(self, request: PartitionRequest) -> "tuple[Job, bool]":
         """Admit (or coalesce) one request; returns ``(job, created)``.
@@ -205,7 +426,9 @@ class JobManager:
         job = Job(id=job_id, request=request, digest=digest)
         self._jobs[job_id] = job
         tracer.count("service.jobs.submitted")
-        self._queue.put_nowait(job)
+        self._record_submit(job)
+        self._publish(job, "queued")
+        self._dispatch(job)
         return job, True
 
     def get(self, job_id: str) -> Optional[Job]:
@@ -223,27 +446,60 @@ class JobManager:
             "max_queue": self.max_queue,
             "max_pending_per_client": self.max_pending_per_client,
             "retry_after_s": self.retry_after_s(),
+            "lanes": [lane.stats() for lane in self._lanes],
         }
 
     # -- execution -----------------------------------------------------
 
     def _evict_finished(self) -> None:
-        """LRU-trim terminal jobs past ``max_finished`` (oldest first)."""
+        """LRU-trim terminal jobs past ``max_finished`` (oldest first).
+
+        Jobs with attached stream subscribers are skipped: evicting one
+        would sever a live consumer from its terminal event (the
+        lost-waiter race).  The registry may transiently exceed the
+        bound by the number of subscribed jobs; they become evictable
+        the moment their last subscriber detaches.
+        """
         finished = [job for job in self._jobs.values() if job.finished]
         excess = len(finished) - self.max_finished
-        for job in finished[:max(0, excess)]:
+        if excess <= 0:
+            return
+        for job in finished:
+            if excess <= 0:
+                break
+            if job.subscribers > 0:
+                continue
             del self._jobs[job.id]
+            excess -= 1
             self.tracer.count("service.jobs.evicted")
 
-    async def _drain(self) -> None:
+    def _on_progress(self, job: Job, done: int, total: int) -> None:
+        """Publish one sweep-progress event (loop thread; see
+        :meth:`_progress_callback`)."""
+        if not job.finished:
+            self._publish(job, "progress", {"done": done, "total": total})
+
+    def _progress_callback(self, job: Job, loop: asyncio.AbstractEventLoop):
+        """A ``progress(done, total)`` the kernel may call from its lane
+        thread; events hop to the loop thread, ordered before the
+        evaluation's own completion."""
+        def progress(done: int, total: int) -> None:
+            loop.call_soon_threadsafe(self._on_progress, job, done, total)
+        return progress
+
+    async def _drain(self, lane: _Lane) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            job = await self._queue.get()
+            job = await lane.queue.get()
             job.state = "running"
             job.started_s = time.time()
+            lane.busy = True
+            self._publish(job, "started", {"lane": lane.index})
+            progress = self._progress_callback(job, loop)
             try:
                 result = await loop.run_in_executor(
-                    self._executor, self.core.evaluate, job.request)
+                    lane.executor, lane.core.evaluate, job.request,
+                    progress)
             except Exception as exc:  # kernel failures -> failed job
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.state = "failed"
@@ -253,7 +509,11 @@ class JobManager:
                 job.state = "done"
                 self.tracer.count("service.jobs.completed")
                 self._last_eval_s = max(0.05, result.elapsed_s)
+                lane.evaluations += 1
             finally:
                 job.finished_s = time.time()
+                lane.busy = False
+                self._record_finish(job)
+                self._publish(job, "finished")
                 self._evict_finished()
-                self._queue.task_done()
+                lane.queue.task_done()

@@ -12,10 +12,14 @@ response is JSON with ``Connection: close``.  The surface
 * ``GET /v1/jobs`` — list job descriptors (without results).
 * ``GET /v1/jobs/{id}`` — poll one job; the ``result`` object appears
   when the state reaches ``done``.
-* ``GET /v1/metrics`` — the shared tracer's counters plus cache and
-  queue statistics (includes ``cache.hit_rate`` and the coalescing
-  proof: ``service.jobs.submitted`` vs ``service.jobs.coalesced`` vs
-  ``service.evaluations``).
+* ``GET /v1/jobs/{id}/events`` — **stream** the job's lifecycle as
+  chunked JSON lines (``queued``/``started``/``progress``/``finished``),
+  one event per line, closing after the terminal event.  The one
+  non-atomic response; everything else is a single JSON document.
+* ``GET /v1/metrics`` — the shared tracer's counters plus cache, queue,
+  per-lane and journal statistics (includes ``cache.hit_rate`` and the
+  coalescing proof: ``service.jobs.submitted`` vs
+  ``service.jobs.coalesced`` vs ``service.evaluations``).
 * ``GET /v1/healthz`` — liveness: ``{"status": "ok", ...}``.
 
 Error payloads are always ``{"error": <message>, ...}``; admission
@@ -39,12 +43,14 @@ from repro.service.core import (
     ServiceCore,
 )
 from repro.service.jobs import AdmissionError, JobManager
+from repro.service.journal import JobJournal
 
 #: The HTTP surface, method + path template.
 ROUTES = (
     ("POST", "/v1/jobs"),
     ("GET", "/v1/jobs"),
     ("GET", "/v1/jobs/{id}"),
+    ("GET", "/v1/jobs/{id}/events"),
     ("GET", "/v1/metrics"),
     ("GET", "/v1/healthz"),
 )
@@ -64,21 +70,28 @@ class ServiceServer:
 
     Args:
         core: evaluation kernel (a default verify-gated one is built if
-            omitted).
+            omitted).  With ``lanes > 1`` the manager spawns one sibling
+            kernel per extra lane off this one (shared cache/tracer).
         host / port: bind address; ``port=0`` lets the OS pick — read
             :attr:`port` after :meth:`start` for the real one.
         default_tech: technology node applied to requests that omit
             ``tech`` (``repro serve --tech``).
+        lanes: parallel evaluation lanes (``repro serve --lanes``).
         max_queue / max_pending_per_client: admission bounds, forwarded
             to the :class:`JobManager`.
+        journal: optional :class:`JobJournal` making jobs durable across
+            restarts (``repro serve --checkpoint`` builds one next to
+            the evaluation journal).
         tracer: shared observability sink, exposed at ``/v1/metrics``.
     """
 
     def __init__(self, core: Optional[ServiceCore] = None,
                  host: str = "127.0.0.1", port: int = 0,
                  default_tech: Optional[str] = None,
+                 lanes: int = 1,
                  max_queue: int = 64,
                  max_pending_per_client: Optional[int] = None,
+                 journal: Optional[JobJournal] = None,
                  tracer: Optional[Tracer] = None) -> None:
         self.tracer = tracer or NullTracer()
         self.core = core if core is not None \
@@ -86,10 +99,11 @@ class ServiceServer:
         self.host = host
         self._requested_port = port
         self.default_tech = default_tech
+        self.journal = journal
         self.manager = JobManager(
-            self.core, max_queue=max_queue,
+            self.core, lanes=lanes, max_queue=max_queue,
             max_pending_per_client=max_pending_per_client,
-            tracer=self.tracer)
+            tracer=self.tracer, journal=journal)
         self._server: Optional[asyncio.AbstractServer] = None
         self._started = time.time()
 
@@ -124,28 +138,41 @@ class ServiceServer:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
-            status, payload, headers = await self._respond(reader)
+            parsed = await self._parse(reader)
+            if isinstance(parsed, tuple) and len(parsed) == 3 \
+                    and isinstance(parsed[0], str):
+                method, path, body = parsed
+                stream_id = self._events_path_job(method, path)
+                if stream_id is not None \
+                        and self.manager.get(stream_id) is not None:
+                    await self._stream_events(stream_id, writer)
+                    return
+                status, payload, headers = self._route(method, path, body)
+            else:
+                status, payload, headers = parsed
         except Exception as exc:  # never let a handler kill the loop
             self.tracer.count("service.http.errors")
             status, headers = 500, {}
             payload = {"error": f"{type(exc).__name__}: {exc}"}
-        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        body_bytes = (json.dumps(payload, sort_keys=True) + "\n"
+                      ).encode("utf-8")
         head = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
                 "Content-Type: application/json",
-                f"Content-Length: {len(body)}",
+                f"Content-Length: {len(body_bytes)}",
                 "Connection: close"]
         head.extend(f"{name}: {value}" for name, value in headers.items())
         try:
             writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii"))
-            writer.write(body)
+            writer.write(body_bytes)
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
             pass  # client went away mid-response; nothing to serve
         finally:
             writer.close()
 
-    async def _respond(self, reader: asyncio.StreamReader
-                       ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+    async def _parse(self, reader: asyncio.StreamReader):
+        """Read one request; returns ``(method, path, body)`` or an
+        early-error ``(status, payload, headers)`` response triple."""
         self.tracer.count("service.http.requests")
         request_line = (await reader.readline()).decode(
             "latin-1", "replace").strip()
@@ -171,7 +198,38 @@ class ServiceServer:
             return 413, {"error": "bad or oversized Content-Length"}, {}
         body = (await reader.readexactly(content_length)
                 if content_length else b"")
-        return self._route(method, path.rstrip("/") or "/", body)
+        return method, path.rstrip("/") or "/", body
+
+    @staticmethod
+    def _events_path_job(method: str, path: str) -> Optional[str]:
+        """The job id of a ``GET /v1/jobs/{id}/events`` path, else None."""
+        if method != "GET" or not path.startswith("/v1/jobs/") \
+                or not path.endswith("/events"):
+            return None
+        job_id = path[len("/v1/jobs/"):-len("/events")]
+        return job_id if job_id and "/" not in job_id else None
+
+    async def _stream_events(self, job_id: str,
+                             writer: asyncio.StreamWriter) -> None:
+        """Serve one job's event stream as chunked JSON lines."""
+        head = ["HTTP/1.1 200 OK",
+                "Content-Type: application/x-ndjson",
+                "Transfer-Encoding: chunked",
+                "Cache-Control: no-store",
+                "Connection: close"]
+        try:
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii"))
+            async for event in self.manager.events(job_id):
+                line = (json.dumps(event, sort_keys=True) + "\n"
+                        ).encode("utf-8")
+                writer.write(b"%x\r\n" % len(line) + line + b"\r\n")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            self.tracer.count("service.stream.disconnected")
+        finally:
+            writer.close()
 
     def _route(self, method: str, path: str, body: bytes
                ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
@@ -183,15 +241,26 @@ class ServiceServer:
                                       for job in self.manager.jobs()]}, {}
             return 405, {"error": f"{method} not allowed on {path}"}, {}
         if path.startswith("/v1/jobs/"):
+            tail = path[len("/v1/jobs/"):]
+            if tail.endswith("/events"):
+                # The live-stream case was intercepted in _handle; what
+                # reaches here is an unknown job or a bad method.
+                job_id = tail[:-len("/events")]
+                if method != "GET":
+                    return 405, {"error": f"{method} not allowed on "
+                                          f"{path}"}, {}
+                self.tracer.count("service.http.errors")
+                return 404, {"error": f"unknown job {job_id!r}"}, {}
             if method != "GET":
                 return 405, {"error": f"{method} not allowed on {path}"}, {}
-            return self._get_job(path[len("/v1/jobs/"):])
+            return self._get_job(tail)
         if path == "/v1/metrics" and method == "GET":
             return 200, self._metrics(), {}
         if path == "/v1/healthz" and method == "GET":
             return 200, {"status": "ok",
                          "schema": SERVICE_SCHEMA_NAME,
                          "version": SERVICE_SCHEMA_VERSION,
+                         "lanes": self.manager.lanes,
                          "uptime_s": round(time.time() - self._started,
                                            3)}, {}
         self.tracer.count("service.http.errors")
@@ -235,7 +304,7 @@ class ServiceServer:
         counters = {name: self.tracer.counters[name]
                     for name in sorted(self.tracer.counters)}
         cache = self.core.cache.stats()
-        return {
+        data = {
             "schema": SERVICE_SCHEMA_NAME,
             "version": SERVICE_SCHEMA_VERSION,
             "uptime_s": round(time.time() - self._started, 3),
@@ -243,6 +312,9 @@ class ServiceServer:
             "cache": cache,
             "jobs": self.manager.stats(),
         }
+        if self.journal is not None:
+            data["journal"] = self.journal.stats()
+        return data
 
 
 async def run_server(server: ServiceServer,

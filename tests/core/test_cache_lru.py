@@ -1,0 +1,152 @@
+"""LRU semantics of the bounded evaluation cache, both tiers.
+
+Satellite coverage: eviction order is the get/put sequence (never hash
+order), a hit refreshes recency, the ``cache.evictions``/``hit_rate``
+counters stay truthful, and the persistent tier's journal replay
+respects the in-memory bound while keeping the journal append-only.
+"""
+
+import pytest
+
+from repro.core.checkpoint import (
+    PersistentEvaluationCache,
+    scan_journal,
+)
+from repro.core.explore import EvaluationCache
+from repro.obs import Tracer, use_tracer
+
+
+def fill(cache, *keys):
+    for key in keys:
+        cache.put(key, f"outcome-{key}")
+
+
+class TestEvictionOrder:
+    def test_insert_past_bound_evicts_least_recently_used(self):
+        cache = EvaluationCache(max_entries=3)
+        fill(cache, "a", "b", "c")
+        cache.put("d", "outcome-d")
+        assert len(cache) == 3
+        assert cache.get("a") is None, "oldest insert must go first"
+        assert cache.get("d") == "outcome-d"
+        assert cache.evictions == 1
+
+    def test_eviction_follows_insertion_order_exactly(self):
+        cache = EvaluationCache(max_entries=2)
+        fill(cache, "a", "b", "c", "d")
+        # a then b evicted, in that order
+        assert cache.evictions == 2
+        assert cache.get("a") is None and cache.get("b") is None
+        assert cache.get("c") is not None and cache.get("d") is not None
+
+    def test_get_refreshes_recency(self):
+        cache = EvaluationCache(max_entries=3)
+        fill(cache, "a", "b", "c")
+        assert cache.get("a") == "outcome-a"  # refresh: a is newest now
+        cache.put("d", "outcome-d")
+        assert cache.get("b") is None, "b was LRU after the refresh"
+        assert cache.get("a") == "outcome-a"
+
+    def test_rewriting_an_existing_key_never_evicts(self):
+        cache = EvaluationCache(max_entries=2)
+        fill(cache, "a", "b")
+        cache.put("a", "outcome-a2")
+        assert cache.evictions == 0
+        assert len(cache) == 2
+        assert cache.get("a") == "outcome-a2"
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = EvaluationCache()
+        fill(cache, *(f"k{i}" for i in range(100)))
+        assert len(cache) == 100 and cache.evictions == 0
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(max_entries=0)
+
+
+class TestCounters:
+    def test_hit_miss_and_hit_rate(self):
+        cache = EvaluationCache(max_entries=4)
+        assert cache.hit_rate == 0.0
+        fill(cache, "a", "b")
+        assert cache.get("a") is not None   # hit
+        assert cache.get("zz") is None      # miss
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+        stats = cache.stats()
+        assert stats == {"entries": 2, "hits": 1, "misses": 1,
+                         "evictions": 0, "hit_rate": 0.5}
+
+    def test_evictions_reach_the_tracer(self):
+        tracer = Tracer("cache")
+        cache = EvaluationCache(max_entries=1)
+        with use_tracer(tracer):
+            fill(cache, "a", "b", "c")
+        assert tracer.counters["cache.evictions"] == 2
+        assert cache.stats()["evictions"] == 2
+
+    def test_clear_resets_counters(self):
+        cache = EvaluationCache(max_entries=1)
+        fill(cache, "a", "b")
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0,
+                                 "evictions": 0, "hit_rate": 0.0}
+
+
+class TestPersistentTier:
+    def test_replay_respects_the_memory_bound(self, tmp_path):
+        path = str(tmp_path / "cache.journal")
+        with PersistentEvaluationCache(path) as cache:
+            fill(cache, "k1", "k2", "k3", "k4", "k5")
+        with PersistentEvaluationCache(path, max_entries=2) as cache:
+            assert cache.loaded == 5, "every record replays"
+            assert len(cache) == 2, "the bound trims the in-memory view"
+            # replay preserved journal (= insertion) order: newest stay
+            assert cache.get("k4") is not None
+            assert cache.get("k5") is not None
+            assert cache.get("k1") is None
+
+    def test_eviction_trims_memory_not_the_journal(self, tmp_path):
+        path = str(tmp_path / "cache.journal")
+        with PersistentEvaluationCache(path, max_entries=1) as cache:
+            fill(cache, "a", "b", "c")
+            assert len(cache) == 1 and cache.evictions == 2
+        audit = scan_journal(path)
+        assert audit["ok"] and audit["records"] == 3, \
+            "the journal keeps what the LRU dropped"
+
+    def test_evicted_key_is_journaled_again_and_newest_wins(self,
+                                                            tmp_path):
+        path = str(tmp_path / "cache.journal")
+        with PersistentEvaluationCache(path, max_entries=1) as cache:
+            cache.put("a", "gen-1")
+            cache.put("b", "outcome-b")   # evicts a from memory
+            cache.put("a", "gen-2")       # a is "new" again: re-journaled
+        assert scan_journal(path)["keys"].count("a") == 2
+        with PersistentEvaluationCache(path) as cache:
+            assert cache.get("a") == "gen-2", "replay keeps the newest"
+
+    def test_replayed_entries_count_as_hits(self, tmp_path):
+        path = str(tmp_path / "cache.journal")
+        with PersistentEvaluationCache(path) as cache:
+            fill(cache, "a", "b")
+        tracer = Tracer("cache")
+        with use_tracer(tracer):
+            with PersistentEvaluationCache(path) as cache:
+                assert cache.get("a") == "outcome-a"
+                assert cache.hits == 1 and cache.misses == 0
+                assert cache.hit_rate == 1.0
+        assert tracer.counters["explore.checkpoint.loaded"] == 2
+
+    def test_lru_refresh_applies_to_replayed_entries(self, tmp_path):
+        path = str(tmp_path / "cache.journal")
+        with PersistentEvaluationCache(path) as cache:
+            fill(cache, "a", "b", "c")
+        with PersistentEvaluationCache(path, max_entries=3) as cache:
+            cache.get("a")                 # refresh the oldest replay
+            cache.put("d", "outcome-d")    # evicts b, not a
+            assert cache.get("a") is not None
+            assert cache.get("b") is None

@@ -206,7 +206,7 @@ COUNTER_MODULES = ("core/explore.py", "core/checkpoint.py",
                    "core/partitioner.py", "core/pareto.py",
                    "scenarios/runner.py", "tech/model.py",
                    "service/core.py", "service/jobs.py",
-                   "service/server.py")
+                   "service/journal.py", "service/server.py")
 
 
 def test_observability_registry_covers_exploration_runtime_counters():
@@ -462,3 +462,36 @@ def test_service_backpressure_section_names_both_reasons():
 def test_service_documents_the_announce_line_format():
     # tests and the CI smoke job parse this exact stderr prefix
     assert "repro service listening on http://" in SERVICE
+
+
+def test_service_event_stream_section_names_every_kind():
+    from repro.service import EVENT_KINDS
+    section = _service_section("## Event streams", "## Durable jobs")
+    for kind in EVENT_KINDS:
+        assert f"`{kind}`" in section, (
+            f"SERVICE.md event-stream section lost the {kind!r} kind")
+    assert '"seq":' in section, "the seq-numbered example is gone"
+
+
+def test_service_durable_jobs_section_states_the_journal_contract():
+    from repro.core.checkpoint import JOURNAL_FILENAME
+    from repro.service import (
+        JOB_JOURNAL_FILENAME,
+        JOB_JOURNAL_MAGIC,
+        JOB_RECORD_KINDS,
+    )
+    section = _service_section("## Durable jobs", "## Admission")
+    assert JOB_JOURNAL_FILENAME in section
+    assert JOURNAL_FILENAME in section
+    assert JOB_JOURNAL_MAGIC.decode().strip() in section, (
+        "SERVICE.md no longer states the job-journal magic line")
+    for kind in JOB_RECORD_KINDS:
+        assert f"`{kind}`" in section, (
+            f"SERVICE.md durable-jobs section lost the {kind!r} record "
+            f"kind")
+
+
+def test_service_cli_reference_names_the_new_flags():
+    for flag in ("--lanes", "--retry-429", "--stream", "--poll"):
+        assert flag in SERVICE, (
+            f"SERVICE.md CLI reference lost the {flag} flag")

@@ -2,23 +2,18 @@
 
 Spawns real ``repro serve --checkpoint`` subprocesses: the first is
 killed with SIGKILL while a job is in flight (after the journal holds at
-least one record); the restarted server must replay the journal
-(``explore.checkpoint.loaded`` > 0 in ``/v1/metrics``), finish the
-resubmitted job, and serve the exact result an uninterrupted run
-produces.
+least one record); the restarted server must replay the evaluation
+journal (``explore.checkpoint.loaded`` > 0 in ``/v1/metrics``) **and**
+the job journal — the pre-kill job id must resolve by polling alone,
+serving the exact result an uninterrupted run produces.
 """
 
-import os
-import re
 import signal
 import subprocess
-import sys
 import time
-from pathlib import Path
 
 import pytest
 
-import repro
 from repro.core.checkpoint import scan_journal
 from repro.service import (
     PartitionRequest,
@@ -27,31 +22,7 @@ from repro.service import (
     build_request_payload,
 )
 
-ANNOUNCE_RE = re.compile(r"listening on http://127\.0\.0\.1:(\d+)")
-
-
-def spawn_server(tmp_path, checkpoint, log_name):
-    src_dir = Path(repro.__file__).resolve().parents[1]
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.pathsep.join(
-        p for p in (str(src_dir), env.get("PYTHONPATH")) if p)
-    log = tmp_path / log_name
-    proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--checkpoint", str(checkpoint)],
-        stdout=subprocess.DEVNULL, stderr=open(log, "w"), env=env)
-    deadline = time.monotonic() + 60
-    while time.monotonic() < deadline:
-        match = ANNOUNCE_RE.search(log.read_text()) \
-            if log.exists() else None
-        if match:
-            return proc, int(match.group(1))
-        if proc.poll() is not None:
-            pytest.fail(f"server died before announcing: "
-                        f"{log.read_text()}")
-        time.sleep(0.05)
-    proc.kill()
-    pytest.fail("server never announced its port")
+from tests.service.conftest import spawn_server
 
 
 @pytest.mark.slow
@@ -63,7 +34,8 @@ def test_killed_server_resumes_from_journal(tmp_path):
 
     checkpoint = tmp_path / "ckpt"
     journal = checkpoint / "cache.journal"
-    proc, port = spawn_server(tmp_path, checkpoint, "serve1.log")
+    proc, port = spawn_server(tmp_path, "serve1.log",
+                              checkpoint=checkpoint)
     try:
         client = ServiceClient(port=port, timeout_s=30)
         status, body, _ = client.submit(build_request_payload("ckey"))
@@ -87,7 +59,8 @@ def test_killed_server_resumes_from_journal(tmp_path):
     records_at_kill = scan_journal(str(journal))["records"]
     assert records_at_kill >= 1
 
-    proc, port = spawn_server(tmp_path, checkpoint, "serve2.log")
+    proc, port = spawn_server(tmp_path, "serve2.log",
+                              checkpoint=checkpoint)
     try:
         client = ServiceClient(port=port, timeout_s=30)
         metrics = client.metrics()
@@ -96,11 +69,13 @@ def test_killed_server_resumes_from_journal(tmp_path):
             "restart must replay the journaled evaluations"
         assert metrics["cache"]["entries"] >= records_at_kill
 
-        # jobs are not durable (by contract) -- resubmit; the journal
-        # makes the rerun cheap and the result identical
-        status, body, _ = client.submit(build_request_payload("ckey"))
-        assert status == 202
-        assert body["id"] == job_id, "digest-keyed ids survive restarts"
+        # jobs ARE durable: the pre-kill id must resolve by polling
+        # alone -- the job journal resurrects it (requeued if it was
+        # in flight at the kill; the evaluation journal makes the
+        # rerun cheap and the result identical)
+        status, _job = client.job(job_id)
+        assert status == 200, \
+            "restart must resurrect the pre-kill job from its journal"
         job = client.wait(job_id, timeout_s=120)
         assert job["state"] == "done"
         result = job["result"]

@@ -8,13 +8,22 @@ HTTP 429.
 """
 
 import json
+import random
 import socket
+import subprocess
 
 import pytest
 
 from repro.cli import main
 from repro.service import EXIT_REJECTED, ServiceUnreachable
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    BACKOFF_FACTOR,
+    BACKOFF_MAX_S,
+    JITTER_RANGE,
+    ServiceClient,
+)
+
+from tests.service.conftest import spawn_server
 
 
 def free_port():
@@ -110,9 +119,140 @@ class TestSubmitExitCodes:
         monkeypatch.setattr(ServiceClient, "submit", record)
         main(["submit", "ckey", "--scale", "2", "--optimize",
               "--tech", "cmos6-45nm", "--client", "ci"])
-        assert seen == {"schema": "repro-service", "version": 1,
+        assert seen == {"schema": "repro-service", "version": 2,
                         "app": "ckey", "scale": 2, "optimize": True,
                         "tech": "cmos6-45nm", "client": "ci"}
+
+
+class TestClientBackoff:
+    """Polite polling: exponential backoff, jitter, Retry-After."""
+
+    def test_wait_backs_off_exponentially_with_jitter(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.service.client.time.sleep",
+                            sleeps.append)
+        polls = 6
+        states = iter(["queued"] * polls + ["done"])
+        monkeypatch.setattr(
+            ServiceClient, "job",
+            lambda self, job_id: (200, {"state": next(states)}))
+        client = ServiceClient(rng=random.Random(7))
+        job = client.wait("j1", poll_s=0.2)
+        assert job["state"] == "done"
+        assert len(sleeps) == polls
+        # replay the same jitter draws to recover the raw intervals
+        expect = random.Random(7)
+        interval = 0.2
+        for observed in sleeps:
+            jitter = expect.uniform(*JITTER_RANGE)
+            assert observed == pytest.approx(interval * jitter)
+            interval = min(interval * BACKOFF_FACTOR, BACKOFF_MAX_S)
+        # intervals grew strictly until the cap
+        assert interval == BACKOFF_MAX_S or interval > sleeps[0]
+
+    def test_wait_interval_is_capped(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.service.client.time.sleep",
+                            sleeps.append)
+        states = iter(["queued"] * 8 + ["done"])
+        monkeypatch.setattr(
+            ServiceClient, "job",
+            lambda self, job_id: (200, {"state": next(states)}))
+        client = ServiceClient(rng=random.Random(1))
+        client.wait("j1", poll_s=4.0)
+        assert max(sleeps) <= BACKOFF_MAX_S
+        assert all(s > 0 for s in sleeps)
+
+    def test_submit_with_retry_honors_retry_after(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.service.client.time.sleep",
+                            sleeps.append)
+        responses = iter([
+            (429, {"reason": "queue"}, {"Retry-After": "2"}),
+            (429, {"reason": "queue", "retry_after_s": 3}, {}),
+            (202, {"id": "j1", "state": "queued"}, {}),
+        ])
+        monkeypatch.setattr(ServiceClient, "submit",
+                            lambda self, payload: next(responses))
+        client = ServiceClient(rng=random.Random(3))
+        status, data, _headers = client.submit_with_retry({}, retries=5)
+        assert status == 202 and data["id"] == "j1"
+        expect = random.Random(3)
+        # header hint first, body fallback second -- both jittered
+        assert sleeps[0] == pytest.approx(2 * expect.uniform(*JITTER_RANGE))
+        assert sleeps[1] == pytest.approx(3 * expect.uniform(*JITTER_RANGE))
+
+    def test_submit_with_retry_gives_up_after_retries(self, monkeypatch):
+        monkeypatch.setattr("repro.service.client.time.sleep",
+                            lambda s: None)
+        calls = []
+
+        def shed(self, payload):
+            calls.append(1)
+            return 429, {"reason": "queue", "retry_after_s": 1}, {}
+
+        monkeypatch.setattr(ServiceClient, "submit", shed)
+        client = ServiceClient(rng=random.Random(0))
+        status, _data, _headers = client.submit_with_retry({}, retries=2)
+        assert status == 429
+        assert len(calls) == 3  # the original try + 2 retries
+
+    def test_cli_retry_429_resubmits_then_succeeds(self, monkeypatch,
+                                                   capsys):
+        monkeypatch.setattr("repro.service.client.time.sleep",
+                            lambda s: None)
+        attempts = []
+
+        def flaky(self, payload):
+            attempts.append(1)
+            if len(attempts) < 3:
+                return 429, {"reason": "queue", "retry_after_s": 1}, \
+                    {"Retry-After": "1"}
+            return 202, descriptor(), {}
+
+        monkeypatch.setattr(ServiceClient, "submit", flaky)
+        monkeypatch.setattr(
+            ServiceClient, "wait",
+            lambda self, job_id, poll_s=0.2, timeout_s=None:
+            descriptor(state="done", finished_s=2.0,
+                       result={"summary": "the table",
+                               "verified": True}))
+        assert main(["submit", "ckey", "--retry-429", "5"]) == 0
+        assert len(attempts) == 3
+
+    def test_cli_without_retry_429_exits_4_immediately(self,
+                                                       monkeypatch):
+        calls = []
+
+        def shed(self, payload):
+            calls.append(1)
+            return 429, {"reason": "queue", "retry_after_s": 1}, \
+                {"Retry-After": "1"}
+
+        monkeypatch.setattr(ServiceClient, "submit", shed)
+        assert main(["submit", "ckey"]) == EXIT_REJECTED
+        assert len(calls) == 1
+
+
+class TestEphemeralPort:
+    """``repro serve --port 0``: the OS picks, the announce line tells."""
+
+    def test_port_zero_round_trip(self, tmp_path, capsys):
+        proc, port = spawn_server(tmp_path, "serve.log")
+        try:
+            assert port != 0
+            assert main(["submit", "ckey", "--port", str(port),
+                         "--wait-timeout", "120"]) == 0
+            captured = capsys.readouterr()
+            assert captured.out.strip(), "summary must reach stdout"
+            assert "done" in captured.err
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=30)
 
 
 class TestServeParser:

@@ -35,12 +35,17 @@ class StubCore:
         self.calls = []
         self.fail_on = set(fail_on)
 
-    def evaluate(self, request):
+    def evaluate(self, request, progress=None):
         self.calls.append(request)
         label = request.workload_label()
         if label in self.fail_on:
             raise RuntimeError(f"stub failure for {label}")
+        if progress is not None:
+            progress(1, 1)
         return StubResult({"app": label, "verified": True})
+
+    def spawn(self):
+        return self
 
     def close(self):
         pass
@@ -219,3 +224,93 @@ class TestExecution:
                                    "done": 0, "failed": 0}
         assert stats["max_queue"] == 4
         assert stats["retry_after_s"] >= 1
+        assert [lane["lane"] for lane in stats["lanes"]] == [0]
+
+
+# ---------------------------------------------------------------------------
+# Event streams
+# ---------------------------------------------------------------------------
+
+class TestEvents:
+    def test_lifecycle_events_arrive_in_order(self):
+        manager = JobManager(StubCore(), tracer=Tracer("jobs"))
+
+        async def scenario():
+            job, _ = manager.submit(request_for())
+            events = []
+            async for event in manager.events(job.id):
+                events.append(event)
+            await manager.close()
+            return job, events
+
+        async def run():
+            await manager.start()
+            return await scenario()
+
+        job, events = asyncio.run(run())
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "finished"
+        assert "started" in kinds
+        assert [event["seq"] for event in events] == list(range(len(events)))
+        assert all(event["id"] == job.id for event in events)
+
+    def test_stream_on_finished_job_replays_history(self):
+        manager = JobManager(StubCore())
+
+        async def scenario():
+            job, _ = manager.submit(request_for())
+            await drain_until_finished(manager, job)
+            events = []
+            async for event in manager.events(job.id):
+                events.append(event)
+            await manager.close()
+            return events
+
+        events = asyncio.run(scenario())
+        assert events[-1]["event"] == "finished"
+        assert events[-1]["state"] == "done"
+
+    def test_unknown_job_raises(self):
+        manager = JobManager(StubCore())
+
+        async def scenario():
+            async for _event in manager.events("jdeadbeef"):
+                pass
+
+        with pytest.raises(KeyError):
+            asyncio.run(scenario())
+
+    def test_eviction_never_drops_a_job_with_waiters(self):
+        # Regression: under a 1-entry finished-registry bound, a job
+        # with an attached event-stream subscriber must survive
+        # eviction even when it is the oldest finished job.
+        tracer = Tracer("jobs")
+        manager = JobManager(StubCore(), max_finished=1, tracer=tracer)
+
+        async def scenario():
+            first, _ = manager.submit(request_for(scale=1))
+            await drain_until_finished(manager, first)
+
+            stream = manager.events(first.id)
+            opening = await stream.__anext__()  # hold mid-iteration
+            assert opening["event"] == "queued"
+            assert first.subscribers == 1
+
+            second, _ = manager.submit(request_for(scale=2))
+            third, _ = manager.submit(request_for(scale=3))
+            await drain_until_finished(manager, second, third)
+
+            # The subscribed job is skipped; eviction trims the rest.
+            assert manager.get(first.id) is first
+            await stream.aclose()
+            assert first.subscribers == 0
+            await manager.close()
+            return second, third
+
+        second, third = asyncio.run(scenario())
+        # The subscribed job held the registry's only slot the whole
+        # time, so the unsubscribed finished jobs bore the evictions.
+        assert tracer.counters["service.jobs.evicted"] >= 2
+        assert manager.get(second.id) is None
+        assert manager.get(third.id) is None

@@ -39,7 +39,8 @@ class TestRouting:
         assert status == 200
         assert body["status"] == "ok"
         assert body["schema"] == "repro-service"
-        assert body["version"] == 1
+        assert body["version"] == 2
+        assert body["lanes"] == 1
 
     def test_unknown_route_is_404(self):
         server = ServiceServer(tracer=Tracer("srv"))
@@ -134,6 +135,25 @@ class TestRouting:
                                       "evictions", "hit_rate"}
         assert body["jobs"]["states"]["queued"] == 1
 
+    def test_events_route_unknown_job_is_404(self):
+        server = ServiceServer()
+        status, body, _ = route(server, "GET",
+                                "/v1/jobs/jdeadbeef/events")
+        assert status == 404
+        assert "jdeadbeef" in body["error"]
+
+    def test_events_route_wrong_method_is_405(self):
+        server = ServiceServer()
+        assert route(server, "POST", "/v1/jobs/j123/events")[0] == 405
+
+    def test_events_path_parser(self):
+        parse = ServiceServer._events_path_job
+        assert parse("GET", "/v1/jobs/j123/events") == "j123"
+        assert parse("POST", "/v1/jobs/j123/events") is None
+        assert parse("GET", "/v1/jobs//events") is None
+        assert parse("GET", "/v1/jobs/a/b/events") is None
+        assert parse("GET", "/v1/jobs/j123") is None
+
     def test_default_tech_flows_into_requests(self):
         server = ServiceServer(default_tech="cmos6-45nm")
         status, body, _ = route(server, "POST", "/v1/jobs",
@@ -223,6 +243,31 @@ class TestEndToEnd:
         assert again["state"] == "done"
         assert again["created"] is False
         assert again["result"] == job["result"]
+
+    def test_event_stream_reports_lifecycle_over_http(self):
+        """Streaming acceptance: the chunked event stream replays the
+        job's history and follows it live through ``finished``, with
+        sweep progress threaded up from the exploration engine."""
+        server = ServiceServer(tracer=Tracer("stream"))
+
+        def work(client):
+            status, body, _ = client.submit(build_request_payload("ckey"))
+            assert status == 202
+            events = list(client.events(body["id"]))
+            _status, job = client.job(body["id"])
+            return events, job
+
+        events, job = serve_and_call(server, work)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "finished"
+        assert "started" in kinds
+        assert [event["seq"] for event in events] \
+            == list(range(len(events)))
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress, "a real sweep must report progress"
+        assert all(0 <= e["done"] <= e["total"] for e in progress)
+        assert events[-1]["state"] == job["state"] == "done"
 
     def test_failed_evaluation_surfaces_as_failed_job(self):
         # An unpartitionable one-liner: compiles and runs, but the flow
