@@ -198,6 +198,33 @@ def _bench_profiler(ctx: BenchContext):
     return run_once
 
 
+def _bench_cache_batch(ctx: BenchContext):
+    """Batched trace-replay kernel (``engine="batch"``) on the digs
+    trace: trace events/sec.  The micro.profiler.replay entry measures
+    the profiler's default path; this one pins the batched kernel
+    directly so a fallback regression (e.g. numpy silently absent)
+    shows up even if the default path is rerouted."""
+    from repro.mem.cache_batch import replay_batch
+    from repro.mem.trace import MemoryTrace
+    from repro.power.system import default_cache_configs
+
+    trace = ctx.memory_trace("digs")
+    if ctx.quick and len(trace) > 60_000:
+        trace = MemoryTrace(events=trace.events[:60_000])
+    icfg, dcfg = default_cache_configs()
+
+    def run_once():
+        start = time.perf_counter()
+        icache, dcache = replay_batch(trace, icfg, dcfg)
+        elapsed = time.perf_counter() - start
+        return len(trace) / elapsed, {
+            "events": len(trace),
+            "i_hit_rate": icache.hit_rate,
+            "d_hit_rate": dcache.hit_rate}
+
+    return run_once
+
+
 def _bench_gatesim(ctx: BenchContext):
     """Gate-level switching-energy estimation: evaluations/sec of the
     winning digs core (netlist x binding x profile)."""
@@ -309,6 +336,11 @@ def _specs() -> List[BenchSpec]:
                   "footnote-4 cache adaptation replays one trace through "
                   "many geometries; throughput bounds the sweep width",
                   _bench_profiler, disable_gc=True),
+        BenchSpec("micro.cache_batch", "ops/s", True,
+                  "the chunked kernel behind profiler engine=batch; "
+                  "pinned directly so a silent fallback (no numpy) "
+                  "reads as a regression here, not a mystery elsewhere",
+                  _bench_cache_batch, disable_gc=True),
         BenchSpec("micro.gatesim", "ops/s", True,
                   "Fig. 1 line 15 re-estimates gate-level energy per "
                   "synthesized candidate",

@@ -21,6 +21,13 @@ Commands
     checkpoint (after the ``explore.checkpoint`` consistency audit)
     into an identical decision; ``--inject-fault KIND@SEQ`` scripts
     deliberate worker faults to exercise the recovery paths.
+``cachesweep APP``
+    Capture the application's memory-reference trace once and replay it
+    across the cache-geometry search space (the paper's footnote-4
+    memory-system adaptation), ranking geometries by memory-system
+    energy.  ``--engine {auto,batch,reference}`` selects the batched
+    kernel (default) or the scalar reference loop — bit-identical
+    results either way.
 ``clusters APP``
     Show the cluster decomposition, pre-selection and per-cluster
     bus-transfer estimates (paper Figs. 2/3).
@@ -108,7 +115,7 @@ from repro.core import (
 )
 from repro.isa.image import link_program
 from repro.lang import Interpreter
-from repro.obs import NullTracer, Tracer
+from repro.obs import NullTracer, Tracer, use_tracer
 from repro.power.report import format_savings, format_table1
 from repro.tech import cmos6_library
 from repro.verify import VerificationReport
@@ -225,6 +232,28 @@ def _build_parser() -> argparse.ArgumentParser:
                               "timeout/retry/rebuild recovery paths")
     add_explore_options(explore)
     add_tech_option(explore)
+
+    cachesweep = sub.add_parser(
+        "cachesweep",
+        help="capture one application's memory trace and replay it "
+             "across the cache-geometry space (paper footnote 4), "
+             "ranking geometries by memory-system energy")
+    cachesweep.add_argument("app", choices=list(ALL_APPS))
+    cachesweep.add_argument("--scale", type=int, default=1,
+                            help="workload scale factor (default 1)")
+    cachesweep.add_argument("--engine",
+                            choices=("auto", "batch", "reference"),
+                            default="auto",
+                            help="replay kernel: auto/batch = the chunked "
+                                 "batched kernel (numpy-vectorized when "
+                                 "available), reference = the scalar "
+                                 "per-event loop; results are "
+                                 "bit-identical (default auto)")
+    cachesweep.add_argument("--top", type=positive_int, default=10,
+                            help="geometries to print (default 10)")
+    cachesweep.add_argument("--trace", default=None, metavar="FILE",
+                            help="write a timing/counter trace JSON to FILE")
+    add_tech_option(cachesweep)
 
     pareto = sub.add_parser(
         "pareto",
@@ -634,6 +663,48 @@ def _cmd_explore(args) -> int:
     return 0 if decision.best is not None else 1
 
 
+def _cmd_cachesweep(args) -> int:
+    from repro.mem.explore import explore_cache_profiles
+    from repro.power.system import evaluate_initial
+
+    app = app_by_name(args.app, scale=args.scale)
+    if not app.model_caches:
+        print(f"{args.app} models no memory system (model_caches=False); "
+              f"there is no trace to sweep", file=sys.stderr)
+        return 1
+    library = _resolve_library(args)
+    tracer = _make_tracer(args, f"cachesweep {args.app}")
+    with use_tracer(tracer), tracer.span("cachesweep"):
+        program = app.compile()
+        image = link_program(program)
+        run = evaluate_initial(image, library, args=app.args,
+                               globals_init=app.globals_init,
+                               icache_cfg=app.icache, dcache_cfg=app.dcache,
+                               collect_trace=True)
+        trace = run.stats.trace
+        fetches, reads, writes = trace.counts()
+        profiles = explore_cache_profiles(trace, engine=args.engine)
+    ranked = sorted(
+        profiles,
+        key=lambda p: p.cache_energy_nj(library) + p.memory_energy_nj(library))
+    print(f"{args.app}: {len(trace)} trace events "
+          f"({fetches} ifetch / {reads} read / {writes} write), "
+          f"{len(profiles)} geometries, engine={args.engine}")
+    print(f"{'geometry':20s} {'i-hit':>7s} {'d-hit':>7s} "
+          f"{'stalls':>10s} {'mem E (nJ)':>12s}")
+    for profile in ranked[:args.top]:
+        icfg, dcfg = profile.icache_cfg, profile.dcache_cfg
+        label = (f"i{icfg.size_bytes}/{icfg.associativity}w+"
+                 f"d{dcfg.size_bytes}/{dcfg.associativity}w")
+        energy = (profile.cache_energy_nj(library)
+                  + profile.memory_energy_nj(library))
+        print(f"{label:20s} {profile.icache.hit_rate:7.4f} "
+              f"{profile.dcache.hit_rate:7.4f} "
+              f"{profile.stall_cycles:>10d} {energy:>12.1f}")
+    _finish_trace(args, tracer)
+    return 0
+
+
 def _cmd_pareto(args) -> int:
     from repro.scenarios import (
         SCENARIOS,
@@ -941,6 +1012,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "table1": _cmd_table1,
     "explore": _cmd_explore,
+    "cachesweep": _cmd_cachesweep,
     "pareto": _cmd_pareto,
     "clusters": _cmd_clusters,
     "disasm": _cmd_disasm,

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import pickle
 import threading
 import time
 import warnings
@@ -368,13 +369,17 @@ def _worker_evaluate_pair(payload: AppPayload, library: TechnologyLibrary,
                           seq: int = 0,
                           attempt: int = 0,
                           verify: bool = False,
-                          fault_plan: Optional[FaultPlan] = None):
+                          fault_plan: Optional[FaultPlan] = None,
+                          shm_threshold: Optional[int] = None):
     """Evaluate one (cluster name, resource-set index) pair in a worker.
 
     Returns ``(pair, outcome, counters, seconds, audit)`` where outcome
     is a :class:`CandidateEvaluation` or a rejection string, and audit is
     the worker-side :class:`~repro.verify.VerificationReport` (``None``
-    when ``verify`` is off or the pair was rejected).
+    when ``verify`` is off or the pair was rejected).  With
+    ``shm_threshold`` set, a result pickling to at least that many bytes
+    comes back as a :class:`_ShmResult` shared-memory ticket instead
+    (the engine unpacks it in :meth:`ExplorationEngine._absorb`).
 
     ``seq`` is the engine's deterministic dispatch sequence number and
     ``attempt`` the zero-based retry count; an injected ``fault_plan``
@@ -401,22 +406,24 @@ def _worker_evaluate_pair(payload: AppPayload, library: TechnologyLibrary,
         if verify and not isinstance(outcome, str):
             from repro.verify import verify_candidate
             audit = verify_candidate(outcome, library)
-    return (pair, outcome, tracer.counters,
-            time.perf_counter() - started, audit)
+    return _pack_result((pair, outcome, tracer.counters,
+                         time.perf_counter() - started, audit),
+                        shm_threshold)
 
 
 def _worker_run_flow(library: TechnologyLibrary,
                      config: Optional[PartitionConfig],
                      payload: AppPayload,
-                     verify: bool = False):
+                     verify: bool = False,
+                     shm_threshold: Optional[int] = None):
     """Run one application's complete flow in a worker process."""
     started = time.perf_counter()
     tracer = Tracer()
     with use_tracer(tracer):
         flow = LowPowerFlow(library=library, config=config, verify=verify)
         result = flow.run(payload.to_app())
-    return payload.name, result, tracer.counters, \
-        time.perf_counter() - started
+    return _pack_result((payload.name, result, tracer.counters,
+                         time.perf_counter() - started), shm_threshold)
 
 
 def _pool_context():
@@ -426,6 +433,89 @@ def _pool_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy result transport (shared memory)
+# ---------------------------------------------------------------------------
+
+#: Results whose pickle is at least this large ride back to the parent in
+#: a shared-memory segment instead of the executor's result pipe; smaller
+#: ones aren't worth a segment round-trip.  Candidate evaluations with
+#: schedules/traces routinely pickle to hundreds of KiB, and the pipe
+#: both copies the bytes twice (write + read) and chunks them through a
+#: small kernel buffer under the executor's management-thread lock.
+SHM_MIN_RESULT_BYTES = 64 * 1024
+
+
+class _ShmResult:
+    """Ticket for a worker result parked in a shared-memory segment.
+
+    Only this tiny handle crosses the executor pipe; the parent attaches
+    to ``name``, unpickles ``size`` bytes straight out of the mapping
+    (no intermediate copy), then unlinks the segment.
+    """
+
+    __slots__ = ("name", "size")
+
+    def __init__(self, name: str, size: int) -> None:
+        self.name = name
+        self.size = size
+
+
+def _pack_result(result, threshold: Optional[int]):
+    """Worker-side: move a large result into a shared-memory segment.
+
+    Falls back to returning ``result`` unchanged (plain pipe transport)
+    when the transport is disabled, the pickle is small, or the segment
+    cannot be created — the transport is an optimisation, never a new
+    failure mode.
+    """
+    if threshold is None:
+        return result
+    data = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) < threshold:
+        return result
+    try:
+        from multiprocessing import shared_memory
+        segment = shared_memory.SharedMemory(create=True, size=len(data))
+    except Exception:  # pragma: no cover - /dev/shm exhausted/absent
+        return result
+    segment.buf[:len(data)] = data
+    name = segment.name
+    registered = getattr(segment, "_name", name)
+    segment.close()
+    # Ownership passes to the parent (which unlinks after reading), so
+    # the worker's resource tracker must forget the segment or it would
+    # unlink it out from under the parent when the worker exits
+    # (bpo-39959).
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(registered, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variants
+        pass
+    return _ShmResult(name, len(data))
+
+
+def _unpack_result(result, tracer):
+    """Parent-side: redeem a :class:`_ShmResult` ticket, if one arrived."""
+    if not isinstance(result, _ShmResult):
+        return result
+    from multiprocessing import shared_memory
+    segment = shared_memory.SharedMemory(name=result.name)
+    try:
+        # pickle.loads accepts the memoryview directly: the result is
+        # deserialized straight out of the shared mapping, zero-copy.
+        payload = pickle.loads(segment.buf[:result.size])
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink race
+            pass
+    tracer.count("explore.shm.results")
+    tracer.count("explore.shm.bytes", result.size)
+    return payload
 
 
 # ---------------------------------------------------------------------------
@@ -492,6 +582,13 @@ class ExplorationEngine:
         fault_plan: deterministic worker-fault script
             (:class:`~repro.core.faults.FaultPlan`) for testing the
             recovery paths; production sweeps leave it ``None``.
+        result_transport: how worker results travel back to the engine.
+            ``"auto"`` (default) parks results pickling to at least
+            :data:`SHM_MIN_RESULT_BYTES` in a shared-memory segment and
+            sends only a tiny ticket through the executor pipe —
+            zero-copy on the read side (``explore.shm.*`` counters);
+            ``"pipe"`` forces plain pickled-over-the-pipe transport.
+            Either way the bytes, results, and decisions are identical.
 
     The engine keeps its worker pool alive across sweeps — use it as a
     context manager or call :meth:`close` to reap the workers.  A pool
@@ -509,9 +606,13 @@ class ExplorationEngine:
                  retries: int = 2,
                  backoff_s: float = 0.05,
                  max_pool_rebuilds: int = 3,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 result_transport: str = "auto") -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if result_transport not in ("auto", "pipe"):
+            raise ValueError(f"unknown result_transport "
+                             f"{result_transport!r} (expected auto or pipe)")
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         if retries < 0:
@@ -530,6 +631,11 @@ class ExplorationEngine:
         self.backoff_s = backoff_s
         self.max_pool_rebuilds = max_pool_rebuilds
         self.fault_plan = fault_plan
+        #: Pickled-size floor for shared-memory result transport; None
+        #: disables it (``result_transport="pipe"``).  Tests lower this
+        #: to force small results through the shared-memory path.
+        self._shm_threshold: Optional[int] = (
+            SHM_MIN_RESULT_BYTES if result_transport == "auto" else None)
         #: Accumulated candidate-audit findings (``verify=True`` only).
         self.verification = None
         if verify:
@@ -748,6 +854,7 @@ class ExplorationEngine:
                 outcomes, rejected) -> None:
         """Fold one successful worker result into the sweep state."""
         tracer = self.tracer
+        result = _unpack_result(result, tracer)
         _pair, outcome, counters, seconds, audit = result
         outcomes[task.index] = outcome
         self._notify_progress(1)
@@ -818,7 +925,8 @@ class ExplorationEngine:
             self._dispatch_seq += 1
         func = partial(_worker_evaluate_pair, payload, partitioner.library,
                        config, tuple(sorted(hw_clusters)), verify=self.verify,
-                       fault_plan=self.fault_plan)
+                       fault_plan=self.fault_plan,
+                       shm_threshold=self._shm_threshold)
         rebuilds = 0
         degraded: List[_ParallelTask] = []
         with tracer.span("explore.evaluate.parallel"):
@@ -945,11 +1053,13 @@ class ExplorationEngine:
         with use_tracer(tracer), tracer.span("explore.flows.parallel"):
             futures = [
                 pool.submit(_worker_run_flow, self.library,
-                            configs[payload.name], payload, self.verify)
+                            configs[payload.name], payload, self.verify,
+                            self._shm_threshold)
                 for payload in payloads]
             try:
                 for future in futures:
-                    name, result, counters, seconds = future.result()
+                    name, result, counters, seconds = _unpack_result(
+                        future.result(), tracer)
                     results[name] = result
                     tracer.merge_counters(counters)
                     tracer.record("flow.run", seconds)
@@ -962,7 +1072,8 @@ class ExplorationEngine:
                     if payload.name in results:
                         continue
                     if self._settled_ok(future):
-                        name, result, counters, seconds = future.result()
+                        name, result, counters, seconds = _unpack_result(
+                            future.result(), tracer)
                         results[name] = result
                         tracer.merge_counters(counters)
                         tracer.record("flow.run", seconds)

@@ -30,9 +30,10 @@ approximately:
   the same sequence of ``extra_nj[pc] += constant`` additions, never
   algebraically combined, so IEEE-754 rounding is identical;
 * straight-line fetches that share an icache line are batched through
-  :meth:`repro.mem.cache.Cache.record_read_hits`, which is provably
-  equivalent (the first access of the run makes the line MRU; the
-  remaining accesses of the same block iteration can only hit way 0);
+  :meth:`repro.mem.cache.Cache.fetch_run` — one call per same-line run
+  instead of one per instruction — which is provably equivalent (the
+  first access of the run makes the line MRU; the remaining accesses of
+  the same block iteration can only hit way 0);
 * memory-trace events are recorded in the reference event order, with
   runs of static fetch events pre-built as constant tuples
   (:meth:`repro.mem.trace.MemoryTrace.record_batch` semantics).
@@ -214,8 +215,10 @@ def compile_program(sim) -> CompiledProgram:
         emit(3, f'raise SimError("fuel exhausted after {fuel} instructions")')
 
         if not hw and icache is not None:
-            # Fetch the block's icache lines; consecutive fetches that
-            # share a line after the first are guaranteed MRU hits.
+            # Fetch the block's icache lines: each same-line run of
+            # consecutive fetches collapses into a single fetch_run call
+            # (the batch fetch hand-off — one access plus run-1
+            # guaranteed MRU hits; see Cache.fetch_run).
             p = start
             while p < end:
                 address = CODE_BASE + p * WORD_BYTES
@@ -224,15 +227,13 @@ def compile_program(sim) -> CompiledProgram:
                 while (q < end
                        and (CODE_BASE + q * WORD_BYTES) >> i_shift == line):
                     q += 1
-                emit(2, f"if not ic({address}):")
+                emit(2, f"if not icf({address}, {q - p}):")
                 emit(3, f"extra_cycles[{p}] += {i_pen}")
                 emit(3, f"extra_nj[{p}] += {i_nj}")
                 if memory_model is not None:
                     emit(3, f"mm_refill({i_words})")
                 if bus is not None:
                     emit(3, f"bus_read({i_words})")
-                if q - p > 1:
-                    emit(2, f"icb({q - p - 1})")
                 p = q
 
         pending: List[int] = []
@@ -371,7 +372,7 @@ def compile_program(sim) -> CompiledProgram:
 
     lines = [
         "def _build(counts, extra_cycles, extra_nj, bx, st, memory,",
-        "           SimError, ic, icb, dc, mm_refill, mm_write,",
+        "           SimError, icf, dc, mm_refill, mm_write,",
         "           bus_read, bus_write, t_ext, t_ap, IF, RD, WR):",
     ]
     lines.extend("    " + const for const in consts)
@@ -394,8 +395,7 @@ def compile_program(sim) -> CompiledProgram:
     from repro.mem.trace import Access
     funcs = namespace["_build"](
         counts, extra_cycles, extra_nj, bx, st, sim.memory, SimError,
-        icache.access if icache is not None else None,
-        icache.record_read_hits if icache is not None else None,
+        icache.fetch_run if icache is not None else None,
         dcache.access if dcache is not None else None,
         memory_model.refill if memory_model is not None else None,
         memory_model.write_word if memory_model is not None else None,

@@ -63,6 +63,15 @@ class CacheConfig:
         num_sets = self.size_bytes // (self.line_bytes * self.associativity)
         if num_sets & (num_sets - 1):
             raise ValueError(f"number of sets ({num_sets}) must be a power of two")
+        if self.address_bits <= self.index_bits + self.offset_bits:
+            # An address must split into index + offset + at least one tag
+            # bit; a clamp here would silently undercount tag energy.
+            raise ValueError(
+                f"address_bits={self.address_bits} cannot address this "
+                f"geometry: {num_sets} sets x {self.line_bytes}B lines need "
+                f"{self.index_bits} index + {self.offset_bits} offset bits "
+                f"plus at least 1 tag bit (widen address_bits or shrink the "
+                f"cache)")
 
     @property
     def num_sets(self) -> int:
@@ -82,7 +91,8 @@ class CacheConfig:
 
     @property
     def tag_bits(self) -> int:
-        return max(1, self.address_bits - self.index_bits - self.offset_bits)
+        # __post_init__ guarantees this is >= 1; no clamping.
+        return self.address_bits - self.index_bits - self.offset_bits
 
 
 @dataclass(frozen=True)
@@ -217,9 +227,39 @@ class Cache:
         and leave the LRU order untouched — exactly what this does.  The
         compiled ISS engine (:mod:`repro.isa.simcompile`) uses this to
         batch the fetches of straight-line code that sits on one line.
+
+        ``count`` must be a non-negative int: a negative or bogus count
+        would silently corrupt the independently-counted
+        ``hits + misses == accesses`` invariant that :mod:`repro.verify`
+        audits (``mem.cache_accounting``).
         """
+        if not isinstance(count, int) or count < 0:
+            raise ValueError(
+                f"record_read_hits count must be a non-negative int, "
+                f"got {count!r}")
         self.reads += count
         self.read_hits += count
+
+    def fetch_run(self, address: int, count: int) -> bool:
+        """One :meth:`access` plus ``count - 1`` guaranteed same-line hits.
+
+        The batch fetch hand-off for straight-line code: ``count``
+        consecutive fetches that all land on the line of ``address``
+        collapse into a single call.  Whether the first fetch hits or
+        misses, it leaves the line resident in the MRU way, so the
+        remaining ``count - 1`` fetches are guaranteed read hits with no
+        LRU movement — exactly ``count`` scalar :meth:`access` calls.
+        Returns the hit/miss outcome of the *first* fetch.
+        """
+        if not isinstance(count, int) or count < 1:
+            raise ValueError(
+                f"fetch_run count must be a positive int, got {count!r}")
+        hit = self.access(address)
+        if count > 1:
+            extra = count - 1
+            self.reads += extra
+            self.read_hits += extra
+        return hit
 
     def snapshot(self) -> CacheStats:
         """Freeze the current counters into a :class:`CacheStats`."""

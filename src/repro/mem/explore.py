@@ -85,6 +85,25 @@ def explore_cache_configs(
     return points
 
 
+def explore_cache_profiles(trace, space=None, engine: str = "auto"):
+    """Trace-driven sweep: replay one captured trace across ``space``.
+
+    The cheap flavour of the footnote-4 study: instead of re-running the
+    full system evaluation per geometry (:func:`explore_cache_configs`),
+    replay an already-captured :class:`~repro.mem.trace.MemoryTrace`
+    through every (i-cache, d-cache) pair with the profiler — by default
+    on the batched kernel (``engine="auto"``; see
+    :mod:`repro.mem.profiler`).  Returns one
+    :class:`~repro.mem.profiler.CacheProfile` per pair, in ``space``
+    order.
+    """
+    from repro.mem.profiler import profile_configs
+
+    if space is None:
+        space = default_search_space()
+    return profile_configs(trace, space, engine=engine)
+
+
 def best_point(points: Sequence[CacheDesignPoint]) -> CacheDesignPoint:
     """The geometry minimizing total system energy."""
     if not points:

@@ -8,6 +8,21 @@ simulator per geometry.
 
 The profiler reproduces the simulator's policy exactly (LRU,
 write-through, no-write-allocate); equivalence is asserted by tests.
+
+Engines
+-------
+Mirroring the ISS's compiled/reference split, :func:`replay` takes an
+``engine`` selector:
+
+* ``"auto"`` (default) and ``"batch"`` run the chunked kernel of
+  :mod:`repro.mem.cache_batch` (numpy-vectorized when numpy is
+  importable, pure-Python chunked fallback otherwise);
+* ``"reference"`` runs the original one-:meth:`Cache.access`-per-event
+  loop.
+
+Both produce bit-identical :class:`CacheProfile` results — counters,
+final tag state, stalls, and memory traffic
+(``tests/mem/test_cache_batch.py`` pins this differentially).
 """
 
 from __future__ import annotations
@@ -18,6 +33,9 @@ from typing import List, Sequence, Tuple
 from repro.mem.cache import Cache, CacheConfig
 from repro.mem.cache_energy import CacheEnergyModel
 from repro.mem.trace import Access, MemoryTrace
+
+#: Valid values for the ``engine=`` selector, mirroring the ISS pattern.
+MEM_ENGINES = ("auto", "batch", "reference")
 
 
 @dataclass
@@ -46,8 +64,31 @@ class CacheProfile:
 
 def replay(trace: MemoryTrace,
            icache_cfg: CacheConfig,
-           dcache_cfg: CacheConfig) -> CacheProfile:
-    """Replay ``trace`` against one geometry pair."""
+           dcache_cfg: CacheConfig,
+           engine: str = "auto") -> CacheProfile:
+    """Replay ``trace`` against one geometry pair.
+
+    ``engine``: ``"auto"``/``"batch"`` use the chunked batched kernel,
+    ``"reference"`` the scalar per-event loop (see module docstring).
+    """
+    if engine not in MEM_ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (expected one of "
+                         f"{', '.join(MEM_ENGINES)})")
+    if engine != "reference":
+        from repro.mem.cache_batch import replay_batch
+        icache, dcache = replay_batch(trace, icache_cfg, dcache_cfg)
+        # Stall cycles and memory traffic are pure functions of the
+        # counters: every read miss stalls for miss_penalty and refills
+        # line_words words; every write goes through to memory.
+        stall = (icache.read_misses * icache_cfg.miss_penalty
+                 + dcache.read_misses * dcache_cfg.miss_penalty)
+        mem_reads = (icache.read_misses * icache_cfg.line_words
+                     + dcache.read_misses * dcache_cfg.line_words)
+        return CacheProfile(icache_cfg=icache_cfg, dcache_cfg=dcache_cfg,
+                            icache=icache, dcache=dcache,
+                            stall_cycles=stall,
+                            memory_word_reads=mem_reads,
+                            memory_word_writes=dcache.writes)
     icache = Cache(icache_cfg, "icache")
     dcache = Cache(dcache_cfg, "dcache")
     stall = 0
@@ -73,9 +114,9 @@ def replay(trace: MemoryTrace,
 
 def profile_configs(trace: MemoryTrace,
                     space: Sequence[Tuple[CacheConfig, CacheConfig]],
-                    ) -> List[CacheProfile]:
+                    engine: str = "auto") -> List[CacheProfile]:
     """Replay one trace against every geometry pair in ``space``."""
-    return [replay(trace, icfg, dcfg) for icfg, dcfg in space]
+    return [replay(trace, icfg, dcfg, engine=engine) for icfg, dcfg in space]
 
 
 def best_profile(profiles: Sequence[CacheProfile], library,

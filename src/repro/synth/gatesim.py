@@ -25,7 +25,6 @@ the (netlist, binding, library) inputs — see :func:`_evaluator_digest`.
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -124,44 +123,49 @@ class GateEnergyEvaluator:
 
 
 def _evaluator_digest(netlist: Netlist, binding: BindingResult,
-                      library: TechnologyLibrary) -> str:
-    """Content digest over every input the evaluator actually consumes.
+                      library: TechnologyLibrary) -> tuple:
+    """Content key over every input the evaluator actually consumes.
 
     Netlist and BindingResult are mutable dataclasses, so caching by
     object identity is unsound: a candidate sweep that mutates a netlist
     in place (or a recycled object id) would silently return energies
-    priced against stale gate counts.  Hashing the consumed content —
+    priced against stale gate counts.  Keying on the consumed content —
     component gate counts, block makespans in schedule order, every
     instance's busy intervals, and the library's energy constants —
-    makes the cache exact: equal digest implies bit-identical evaluator
+    makes the cache exact: equal key implies bit-identical evaluator
     output.
+
+    The key is a nested tuple rather than a cryptographic digest: it is
+    rebuilt on **every** ``estimate_gate_energy`` call (that is what
+    catches in-place mutation), so its cost is the cache's entire hit
+    path.  Interval spans are already tuples, so the whole key is
+    C-speed ``tuple()`` packing — an order of magnitude cheaper than
+    formatting and hashing the same content through SHA-256.  Span and
+    block order are deliberately *not* canonicalized: a same-content
+    reordering at worst misses the cache and rebuilds an identical
+    evaluator, never aliases a wrong one.
     """
-    hasher = hashlib.sha256()
-    write = hasher.update
-    for comp in netlist.components:
-        write(f"c|{comp.name}|{comp.combinational_gates}"
-              f"|{comp.sequential_gates}\n".encode())
-    # Iteration order matters: it defines the evaluator's schedule order.
-    for block, makespan in binding.block_makespans.items():
-        write(f"m|{block}|{makespan}\n".encode())
-    for inst in binding.instances:
-        write(f"i|{inst.kind.value}|{inst.index}\n".encode())
-        for block in sorted(inst.intervals):
-            spans = ",".join(f"{s}:{e}"
-                             for s, e in sorted(inst.intervals[block]))
-            write(f"s|{block}|{spans}\n".encode())
-    write(f"L|{library.gate_switch_energy_pj!r}"
-          f"|{library.active_activity!r}|{library.idle_activity!r}"
-          f"|{library.asic_idle_factor!r}"
-          f"|{library.gate_leakage_pj!r}\n".encode())
-    return hasher.hexdigest()
+    return (
+        tuple([(comp.name, comp.combinational_gates,
+                comp.sequential_gates) for comp in netlist.components]),
+        # Iteration order matters: it defines the evaluator's schedule
+        # order.
+        tuple(binding.block_makespans.items()),
+        tuple([(inst.kind.value, inst.index,
+                tuple([(block, tuple(spans))
+                       for block, spans in inst.intervals.items()]))
+               for inst in binding.instances]),
+        (library.gate_switch_energy_pj, library.active_activity,
+         library.idle_activity, library.asic_idle_factor,
+         library.gate_leakage_pj),
+    )
 
 
 #: content digest -> evaluator, LRU-bounded.  Keying on content (not
 #: object identity) means a mutated-but-same-id netlist or binding can
 #: never alias a stale entry; the bound keeps long exploration sweeps
 #: from accumulating evaluators for every candidate ever priced.
-_EVALUATOR_CACHE: "OrderedDict[str, GateEnergyEvaluator]" = OrderedDict()
+_EVALUATOR_CACHE: "OrderedDict[tuple, GateEnergyEvaluator]" = OrderedDict()
 _EVALUATOR_CACHE_MAX = 128
 
 

@@ -239,9 +239,9 @@ def fake_spec(name, values, unit="ops/s", higher_is_better=True):
 class TestSuiteAndReports:
     def test_pinned_suite_names(self):
         names = [s.name for s in iter_specs()]
-        assert names[:6] == [
+        assert names[:7] == [
             "micro.iss", "micro.iss.reference", "micro.cache",
-            "micro.profiler.replay", "micro.gatesim",
+            "micro.profiler.replay", "micro.cache_batch", "micro.gatesim",
             "micro.checkpoint.journal"]
         from repro.apps import ALL_APPS
         for app in ALL_APPS:

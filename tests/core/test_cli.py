@@ -67,3 +67,35 @@ def test_unknown_command_rejected():
 def test_no_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cachesweep_ranks_geometries(capsys):
+    assert main(["cachesweep", "digs", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "trace events" in out
+    assert "engine=auto" in out
+    assert "mem E (nJ)" in out
+    # 3 geometry rows below the two header lines
+    assert sum(1 for line in out.splitlines() if line.startswith("i")) == 3
+
+
+def test_cachesweep_engines_print_identical_rankings(capsys):
+    assert main(["cachesweep", "digs", "--engine", "batch"]) == 0
+    batch_out = capsys.readouterr().out
+    assert main(["cachesweep", "digs", "--engine", "reference"]) == 0
+    reference_out = capsys.readouterr().out
+    strip = lambda text: [line for line in text.splitlines()
+                          if not line.startswith(("digs", "geometry"))]
+    assert strip(batch_out) == strip(reference_out)
+
+
+def test_cachesweep_without_memory_system_fails_cleanly(capsys):
+    # ckey models no caches (model_caches=False): no trace to sweep.
+    assert main(["cachesweep", "ckey"]) == 1
+    err = capsys.readouterr().err
+    assert "model_caches" in err
+
+
+def test_cachesweep_rejects_bad_engine():
+    with pytest.raises(SystemExit):
+        main(["cachesweep", "ckey", "--engine", "warp"])

@@ -58,7 +58,8 @@ _LETHAL_MARKER = None
 from repro.core.explore import _worker_run_flow as _REAL_RUN_FLOW  # noqa: E402
 
 
-def _lethal_run_flow(library, config, payload, verify=False):
+def _lethal_run_flow(library, config, payload, verify=False,
+                     shm_threshold=None):
     if payload.name == "trick" and _LETHAL_MARKER:
         try:
             fd = os.open(_LETHAL_MARKER,
@@ -67,7 +68,7 @@ def _lethal_run_flow(library, config, payload, verify=False):
             os._exit(11)
         except FileExistsError:
             pass
-    return _REAL_RUN_FLOW(library, config, payload, verify)
+    return _REAL_RUN_FLOW(library, config, payload, verify, shm_threshold)
 
 
 def _decision_fp(decision):

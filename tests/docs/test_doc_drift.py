@@ -204,6 +204,7 @@ COUNT_CALL_RE = re.compile(r"""count\(\s*["']([a-z_.]+)["']""")
 #: service tier.
 COUNTER_MODULES = ("core/explore.py", "core/checkpoint.py",
                    "core/partitioner.py", "core/pareto.py",
+                   "mem/cache_batch.py",
                    "scenarios/runner.py", "tech/model.py",
                    "service/core.py", "service/jobs.py",
                    "service/journal.py", "service/server.py")

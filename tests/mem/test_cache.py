@@ -144,3 +144,84 @@ def test_sequential_scan_miss_rate_matches_line_size():
         cache.access(addr)
     # One miss per 16-byte line.
     assert cache.read_misses == 4096 // 16
+
+
+# ---------------------------------------------------------------------------
+# Geometry validation: address width must cover index + offset + tag
+# ---------------------------------------------------------------------------
+
+def test_address_bits_too_small_rejected():
+    # 8 KiB direct-mapped with 16-byte lines = 512 sets: 9 index + 4
+    # offset bits.  A 12-bit address cannot even index the cache, and a
+    # 13-bit one leaves no tag bit -- both used to silently clamp
+    # tag_bits to 1 (undercounting tag energy) instead of erroring.
+    for address_bits in (12, 13):
+        with pytest.raises(ValueError, match="address_bits"):
+            CacheConfig(size_bytes=8192, line_bytes=16, associativity=1,
+                        address_bits=address_bits)
+
+
+def test_tag_bits_exact_not_clamped():
+    cfg = CacheConfig(size_bytes=8192, line_bytes=16, associativity=1,
+                      address_bits=14)
+    assert cfg.tag_bits == 1  # exactly one tag bit, by arithmetic
+    default = CacheConfig()
+    assert default.tag_bits == (default.address_bits - default.index_bits
+                                - default.offset_bits)
+
+
+# ---------------------------------------------------------------------------
+# record_read_hits validation (mem.cache_accounting regression)
+# ---------------------------------------------------------------------------
+
+def test_record_read_hits_rejects_bogus_counts():
+    cache = make()
+    cache.access(0x100)
+    before = cache.snapshot()
+    for bad in (-1, -1000, 2.5, "3", None):
+        with pytest.raises(ValueError):
+            cache.record_read_hits(bad)
+    # A rejected count must leave every counter untouched.
+    assert cache.snapshot() == before
+
+
+def test_record_read_hits_preserves_accounting_invariants():
+    # The identities repro.verify audits as mem.cache_accounting must
+    # survive legal batched-hit recording (including the empty batch); a
+    # negative count used to corrupt them silently.
+    cache = make()
+    cache.access(0x100)
+    cache.record_read_hits(0)
+    cache.record_read_hits(3)
+    stats = cache.snapshot()
+    assert stats.read_hits + stats.read_misses == stats.reads
+    assert stats.write_hits + stats.write_misses == stats.writes
+    assert stats.hits + stats.misses == stats.accesses
+    assert stats.fills == stats.read_misses
+    assert 0.0 <= stats.hit_rate <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# fetch_run: the compiled-ISS batch fetch hand-off
+# ---------------------------------------------------------------------------
+
+def test_fetch_run_matches_scalar_fetches():
+    batched, scalar = make(), make()
+    # (first address of the run, fetches in the run) -- all within one
+    # 16-byte line, as the compiled ISS guarantees per emitted run.
+    runs = [(0x100, 4), (0x100, 2), (0x240, 3), (0x1100, 4), (0x100, 1)]
+    for address, count in runs:
+        first = scalar.access(address)
+        for i in range(1, count):
+            assert scalar.access(address + 4 * i)
+        assert batched.fetch_run(address, count) is first
+    assert batched.snapshot() == scalar.snapshot()
+    assert batched.set_contents() == scalar.set_contents()
+
+
+def test_fetch_run_rejects_bad_counts():
+    cache = make()
+    for bad in (0, -3, 1.5, "2"):
+        with pytest.raises(ValueError):
+            cache.fetch_run(0x100, bad)
+    assert cache.accesses == 0
